@@ -1,0 +1,142 @@
+//! Ablation: how the Reliable Link Layer's two main design knobs — the
+//! sliding-window size and the retransmission timeout — affect goodput on
+//! a lossy 100 Mb/s link. Not a figure from the paper (which fixes one RLL
+//! configuration), but the study behind DESIGN.md's choice of
+//! window = 32 / RTO = 2 ms as defaults.
+//!
+//! ```text
+//! cargo bench -p vw-bench --bench ablation_rll
+//! ```
+
+use vw_bench::format_table;
+use vw_netsim::apps::{UdpFlooder, UdpSink};
+use vw_netsim::{Binding, ErrorModel, LinkConfig, SimDuration, World};
+use vw_packet::EtherType;
+use vw_rll::{RllConfig, RllHook};
+
+/// Measures goodput (Mb/s) of an `offered_mbps` UDP flow over a link with
+/// `loss` frame-loss probability, with the given RLL configuration.
+fn goodput_at(offered_mbps: u64, loss: f64, window: u32, rto_ms: u64, prop_us: u64) -> f64 {
+    let mut world = World::new(0xAB1A + window as u64 + rto_ms);
+    world.trace_mut().set_enabled(false);
+    let a = world.add_host("a");
+    let b = world.add_host("b");
+    world.connect(
+        a,
+        b,
+        LinkConfig::fast_ethernet()
+            .propagation(SimDuration::from_micros(prop_us))
+            .errors(ErrorModel::lossy(loss)),
+    );
+    let cfg = RllConfig {
+        window,
+        rto: SimDuration::from_millis(rto_ms),
+        max_retries: 1000,
+        ..RllConfig::default()
+    };
+    for h in [a, b] {
+        world.add_hook(h, Box::new(RllHook::new(cfg)));
+    }
+    let sink = world.add_protocol(b, Binding::EtherType(EtherType::IPV4), Box::new(UdpSink::new(9)));
+    let flooder = UdpFlooder::new(
+        world.host_mac(b),
+        world.host_ip(b),
+        9,
+        9000,
+        offered_mbps * 1_000_000,
+        1000,
+        u64::MAX / 4,
+    );
+    world.add_protocol(a, Binding::EtherType(EtherType::IPV4), Box::new(flooder));
+    let duration = SimDuration::from_millis(300);
+    world.run_for(duration);
+    let sink = world.protocol::<UdpSink>(b, sink).unwrap();
+    sink.payload_bytes() as f64 * 8.0 / duration.as_secs_f64() / 1e6
+}
+
+fn goodput(loss: f64, window: u32, rto_ms: u64) -> f64 {
+    goodput_at(40, loss, window, rto_ms, 2)
+}
+
+fn main() {
+    let loss = 0.05;
+    eprintln!("RLL ablation at {loss:.0e} frame loss, 40 Mb/s offered UDP...");
+    // Go-back-N economics, visible in the numbers below: with loss, every
+    // lost frame forces retransmission of the whole outstanding window, so
+    // *large* windows waste capacity (efficiency ≈ 1/(1 + loss·W)); with a
+    // clean wire, large windows win because stop-and-wait caps at one
+    // frame per RTT. VirtualWire's testbed wire is clean by construction
+    // (the error models are for *testing* the RLL), which is why the
+    // default window of 32 is the right choice for Figure 7.
+
+    // Sweep 1: window size at fixed RTO = 2 ms.
+    let windows = [1u32, 2, 4, 8, 16, 32, 64];
+    let rows: Vec<Vec<String>> = windows
+        .iter()
+        .map(|&w| vec![w.to_string(), format!("{:.1}", goodput(loss, w, 2))])
+        .collect();
+    println!();
+    println!(
+        "{}",
+        format_table(
+            "RLL ablation A — goodput (Mb/s) vs window size (RTO = 2 ms, 5% loss)",
+            &["window", "goodput"],
+            &rows,
+        )
+    );
+
+    // Sweep 2: RTO at fixed window = 32.
+    let rtos = [1u64, 2, 5, 10, 20, 50];
+    let rows: Vec<Vec<String>> = rtos
+        .iter()
+        .map(|&r| vec![format!("{r}ms"), format!("{:.1}", goodput(loss, 32, r))])
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            "RLL ablation B — goodput (Mb/s) vs retransmission timeout (window = 32, 5% loss)",
+            &["rto", "goodput"],
+            &rows,
+        )
+    );
+
+    // Sweep 3: the same window comparison on a CLEAN wire at 80 Mb/s
+    // offered — the regime the paper's testbed actually runs in (near
+    // line rate, near-zero loss). Stop-and-wait caps at one ~97 µs
+    // frame/RTT cycle ≈ 82 Mb/s theoretical but pays per-cycle overheads;
+    // the pipelined default keeps up with the offered rate.
+    let clean_tiny = goodput_at(80, 0.0, 1, 2, 50);
+    let clean_chosen = goodput_at(80, 0.0, 32, 2, 50);
+    println!(
+        "clean wire @80 Mb/s offered: window=1 → {clean_tiny:.1} Mb/s,          window=32 (default) → {clean_chosen:.1} Mb/s"
+    );
+
+    // The findings this ablation pins down:
+    // 1. On a clean near-line-rate wire, pipelining wins — this is the
+    //    Figure 7 regime and the reason the default window is 32.
+    assert!(
+        clean_chosen > 78.0,
+        "default config must sustain 80 Mb/s on a clean wire: {clean_chosen:.1}"
+    );
+    assert!(
+        clean_tiny < clean_chosen,
+        "stop-and-wait must trail the pipelined default: {clean_tiny:.1}"
+    );
+    // 2. Under heavy loss the tables turn: go-back-N retransmits the whole
+    //    outstanding window per loss (efficiency ≈ 1/(1+loss·W)), so
+    //    stop-and-wait BEATS the big window. A selective-repeat RLL would
+    //    lift this — the simple sliding window is what the paper built.
+    let lossy_small = goodput(loss, 1, 2);
+    let lossy_big = goodput(loss, 32, 2);
+    assert!(
+        lossy_small > lossy_big,
+        "GBN under loss: window=1 ({lossy_small:.1}) must beat window=32 ({lossy_big:.1})"
+    );
+    // 3. A tight RTO dominates under loss (recovery latency is the cost).
+    let fast_rto = goodput(loss, 32, 1);
+    let slow_rto = goodput(loss, 32, 20);
+    assert!(
+        fast_rto > slow_rto * 2.0,
+        "RTO 1 ms ({fast_rto:.1}) must far outrun 20 ms ({slow_rto:.1})"
+    );
+}

@@ -1,0 +1,62 @@
+//! Regenerates the paper's Figure 7: TCP throughput vs. offered data
+//! pumping rate, with and without VirtualWire (+RLL).
+//!
+//! ```text
+//! cargo bench -p vw-bench --bench fig7_throughput
+//! ```
+
+use vw_bench::fig7::{self, Fig7Config};
+use vw_bench::format_table;
+use vw_netsim::SimDuration;
+
+fn main() {
+    let offered = fig7::default_offered_loads();
+    let duration = SimDuration::from_millis(400);
+    eprintln!(
+        "running Figure 7 sweep: {} offered loads x 3 configurations \
+         ({} of simulated time each)...",
+        offered.len(),
+        duration
+    );
+    let series = fig7::run(&offered, duration);
+
+    let mut rows = Vec::new();
+    for (i, &offered_mbps) in offered.iter().enumerate() {
+        rows.push(vec![
+            format!("{offered_mbps:.0}"),
+            format!("{:.1}", series[0].points[i].throughput_mbps),
+            format!("{:.1}", series[1].points[i].throughput_mbps),
+            format!("{:.1}", series[2].points[i].throughput_mbps),
+        ]);
+    }
+    println!();
+    println!(
+        "{}",
+        format_table(
+            "Figure 7 — TCP throughput (Mb/s) vs offered load, 100 Mb/s switched LAN",
+            &[
+                "offered",
+                Fig7Config::Baseline.label(),
+                Fig7Config::VirtualWire.label(),
+                Fig7Config::VirtualWireRll.label(),
+            ],
+            &rows,
+        )
+    );
+
+    // The paper's claim: "the throughput loss in this case is within 10%."
+    let worst = series[0]
+        .points
+        .iter()
+        .zip(&series[2].points)
+        .map(|(b, r)| (b.throughput_mbps - r.throughput_mbps) / b.throughput_mbps * 100.0)
+        .fold(f64::MIN, f64::max);
+    println!(
+        "max VirtualWire+RLL throughput loss vs baseline: {worst:.1}% \
+         (paper: within 10%)"
+    );
+    assert!(
+        worst < 10.0,
+        "Figure 7 shape violated: VirtualWire+RLL lost {worst:.1}%"
+    );
+}

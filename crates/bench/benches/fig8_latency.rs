@@ -1,0 +1,66 @@
+//! Regenerates the paper's Figure 8: percentage increase in UDP echo
+//! round-trip latency vs. number of packet-type definitions, for
+//! (i) filters only, (ii) +25 actions per packet, (iii) +RLL.
+//!
+//! ```text
+//! cargo bench -p vw-bench --bench fig8_latency
+//! ```
+
+use vw_bench::fig8::{self, Fig8Config};
+use vw_bench::format_table;
+
+fn main() {
+    let counts = fig8::default_filter_counts();
+    let probes = 200;
+    eprintln!(
+        "running Figure 8 sweep: {} filter counts x 3 configurations \
+         ({probes} UDP echo probes each)...",
+        counts.len()
+    );
+    let (baseline_us, series) = fig8::run(&counts, probes);
+
+    let mut rows = Vec::new();
+    for (i, &n) in counts.iter().enumerate() {
+        rows.push(vec![
+            format!("{n}"),
+            format!("{:+.2}%", series[0].points[i].increase_pct),
+            format!("{:+.2}%", series[1].points[i].increase_pct),
+            format!("{:+.2}%", series[2].points[i].increase_pct),
+        ]);
+    }
+    println!();
+    println!(
+        "{}",
+        format_table(
+            &format!(
+                "Figure 8 — % increase in UDP echo RTT vs #filters \
+                 (baseline RTT = {baseline_us:.1} µs)"
+            ),
+            &[
+                "#filters",
+                Fig8Config::FiltersOnly.label(),
+                Fig8Config::FiltersAndActions.label(),
+                Fig8Config::FiltersActionsRll.label(),
+            ],
+            &rows,
+        )
+    );
+
+    // The paper's claims: linear growth in the rule count, curve ordering
+    // (i) < (ii) < (iii), and ≤ ~7% even in the worst case.
+    for s in &series {
+        for pair in s.points.windows(2) {
+            assert!(
+                pair[1].increase_pct >= pair[0].increase_pct - 0.3,
+                "{}: overhead must grow with filter count",
+                s.config.label()
+            );
+        }
+    }
+    let worst = series[2].points.last().unwrap().increase_pct;
+    println!("worst case (25 filters, 25 actions, RLL): {worst:.2}% (paper: ~7%)");
+    assert!(
+        worst < 12.0,
+        "Figure 8 shape violated: worst-case overhead {worst:.1}%"
+    );
+}

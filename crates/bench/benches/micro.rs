@@ -1,0 +1,105 @@
+//! Criterion micro-benchmarks for the engine's hot paths: filter-table
+//! classification (the linear scan behind Figure 8's slope), FSL parsing
+//! and compilation, and the RLL sliding window.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use virtualwire::classify;
+use vw_bench::scriptgen::sweep_script;
+use vw_packet::{EthernetBuilder, MacAddr, UdpBuilder};
+use vw_rll::window::{ReceiverWindow, SenderWindow};
+
+fn bench_classify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify_linear_scan");
+    for n_filters in [1usize, 5, 10, 25, 50] {
+        let tables = virtualwire::compile_script(&sweep_script(n_filters, 0, 0x6363)).unwrap();
+        let vars = HashMap::new();
+        // Worst case: the frame matches the last rule.
+        let matching = UdpBuilder::new()
+            .src_mac(MacAddr::new([0x02, 0, 0, 0, 0, 0x01]))
+            .dst_mac(MacAddr::new([0x02, 0, 0, 0, 0, 0x02]))
+            .src_ip("192.168.1.1".parse().unwrap())
+            .dst_ip("192.168.1.2".parse().unwrap())
+            .src_port(9000)
+            .dst_port(0x6363)
+            .payload(&[0u8; 1000])
+            .build();
+        group.bench_with_input(
+            BenchmarkId::new("match_last", n_filters),
+            &n_filters,
+            |b, _| b.iter(|| classify(black_box(&tables), &vars, black_box(&matching))),
+        );
+        // Miss case: scans everything and fails.
+        let miss = EthernetBuilder::new()
+            .ethertype(vw_packet::EtherType(0x1234))
+            .payload(&[0u8; 60])
+            .build();
+        group.bench_with_input(BenchmarkId::new("miss", n_filters), &n_filters, |b, _| {
+            b.iter(|| classify(black_box(&tables), &vars, black_box(&miss)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fsl_frontend(c: &mut Criterion) {
+    let script = sweep_script(25, 25, 0x6363);
+    c.bench_function("fsl_parse_25_filters", |b| {
+        b.iter(|| vw_fsl::parse(black_box(&script)).unwrap())
+    });
+    let program = vw_fsl::parse(&script).unwrap();
+    c.bench_function("fsl_compile_25_filters", |b| {
+        b.iter(|| vw_fsl::compile(black_box(&program)).unwrap())
+    });
+    let tables = vw_fsl::compile(&program).unwrap().remove(0);
+    c.bench_function("control_plane_init_roundtrip", |b| {
+        b.iter(|| {
+            let msg = virtualwire::wire::ControlMsg::Init {
+                tables: Box::new(tables.clone()),
+                you_are: vw_fsl::NodeId(1),
+            };
+            let bytes = virtualwire::wire::encode(black_box(&msg));
+            virtualwire::wire::decode(black_box(&bytes)).unwrap()
+        })
+    });
+}
+
+fn bench_rll_window(c: &mut Criterion) {
+    let frame = EthernetBuilder::new()
+        .src(MacAddr::from_index(1))
+        .dst(MacAddr::from_index(2))
+        .payload(&[0u8; 1000])
+        .build();
+    c.bench_function("rll_window_offer_ack_cycle", |b| {
+        b.iter(|| {
+            let mut tx = SenderWindow::new(32);
+            let mut rx = ReceiverWindow::new();
+            for _ in 0..100 {
+                if let vw_rll::window::SendAction::Transmit { seq, .. } =
+                    tx.offer(black_box(frame.clone()))
+                {
+                    let action = rx.on_data(seq);
+                    if let vw_rll::window::RecvAction::Deliver { ack } = action {
+                        tx.on_ack(ack);
+                    }
+                }
+            }
+            black_box(tx.is_idle())
+        })
+    });
+    c.bench_function("rll_encapsulate_parse", |b| {
+        b.iter(|| {
+            let data = vw_rll::wire::build_data(black_box(&frame), 7, 3);
+            vw_rll::wire::parse(black_box(&data)).unwrap().0
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_classify, bench_fsl_frontend, bench_rll_window
+}
+criterion_main!(benches);

@@ -1,0 +1,202 @@
+//! Figure 7: TCP throughput vs. offered data pumping rate, with and
+//! without the Fault Injection Layer, between two hosts on a 100 Mb/s
+//! switched LAN.
+//!
+//! The paper's setup: a TCP connection between two Pentium-4 machines,
+//! offered load swept up to link speed, 25 packet-type definitions and 25
+//! actions triggered per packet, with and without the Reliable Link
+//! Layer. Expected shape: throughput tracks offered load until the link
+//! saturates; VirtualWire alone costs almost nothing; VirtualWire+RLL
+//! loses a noticeable slice beyond ~90 Mb/s offered (RLL acknowledgment
+//! traffic shares the medium with data) but stays **within 10%** of the
+//! baseline.
+
+use virtualwire::{compile_script, CostModel, EngineConfig, Runner};
+use vw_netsim::{Binding, LinkConfig, SimDuration, World};
+use vw_packet::EtherType;
+use vw_rll::RllConfig;
+use vw_tcpstack::{Endpoint, SocketHandle, TcpConfig, TcpStack};
+
+use crate::scriptgen::sweep_script;
+
+/// Which layering a Figure 7 run measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig7Config {
+    /// No VirtualWire at all — the physical baseline.
+    Baseline,
+    /// Engines with 25 filters and 25 actions per packet.
+    VirtualWire,
+    /// Engines plus the Reliable Link Layer.
+    VirtualWireRll,
+}
+
+impl Fig7Config {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Fig7Config::Baseline => "baseline",
+            Fig7Config::VirtualWire => "virtualwire",
+            Fig7Config::VirtualWireRll => "virtualwire+rll",
+        }
+    }
+}
+
+/// One measured point.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig7Point {
+    /// Offered application rate in Mb/s.
+    pub offered_mbps: f64,
+    /// Achieved receive goodput in Mb/s.
+    pub throughput_mbps: f64,
+}
+
+/// A full curve.
+#[derive(Debug, Clone)]
+pub struct Fig7Series {
+    /// Which configuration.
+    pub config: Fig7Config,
+    /// The measured points, in offered-load order.
+    pub points: Vec<Fig7Point>,
+}
+
+/// Measures one point: offered load `offered_mbps` for `duration` of
+/// simulated time; returns achieved goodput in Mb/s.
+pub fn measure_point(config: Fig7Config, offered_mbps: f64, duration: SimDuration) -> f64 {
+    let mut world = World::new(0xF167 + offered_mbps as u64);
+    world.trace_mut().set_enabled(false); // tracing costs real time here
+
+    let tables = compile_script(&sweep_script(25, 25, 0x4000)).expect("sweep script compiles");
+    let nodes = Runner::create_hosts(&mut world, &tables);
+    let sw = world.add_switch("sw0", 4);
+    for &n in &nodes {
+        world.connect(n, sw, LinkConfig::fast_ethernet());
+    }
+    let runner = match config {
+        Fig7Config::Baseline => None,
+        Fig7Config::VirtualWire => Some(Runner::install(
+            &mut world,
+            tables,
+            EngineConfig {
+                cost: CostModel::calibrated(),
+                ..EngineConfig::default()
+            },
+        )),
+        Fig7Config::VirtualWireRll => Some(Runner::install_with_rll(
+            &mut world,
+            tables,
+            EngineConfig {
+                cost: CostModel::calibrated(),
+                ..EngineConfig::default()
+            },
+            RllConfig {
+                cost_per_frame: SimDuration::from_nanos(300),
+                ..RllConfig::default()
+            },
+        )),
+    };
+    if let Some(r) = &runner {
+        r.settle(&mut world);
+    } else if config == Fig7Config::Baseline {
+        // Give the baseline the same settling time for fairness.
+        world.run_for(SimDuration::from_millis(1));
+    }
+
+    // TCP sender on node1 (port 0x6000) → receiver on node2 (0x4000): the
+    // classic evaluation flow; the sweep script's `udp_data`-named filter
+    // actually matches the TCP destination port here, so every data
+    // segment walks the full 25-rule filter table.
+    let tcp_cfg = TcpConfig {
+        mss: 1400,
+        initial_cwnd_mss: 4,
+        ..TcpConfig::default()
+    };
+    let mut server = TcpStack::new(world.host_mac(nodes[1]), world.host_ip(nodes[1]));
+    server.listen(0x4000, tcp_cfg);
+    let server_id = world.add_protocol(nodes[1], Binding::EtherType(EtherType::IPV4), Box::new(server));
+    let mut client = TcpStack::new(world.host_mac(nodes[0]), world.host_ip(nodes[0]));
+    let handle = client.connect(
+        tcp_cfg,
+        0x6000,
+        Endpoint {
+            mac: world.host_mac(nodes[1]),
+            ip: world.host_ip(nodes[1]),
+            port: 0x4000,
+        },
+    );
+    let rate_bps = (offered_mbps * 1e6) as u64;
+    client.attach_source(handle, rate_bps, u64::MAX / 4); // unbounded for the run
+    world.add_protocol(nodes[0], Binding::EtherType(EtherType::IPV4), Box::new(client));
+
+    let start = world.now();
+    world.run_for(duration);
+    let elapsed = world.now().saturating_since(start).as_secs_f64();
+
+    let server = world
+        .protocol::<TcpStack>(nodes[1], server_id)
+        .expect("server stack");
+    let received: u64 = (0..server.socket_count())
+        .map(|i| server.socket(SocketHandle::from_index(i)).stats().bytes_received)
+        .sum();
+    received as f64 * 8.0 / elapsed / 1e6
+}
+
+/// Runs the full Figure 7 sweep.
+pub fn run(offered_mbps: &[f64], duration: SimDuration) -> Vec<Fig7Series> {
+    [
+        Fig7Config::Baseline,
+        Fig7Config::VirtualWire,
+        Fig7Config::VirtualWireRll,
+    ]
+    .into_iter()
+    .map(|config| Fig7Series {
+        config,
+        points: offered_mbps
+            .iter()
+            .map(|&offered| Fig7Point {
+                offered_mbps: offered,
+                throughput_mbps: measure_point(config, offered, duration),
+            })
+            .collect(),
+    })
+    .collect()
+}
+
+/// The offered-load sweep the paper plots (10 → 100 Mb/s).
+pub fn default_offered_loads() -> Vec<f64> {
+    (1..=10).map(|i| i as f64 * 10.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_load_throughput_tracks_offered() {
+        // At 20 Mb/s offered on a 100 Mb/s link, every configuration must
+        // deliver ~the offered rate.
+        for config in [
+            Fig7Config::Baseline,
+            Fig7Config::VirtualWire,
+            Fig7Config::VirtualWireRll,
+        ] {
+            let tput = measure_point(config, 20.0, SimDuration::from_millis(300));
+            assert!(
+                (tput - 20.0).abs() < 3.0,
+                "{}: 20 Mb/s offered produced {tput:.1} Mb/s",
+                config.label()
+            );
+        }
+    }
+
+    #[test]
+    fn high_load_degradation_is_within_ten_percent() {
+        let base = measure_point(Fig7Config::Baseline, 100.0, SimDuration::from_millis(300));
+        let rll = measure_point(Fig7Config::VirtualWireRll, 100.0, SimDuration::from_millis(300));
+        assert!(base > 80.0, "baseline should near-saturate: {base:.1}");
+        assert!(rll < base, "RLL overhead must cost something");
+        assert!(
+            rll > base * 0.9,
+            "the paper's bound: within 10% (baseline {base:.1}, rll {rll:.1})"
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! Figure 8: percentage increase in UDP echo round-trip latency caused by
+//! the Fault Injection Layer, as a function of the number of packet-type
+//! definitions.
+//!
+//! The paper measures UDP echo RTT between two hosts with (i) 1–25 packet
+//! matching rules, (ii) the same plus 25 actions triggered per matched
+//! packet, and (iii) case (ii) with the RLL on. Because classification is
+//! a linear scan, the overhead grows linearly with the rule count; even
+//! case (iii) stays around 7%.
+
+use virtualwire::{compile_script, CostModel, EngineConfig, Runner};
+use vw_netsim::apps::{UdpEcho, UdpPinger};
+use vw_netsim::{Binding, LinkConfig, SimDuration, World};
+use vw_packet::EtherType;
+use vw_rll::RllConfig;
+
+use crate::scriptgen::sweep_script;
+
+/// Which Figure 8 curve a measurement belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig8Config {
+    /// (i) packet matching rules only.
+    FiltersOnly,
+    /// (ii) rules plus 25 actions per matched packet.
+    FiltersAndActions,
+    /// (iii) case (ii) with the Reliable Link Layer on.
+    FiltersActionsRll,
+}
+
+impl Fig8Config {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Fig8Config::FiltersOnly => "filters",
+            Fig8Config::FiltersAndActions => "filters+actions",
+            Fig8Config::FiltersActionsRll => "filters+actions+rll",
+        }
+    }
+}
+
+/// One measured point.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig8Point {
+    /// Number of packet-type definitions installed.
+    pub n_filters: usize,
+    /// Mean UDP echo RTT in microseconds.
+    pub rtt_us: f64,
+    /// Percentage increase over the no-VirtualWire baseline.
+    pub increase_pct: f64,
+}
+
+/// A full curve.
+#[derive(Debug, Clone)]
+pub struct Fig8Series {
+    /// Which configuration.
+    pub config: Fig8Config,
+    /// Points in increasing filter count.
+    pub points: Vec<Fig8Point>,
+}
+
+const ECHO_PORT: u16 = 0x6363;
+const PROBE_PAYLOAD: usize = 1000;
+
+fn echo_world(seed: u64) -> (World, Vec<vw_netsim::DeviceId>) {
+    let mut world = World::new(seed);
+    world.trace_mut().set_enabled(false);
+    let tables = compile_script(&sweep_script(1, 0, ECHO_PORT)).unwrap();
+    let nodes = Runner::create_hosts(&mut world, &tables);
+    let sw = world.add_switch("sw0", 4);
+    for &n in &nodes {
+        world.connect(n, sw, LinkConfig::fast_ethernet());
+    }
+    (world, nodes)
+}
+
+fn measure_rtt(world: &mut World, nodes: &[vw_netsim::DeviceId], probes: u64) -> f64 {
+    world.add_protocol(
+        nodes[1],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(UdpEcho::new(ECHO_PORT)),
+    );
+    let pinger = UdpPinger::new(
+        world.host_mac(nodes[1]),
+        world.host_ip(nodes[1]),
+        ECHO_PORT,
+        0x7000,
+        SimDuration::from_millis(1),
+        PROBE_PAYLOAD,
+        probes,
+    );
+    let pid = world.add_protocol(nodes[0], Binding::EtherType(EtherType::IPV4), Box::new(pinger));
+    world.run_for(SimDuration::from_millis(probes * 2));
+    let pinger = world.protocol::<UdpPinger>(nodes[0], pid).expect("pinger");
+    let mean = pinger.mean_rtt().expect("probes completed");
+    assert_eq!(pinger.lost(), 0, "echo probes must not be lost");
+    mean.as_nanos() as f64 / 1e3
+}
+
+/// Measures the no-VirtualWire baseline RTT in microseconds.
+pub fn baseline_rtt_us(probes: u64) -> f64 {
+    let (mut world, nodes) = echo_world(0xF180);
+    measure_rtt(&mut world, &nodes, probes)
+}
+
+/// Measures one configured point's mean RTT in microseconds.
+pub fn measure_point(config: Fig8Config, n_filters: usize, probes: u64) -> f64 {
+    let (mut world, nodes) = echo_world(0xF181 + n_filters as u64);
+    let actions = match config {
+        Fig8Config::FiltersOnly => 0,
+        _ => 25,
+    };
+    let tables = compile_script(&sweep_script(n_filters, actions, ECHO_PORT)).unwrap();
+    let cfg = EngineConfig {
+        cost: CostModel::calibrated(),
+        ..EngineConfig::default()
+    };
+    let runner = match config {
+        Fig8Config::FiltersActionsRll => Runner::install_with_rll(
+            &mut world,
+            tables,
+            cfg,
+            RllConfig {
+                cost_per_frame: SimDuration::from_nanos(300),
+                ..RllConfig::default()
+            },
+        ),
+        _ => Runner::install(&mut world, tables, cfg),
+    };
+    runner.settle(&mut world);
+    measure_rtt(&mut world, &nodes, probes)
+}
+
+/// Runs the full Figure 8 sweep and expresses each point relative to the
+/// measured baseline.
+pub fn run(filter_counts: &[usize], probes: u64) -> (f64, Vec<Fig8Series>) {
+    let baseline = baseline_rtt_us(probes);
+    let series = [
+        Fig8Config::FiltersOnly,
+        Fig8Config::FiltersAndActions,
+        Fig8Config::FiltersActionsRll,
+    ]
+    .into_iter()
+    .map(|config| Fig8Series {
+        config,
+        points: filter_counts
+            .iter()
+            .map(|&n| {
+                let rtt = measure_point(config, n, probes);
+                Fig8Point {
+                    n_filters: n,
+                    rtt_us: rtt,
+                    increase_pct: (rtt - baseline) / baseline * 100.0,
+                }
+            })
+            .collect(),
+    })
+    .collect();
+    (baseline, series)
+}
+
+/// The filter counts the paper sweeps.
+pub fn default_filter_counts() -> Vec<usize> {
+    vec![1, 5, 10, 15, 20, 25]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_grows_with_filter_count_and_config() {
+        let baseline = baseline_rtt_us(30);
+        let few = measure_point(Fig8Config::FiltersOnly, 1, 30);
+        let many = measure_point(Fig8Config::FiltersOnly, 25, 30);
+        let actions = measure_point(Fig8Config::FiltersAndActions, 25, 30);
+        let rll = measure_point(Fig8Config::FiltersActionsRll, 25, 30);
+        assert!(baseline < few, "any engine costs something");
+        assert!(few < many, "linear scan: more rules, more time");
+        assert!(many < actions, "actions add table-update cost");
+        assert!(actions < rll, "the RLL adds encapsulation cost");
+        // And the paper's headline: even the worst case is a small
+        // fraction of the RTT.
+        let pct = (rll - baseline) / baseline * 100.0;
+        assert!(
+            pct < 12.0,
+            "25 filters + 25 actions + RLL cost {pct:.1}% (paper: ~7%)"
+        );
+        assert!(pct > 1.0, "overhead should at least be visible: {pct:.1}%");
+    }
+}

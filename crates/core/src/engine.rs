@@ -1,0 +1,895 @@
+//! The Fault Injection and Analysis Engine (FIE/FAE).
+//!
+//! One engine is installed as a [`Hook`] on every participating host,
+//! between the protocol stack and the NIC — the position the paper
+//! achieves with a Netfilter hook. Per-packet control flow follows
+//! Figure 4(b):
+//!
+//! ```text
+//! packet received ──► classify (filter + node tables)
+//!     │ matched
+//!     ▼
+//! update counters ──► evaluate affected terms ──► evaluate conditions
+//!     │                     │ (status change:        │ (became true:
+//!     │                     │  notify remote         │  fire edge-
+//!     │                     │  evaluators)           │  triggered actions)
+//!     ▼
+//! apply gated faults to THIS packet (drop consumes it; a counter-
+//! manipulation action releases it)
+//! ```
+//!
+//! The same engine is both FIE and FAE: fault injection and analysis are
+//! the same mechanism — counting events and reacting to conditions — as
+//! the paper notes in Section 5.
+//!
+//! ## Semantics
+//!
+//! * **Counter-manipulation actions, `FAIL`, `STOP`, `FLAG_ERR`** are
+//!   *edge-triggered*: they run once each time their condition transitions
+//!   from false to true.
+//! * **Packet faults** (`DROP`/`DELAY`/`REORDER`/`DUP`/`MODIFY`) are
+//!   *level-gated*: while their condition holds, every packet matching the
+//!   fault's `(pkt_type, from, to, dir)` tuple is affected. This is what
+//!   makes the Figure 5 script work: `(SYNACK > 0) && (SYNACK < 2)` is
+//!   true exactly while the first SYNACK is being processed, so exactly
+//!   one SYNACK is dropped.
+
+use std::collections::HashMap;
+
+use vw_fsl::{
+    ActionId, CompiledActionKind, CompiledCounterKind, CompiledOperand, CondId, CounterId, Dir,
+    NodeId, TableSet, TermId,
+};
+use vw_netsim::{Context, Hook, SimDuration, SimTime, TraceKind, Verdict};
+use vw_packet::{EtherType, Frame, MacAddr};
+
+use crate::classify::{classify, Classification};
+use crate::report::FlaggedError;
+use crate::wire::{self, ControlMsg};
+
+/// Simulated CPU cost of engine operations, the knob behind the Figure 8
+/// overhead curves. Zero by default so functional tests are unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CostModel {
+    /// Charged per filter-table rule visited during classification (the
+    /// linear scan of Section 7).
+    pub per_filter_ns: u64,
+    /// Charged per action executed and per counter update (the "VirtualWire
+    /// has to update all the tables that are affected" cost).
+    pub per_action_ns: u64,
+}
+
+impl CostModel {
+    /// A cost model calibrated against the paper's testbed: the Figure 8
+    /// experiment shows ~0.25% RTT increase per filter rule on a ~200 µs
+    /// LAN round trip, i.e. roughly half a microsecond per rule visit per
+    /// direction.
+    pub fn calibrated() -> Self {
+        CostModel {
+            per_filter_ns: 170,
+            per_action_ns: 100,
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// CPU cost model.
+    pub cost: CostModel,
+    /// Upper bound on evaluation-cascade steps per packet; exceeding it
+    /// flags an engine error instead of looping forever (a script like
+    /// `(C = 1) >> INCR_CNTR(C, ...)` cycles could otherwise hang a run).
+    pub cascade_budget: u32,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            cost: CostModel::default(),
+            cascade_budget: 10_000,
+        }
+    }
+}
+
+/// Counters exposed for tests and the evaluation harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Frames that went through classification.
+    pub classified: u64,
+    /// Frames that matched a packet definition.
+    pub matched: u64,
+    /// Packet-counter increments.
+    pub counter_increments: u64,
+    /// Control messages sent.
+    pub control_sent: u64,
+    /// Control messages received.
+    pub control_received: u64,
+    /// Packets consumed by `DROP`.
+    pub drops: u64,
+    /// Packets duplicated by `DUP`.
+    pub dups: u64,
+    /// Packets held by `DELAY`.
+    pub delays: u64,
+    /// Packets buffered by `REORDER`.
+    pub reorders: u64,
+    /// Packets mutated by `MODIFY`.
+    pub modifies: u64,
+    /// Frames blackholed because this node was `FAIL`ed.
+    pub blackholed: u64,
+}
+
+const TIMER_DELAY_BASE: u64 = 1 << 32;
+
+/// The per-node Fault Injection and Analysis Engine.
+pub struct Engine {
+    cfg: EngineConfig,
+    tables: Option<TableSet>,
+    me: Option<NodeId>,
+    vars: HashMap<String, u64>,
+
+    counter_values: Vec<i64>,
+    counter_enabled: Vec<bool>,
+    term_status: Vec<bool>,
+    cond_status: Vec<bool>,
+
+    /// `FAIL`ed: consume everything in both directions.
+    blackholed: bool,
+    /// Where to report errors (learned from the Init frame's source).
+    control_mac: Option<MacAddr>,
+    /// Am I the control node?
+    is_control: bool,
+    /// Tables already distributed (control node only).
+    distributed: bool,
+    /// Init acks received (control node only).
+    acked: Vec<NodeId>,
+
+    /// DELAY buffer: timer token → held packet.
+    held: HashMap<u64, (Frame, Dir)>,
+    next_delay_token: u64,
+    /// REORDER buffers, keyed by action.
+    reorder_bufs: HashMap<ActionId, Vec<(Frame, Dir)>>,
+
+    /// Errors flagged locally, plus (on the control node) remotely.
+    errors: Vec<FlaggedError>,
+    /// STOP reason, once seen.
+    stopped: Option<String>,
+    /// Time of the most recent packet-definition match — inactivity
+    /// timeouts key off this.
+    last_match: SimTime,
+
+    stats: EngineStats,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("scenario", &self.tables.as_ref().map(|t| &t.scenario))
+            .field("me", &self.me)
+            .field("blackholed", &self.blackholed)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Creates an engine that waits for an `Init` control message to learn
+    /// its tables (the normal, paper-faithful path).
+    pub fn new(cfg: EngineConfig) -> Self {
+        Engine {
+            cfg,
+            tables: None,
+            me: None,
+            vars: HashMap::new(),
+            counter_values: Vec::new(),
+            counter_enabled: Vec::new(),
+            term_status: Vec::new(),
+            cond_status: Vec::new(),
+            blackholed: false,
+            control_mac: None,
+            is_control: false,
+            distributed: false,
+            acked: Vec::new(),
+            held: HashMap::new(),
+            next_delay_token: 0,
+            reorder_bufs: HashMap::new(),
+            errors: Vec::new(),
+            stopped: None,
+            last_match: SimTime::ZERO,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Marks this engine as the control node: it distributes tables on
+    /// start and collects error reports.
+    pub fn control(cfg: EngineConfig, tables: TableSet, me: NodeId) -> Self {
+        let mut engine = Engine::new(cfg);
+        engine.is_control = true;
+        engine.me = Some(me);
+        engine.tables = Some(tables);
+        engine
+    }
+
+    /// Binds a `VAR` filter pattern to a concrete value.
+    pub fn bind_var(&mut self, name: &str, value: u64) {
+        self.vars.insert(name.to_string(), value);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Errors flagged so far (on the control node this includes remote
+    /// reports).
+    pub fn errors(&self) -> &[FlaggedError] {
+        &self.errors
+    }
+
+    /// The STOP reason, if a STOP action has fired.
+    pub fn stopped(&self) -> Option<&str> {
+        self.stopped.as_deref()
+    }
+
+    /// Time of the most recent packet-definition match.
+    pub fn last_match(&self) -> SimTime {
+        self.last_match
+    }
+
+    /// `true` once the tables are installed (directly or via `Init`).
+    pub fn initialized(&self) -> bool {
+        self.tables.is_some() && self.me.is_some()
+    }
+
+    /// Nodes that have acknowledged initialization (control node only).
+    pub fn init_acks(&self) -> &[NodeId] {
+        &self.acked
+    }
+
+    /// Reads a counter's current local value by name.
+    pub fn counter_value(&self, name: &str) -> Option<i64> {
+        let tables = self.tables.as_ref()?;
+        let id = tables.counter_by_name(name)?;
+        self.counter_values.get(id.index()).copied()
+    }
+
+    /// `true` while this node is blackholed by a `FAIL` action.
+    pub fn is_blackholed(&self) -> bool {
+        self.blackholed
+    }
+
+    // ------------------------------------------------------------------
+    // Initialization
+    // ------------------------------------------------------------------
+
+    fn install_tables(&mut self, ctx: &mut Context<'_>, tables: TableSet, me: NodeId) {
+        let ncounters = tables.counters.len();
+        let nterms = tables.terms.len();
+        let nconds = tables.conditions.len();
+        self.tables = Some(tables);
+        self.me = Some(me);
+        self.counter_values = vec![0; ncounters];
+        self.counter_enabled = vec![false; ncounters];
+        self.term_status = vec![false; nterms];
+        self.cond_status = vec![false; nconds];
+        self.last_match = ctx.now();
+        self.initial_evaluation(ctx);
+    }
+
+    /// Evaluates every term and condition from the all-zero counter state
+    /// and fires conditions that start out true (`(TRUE) >> ...` rules).
+    fn initial_evaluation(&mut self, ctx: &mut Context<'_>) {
+        let me = self.me.expect("initialized");
+        let tables = self.tables.take().expect("initialized");
+        for (i, term) in tables.terms.iter().enumerate() {
+            if term.eval_node == me {
+                self.term_status[i] = self.eval_term(&tables, TermId(i as u16));
+            }
+        }
+        let mut fired = Vec::new();
+        for (i, cond) in tables.conditions.iter().enumerate() {
+            if cond.eval_nodes.contains(&me) {
+                let status = cond.expr.eval(&|t| self.term_status[t.index()]);
+                self.cond_status[i] = status;
+                if status {
+                    fired.push(CondId(i as u16));
+                }
+            }
+        }
+        self.tables = Some(tables);
+        for cond in fired {
+            let changed = self.fire_condition(ctx, cond);
+            for counter in changed {
+                self.cascade_from_counter(ctx, counter);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Evaluation cascade
+    // ------------------------------------------------------------------
+
+    fn operand_value(&self, op: CompiledOperand) -> i64 {
+        match op {
+            CompiledOperand::Counter(c) => self.counter_values[c.index()],
+            CompiledOperand::Const(v) => v,
+        }
+    }
+
+    fn eval_term(&self, tables: &TableSet, term: TermId) -> bool {
+        let t = &tables.terms[term.index()];
+        t.op
+            .apply(self.operand_value(t.lhs), self.operand_value(t.rhs))
+    }
+
+    /// Applies a counter mutation and runs the resulting evaluation
+    /// cascade: affected terms, conditions, edge-triggered actions, and
+    /// control-plane notifications, bounded by the cascade budget.
+    fn set_counter(&mut self, ctx: &mut Context<'_>, counter: CounterId, value: i64) {
+        if self.counter_values[counter.index()] == value {
+            return;
+        }
+        self.counter_values[counter.index()] = value;
+        self.cascade_from_counter(ctx, counter);
+    }
+
+    fn cascade_from_counter(&mut self, ctx: &mut Context<'_>, counter: CounterId) {
+        let me = self.me.expect("initialized");
+        let mut tables = self.tables.take().expect("initialized");
+        let mut budget = self.cfg.cascade_budget;
+        let mut counters = vec![counter];
+        while let Some(cid) = counters.pop() {
+            if budget == 0 {
+                self.errors.push(FlaggedError {
+                    node: me,
+                    node_name: tables.nodes[me.index()].name.clone(),
+                    condition: None,
+                    message: "evaluation cascade exceeded its budget (cyclic rules?)".into(),
+                    time: ctx.now(),
+                });
+                break;
+            }
+            budget -= 1;
+            let info = &tables.counters[cid.index()];
+            // Forward the authoritative value to remote term evaluators.
+            if info.home == me {
+                for subscriber in &info.subscribers {
+                    let msg = ControlMsg::CounterUpdate {
+                        counter: cid,
+                        value: self.counter_values[cid.index()],
+                    };
+                    let dst = tables.nodes[subscriber.index()].mac;
+                    ctx.charge(SimDuration::from_nanos(self.cfg.cost.per_action_ns));
+                    self.stats.control_sent += 1;
+                    ctx.send(wire::build_frame(ctx.mac(), dst, &msg));
+                }
+            }
+            // Re-evaluate locally hosted terms over this counter.
+            let affected: Vec<TermId> = info.affected_terms.clone();
+            for term in affected {
+                if tables.terms[term.index()].eval_node != me {
+                    continue;
+                }
+                let status = {
+                    let t = &tables.terms[term.index()];
+                    t.op.apply(self.operand_value(t.lhs), self.operand_value(t.rhs))
+                };
+                if status == self.term_status[term.index()] {
+                    continue;
+                }
+                self.term_status[term.index()] = status;
+                // Propagate the term status to interested parties.
+                for cond in tables.terms[term.index()].conditions.clone() {
+                    for eval_node in tables.conditions[cond.index()].eval_nodes.clone() {
+                        if eval_node == me {
+                            if let Some(fired) = self.reevaluate_condition(&tables, cond) {
+                                // Fire edge triggers; counter mutations they
+                                // perform are pushed back into the cascade.
+                                self.tables = Some(tables);
+                                let changed = self.fire_condition(ctx, fired);
+                                tables = self.tables.take().expect("restored");
+                                counters.extend(changed);
+                            }
+                        } else {
+                            let msg = ControlMsg::TermStatus { term, status };
+                            let dst = tables.nodes[eval_node.index()].mac;
+                            ctx.charge(SimDuration::from_nanos(self.cfg.cost.per_action_ns));
+                            self.stats.control_sent += 1;
+                            ctx.send(wire::build_frame(ctx.mac(), dst, &msg));
+                        }
+                    }
+                }
+            }
+        }
+        self.tables = Some(tables);
+    }
+
+    /// Re-evaluates one condition; returns it if it transitioned to true.
+    fn reevaluate_condition(&mut self, tables: &TableSet, cond: CondId) -> Option<CondId> {
+        let status = tables.conditions[cond.index()]
+            .expr
+            .eval(&|t| self.term_status[t.index()]);
+        let previous = self.cond_status[cond.index()];
+        self.cond_status[cond.index()] = status;
+        (status && !previous).then_some(cond)
+    }
+
+    /// Fires the local edge-triggered actions of a condition; returns the
+    /// counters it mutated (to continue the cascade).
+    fn fire_condition(&mut self, ctx: &mut Context<'_>, cond: CondId) -> Vec<CounterId> {
+        let me = self.me.expect("initialized");
+        let tables = self.tables.take().expect("initialized");
+        let mut changed = Vec::new();
+        let triggers: Vec<(NodeId, ActionId)> = tables.conditions[cond.index()].triggers.clone();
+        for (node, action) in triggers {
+            if node != me {
+                continue;
+            }
+            ctx.charge(SimDuration::from_nanos(self.cfg.cost.per_action_ns));
+            let kind = tables.actions[action.index()].kind.clone();
+            match kind {
+                CompiledActionKind::Assign { counter, value }
+                    if self.counter_values[counter.index()] != value =>
+                {
+                    self.counter_values[counter.index()] = value;
+                    changed.push(counter);
+                }
+                CompiledActionKind::Enable { counter } => {
+                    self.counter_enabled[counter.index()] = true;
+                }
+                CompiledActionKind::Disable { counter } => {
+                    self.counter_enabled[counter.index()] = false;
+                }
+                CompiledActionKind::Incr { counter, value } => {
+                    self.counter_values[counter.index()] =
+                        self.counter_values[counter.index()].saturating_add(value);
+                    changed.push(counter);
+                }
+                CompiledActionKind::Decr { counter, value } => {
+                    self.counter_values[counter.index()] =
+                        self.counter_values[counter.index()].saturating_sub(value);
+                    changed.push(counter);
+                }
+                CompiledActionKind::Reset { counter }
+                    if self.counter_values[counter.index()] != 0 =>
+                {
+                    self.counter_values[counter.index()] = 0;
+                    changed.push(counter);
+                }
+                CompiledActionKind::SetCurTime { counter } => {
+                    self.counter_values[counter.index()] = ctx.now().as_nanos() as i64;
+                    changed.push(counter);
+                }
+                CompiledActionKind::ElapsedTime { counter } => {
+                    let stored = self.counter_values[counter.index()];
+                    self.counter_values[counter.index()] =
+                        (ctx.now().as_nanos() as i64).saturating_sub(stored);
+                    changed.push(counter);
+                }
+                CompiledActionKind::Fail { node } => {
+                    debug_assert_eq!(node, me, "compiler places FAIL at the victim");
+                    self.blackholed = true;
+                    ctx.trace_note(format!(
+                        "virtualwire: FAIL — node {} blackholed",
+                        tables.nodes[me.index()].name
+                    ));
+                }
+                CompiledActionKind::Stop => {
+                    let reason = format!(
+                        "STOP fired at {} (condition {})",
+                        tables.nodes[me.index()].name,
+                        cond.index()
+                    );
+                    self.stopped = Some(reason.clone());
+                    // Tell everyone, then halt the run.
+                    let msg = ControlMsg::Stop {
+                        node: me,
+                        reason: reason.clone(),
+                    };
+                    self.stats.control_sent += 1;
+                    ctx.send(wire::build_frame(ctx.mac(), MacAddr::BROADCAST, &msg));
+                    ctx.request_stop(reason);
+                }
+                CompiledActionKind::FlagError { message } => {
+                    let message = message.unwrap_or_else(|| {
+                        format!("FLAG_ERR fired (condition {})", cond.index())
+                    });
+                    let error = FlaggedError {
+                        node: me,
+                        node_name: tables.nodes[me.index()].name.clone(),
+                        condition: Some(cond),
+                        message: message.clone(),
+                        time: ctx.now(),
+                    };
+                    ctx.trace_note(format!("virtualwire: FLAG_ERR: {message}"));
+                    self.errors.push(error);
+                    if let Some(control) = self.control_mac {
+                        if control != ctx.mac() {
+                            let msg = ControlMsg::FlagError {
+                                node: me,
+                                condition: cond,
+                                message,
+                            };
+                            self.stats.control_sent += 1;
+                            ctx.send(wire::build_frame(ctx.mac(), control, &msg));
+                        }
+                    }
+                }
+                // Packet faults are level-gated, never edge-triggered;
+                // no-op ASSIGN/RESET (value already current) land here too.
+                _ => {}
+            }
+        }
+        self.tables = Some(tables);
+        changed
+    }
+
+    // ------------------------------------------------------------------
+    // Control plane
+    // ------------------------------------------------------------------
+
+    fn handle_control(&mut self, ctx: &mut Context<'_>, frame: &Frame) {
+        self.stats.control_received += 1;
+        let msg = match wire::parse_frame(frame) {
+            Ok(msg) => msg,
+            Err(_) => return, // corrupted control frame: RLL should prevent this
+        };
+        match msg {
+            ControlMsg::Init { tables, you_are } => {
+                self.control_mac = Some(frame.src());
+                self.install_tables(ctx, *tables, you_are);
+                self.stats.control_sent += 1;
+                let ack = ControlMsg::InitAck { node: you_are };
+                ctx.send(wire::build_frame(ctx.mac(), frame.src(), &ack));
+            }
+            ControlMsg::InitAck { node } => {
+                if self.is_control && !self.acked.contains(&node) {
+                    self.acked.push(node);
+                }
+            }
+            ControlMsg::CounterUpdate { counter, value } => {
+                if self.initialized() && counter.index() < self.counter_values.len() {
+                    self.set_counter(ctx, counter, value);
+                }
+            }
+            ControlMsg::TermStatus { term, status } => {
+                if !self.initialized() || term.index() >= self.term_status.len() {
+                    return;
+                }
+                if self.term_status[term.index()] == status {
+                    return;
+                }
+                self.term_status[term.index()] = status;
+                let me = self.me.expect("initialized");
+                let tables = self.tables.take().expect("initialized");
+                let conds = tables.terms[term.index()].conditions.clone();
+                let mut fired = Vec::new();
+                for cond in conds {
+                    if tables.conditions[cond.index()].eval_nodes.contains(&me) {
+                        if let Some(f) = self.reevaluate_condition(&tables, cond) {
+                            fired.push(f);
+                        }
+                    }
+                }
+                self.tables = Some(tables);
+                for cond in fired {
+                    let changed = self.fire_condition(ctx, cond);
+                    for counter in changed {
+                        self.cascade_from_counter(ctx, counter);
+                    }
+                }
+            }
+            ControlMsg::FlagError {
+                node,
+                condition,
+                message,
+            } => {
+                let node_name = self
+                    .tables
+                    .as_ref()
+                    .and_then(|t| t.nodes.get(node.index()))
+                    .map(|n| n.name.clone())
+                    .unwrap_or_else(|| format!("node#{}", node.index()));
+                self.errors.push(FlaggedError {
+                    node,
+                    node_name,
+                    condition: Some(condition),
+                    message,
+                    time: ctx.now(),
+                });
+            }
+            ControlMsg::Stop { reason, .. } => {
+                if self.stopped.is_none() {
+                    self.stopped = Some(reason.clone());
+                }
+                ctx.request_stop(reason);
+            }
+        }
+    }
+
+    /// Distributes the tables from the control node (called from
+    /// `on_start` when this engine holds them).
+    fn distribute_tables(&mut self, ctx: &mut Context<'_>) {
+        let me = self.me.expect("control engine has identity");
+        let tables = self.tables.clone().expect("control engine has tables");
+        self.control_mac = Some(ctx.mac());
+        for (i, node) in tables.nodes.iter().enumerate() {
+            let node_id = NodeId(i as u16);
+            if node_id == me {
+                continue;
+            }
+            let msg = ControlMsg::Init {
+                tables: Box::new(tables.clone()),
+                you_are: node_id,
+            };
+            self.stats.control_sent += 1;
+            ctx.send(wire::build_frame(ctx.mac(), node.mac, &msg));
+        }
+        // Initialize ourselves directly.
+        self.install_tables(ctx, tables, me);
+    }
+
+    // ------------------------------------------------------------------
+    // Packet path
+    // ------------------------------------------------------------------
+
+    fn process_packet(&mut self, ctx: &mut Context<'_>, mut frame: Frame, dir: Dir) -> Verdict {
+        let Some(me) = self.me else {
+            return Verdict::Accept(frame);
+        };
+        let tables = self.tables.as_ref().expect("initialized with me");
+        self.stats.classified += 1;
+        let classification = match classify(tables, &self.vars, &frame) {
+            Ok(c) => {
+                ctx.charge(SimDuration::from_nanos(
+                    self.cfg.cost.per_filter_ns * u64::from(c.rules_scanned),
+                ));
+                c
+            }
+            Err(scanned) => {
+                ctx.charge(SimDuration::from_nanos(
+                    self.cfg.cost.per_filter_ns * u64::from(scanned),
+                ));
+                return Verdict::Accept(frame);
+            }
+        };
+        self.stats.matched += 1;
+        self.last_match = ctx.now();
+
+        // ---- counter updates (Figure 4(b): update_counter) ----------
+        let to_bump: Vec<CounterId> = tables
+            .counters
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| {
+                self.counter_enabled[*i]
+                    && c.home == me
+                    && match c.kind {
+                        CompiledCounterKind::Packet {
+                            filter,
+                            from,
+                            to,
+                            dir: cdir,
+                        } => {
+                            filter == classification.filter
+                                && cdir == dir
+                                && classification.from == Some(from)
+                                && classification.to == Some(to)
+                        }
+                        CompiledCounterKind::Local => false,
+                    }
+            })
+            .map(|(i, _)| CounterId(i as u16))
+            .collect();
+        for counter in to_bump {
+            self.stats.counter_increments += 1;
+            ctx.charge(SimDuration::from_nanos(self.cfg.cost.per_action_ns));
+            let value = self.counter_values[counter.index()] + 1;
+            self.set_counter(ctx, counter, value);
+        }
+
+        // A FAIL may have fired during the cascade triggered by this very
+        // packet; it still consumes the packet.
+        if self.blackholed {
+            self.stats.blackholed += 1;
+            return Verdict::Consume;
+        }
+
+        // ---- gated faults --------------------------------------------
+        self.apply_gates(ctx, &mut frame, dir, &classification)
+    }
+
+    fn apply_gates(
+        &mut self,
+        ctx: &mut Context<'_>,
+        frame: &mut Frame,
+        dir: Dir,
+        classification: &Classification,
+    ) -> Verdict {
+        let me = self.me.expect("initialized");
+        let tables = self.tables.take().expect("initialized");
+        let mut duplicate = false;
+        for (ci, cond) in tables.conditions.iter().enumerate() {
+            if !self.cond_status[ci] {
+                continue;
+            }
+            for (node, action) in &cond.gates {
+                if *node != me {
+                    continue;
+                }
+                let kind = &tables.actions[action.index()].kind;
+                let (filter, from, to, fdir) = match kind {
+                    CompiledActionKind::Drop {
+                        filter,
+                        from,
+                        to,
+                        dir,
+                    }
+                    | CompiledActionKind::Dup {
+                        filter,
+                        from,
+                        to,
+                        dir,
+                    } => (*filter, *from, *to, *dir),
+                    CompiledActionKind::Delay {
+                        filter,
+                        from,
+                        to,
+                        dir,
+                        ..
+                    } => (*filter, *from, *to, *dir),
+                    CompiledActionKind::Reorder {
+                        filter,
+                        from,
+                        to,
+                        dir,
+                        ..
+                    } => (*filter, *from, *to, *dir),
+                    CompiledActionKind::Modify {
+                        filter,
+                        from,
+                        to,
+                        dir,
+                        ..
+                    } => (*filter, *from, *to, *dir),
+                    _ => continue,
+                };
+                let matches = filter == classification.filter
+                    && fdir == dir
+                    && classification.from == Some(from)
+                    && classification.to == Some(to);
+                if !matches {
+                    continue;
+                }
+                ctx.charge(SimDuration::from_nanos(self.cfg.cost.per_action_ns));
+                match kind.clone() {
+                    CompiledActionKind::Drop { .. } => {
+                        self.stats.drops += 1;
+                        ctx.trace_frame(TraceKind::HookConsume, frame, "virtualwire DROP");
+                        self.tables = Some(tables);
+                        return Verdict::Consume;
+                    }
+                    CompiledActionKind::Dup { .. } => {
+                        self.stats.dups += 1;
+                        duplicate = true;
+                    }
+                    CompiledActionKind::Modify { pattern, .. } => {
+                        self.stats.modifies += 1;
+                        match pattern {
+                            vw_fsl::ModifyPattern::Random => {
+                                // Random perturbation of payload bytes,
+                                // as Section 5.2 describes.
+                                use rand::Rng;
+                                let len = frame.len();
+                                if len > 14 {
+                                    let flips = ctx.rng().random_range(1..=3u32);
+                                    for _ in 0..flips {
+                                        let byte = ctx.rng().random_range(14..len);
+                                        let bit = ctx.rng().random_range(0..8u8);
+                                        frame.flip_bit(byte, bit);
+                                    }
+                                }
+                            }
+                            vw_fsl::ModifyPattern::Set { offset, len, value } => {
+                                let bytes = value.to_be_bytes();
+                                let n = (len as usize).min(8);
+                                frame.set_bytes(offset as usize, &bytes[8 - n..]);
+                            }
+                        }
+                    }
+                    CompiledActionKind::Delay { duration_ns, .. } => {
+                        self.stats.delays += 1;
+                        // The paper's delay granularity is one jiffy.
+                        let delay =
+                            SimDuration::from_nanos(duration_ns).quantize_to_jiffies();
+                        self.next_delay_token += 1;
+                        let token = TIMER_DELAY_BASE + self.next_delay_token;
+                        self.held.insert(token, (frame.clone(), dir));
+                        ctx.set_timer(delay, token);
+                        self.tables = Some(tables);
+                        return Verdict::Replace(Vec::new());
+                    }
+                    CompiledActionKind::Reorder { count, order, .. } => {
+                        self.stats.reorders += 1;
+                        let buffer = self.reorder_bufs.entry(*action).or_default();
+                        buffer.push((frame.clone(), dir));
+                        if buffer.len() >= count as usize {
+                            let batch = std::mem::take(buffer);
+                            let released: Vec<Frame> = order
+                                .iter()
+                                .filter_map(|&i| batch.get(i as usize))
+                                .map(|(f, _)| f.clone())
+                                .collect();
+                            self.tables = Some(tables);
+                            return Verdict::Replace(released);
+                        }
+                        self.tables = Some(tables);
+                        return Verdict::Replace(Vec::new());
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.tables = Some(tables);
+        if duplicate {
+            Verdict::Replace(vec![frame.clone(), frame.clone()])
+        } else {
+            Verdict::Accept(frame.clone())
+        }
+    }
+}
+
+impl Hook for Engine {
+    fn name(&self) -> &str {
+        "virtualwire"
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        if self.is_control && !self.distributed {
+            self.distributed = true;
+            self.distribute_tables(ctx);
+        }
+    }
+
+    fn on_outbound(&mut self, ctx: &mut Context<'_>, frame: Frame) -> Verdict {
+        if frame.ethertype() == EtherType::VW_CONTROL {
+            // Our own control traffic (sent via ctx.send it bypasses this
+            // hook; this is a stack-originated oddity) passes through.
+            return Verdict::Accept(frame);
+        }
+        if self.blackholed {
+            self.stats.blackholed += 1;
+            return Verdict::Consume;
+        }
+        if !self.initialized() {
+            return Verdict::Accept(frame);
+        }
+        self.process_packet(ctx, frame, Dir::Send)
+    }
+
+    fn on_inbound(&mut self, ctx: &mut Context<'_>, frame: Frame) -> Verdict {
+        if frame.ethertype() == EtherType::VW_CONTROL {
+            self.handle_control(ctx, &frame);
+            return Verdict::Consume;
+        }
+        if self.blackholed {
+            self.stats.blackholed += 1;
+            return Verdict::Consume;
+        }
+        if !self.initialized() {
+            return Verdict::Accept(frame);
+        }
+        self.process_packet(ctx, frame, Dir::Recv)
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+        if let Some((frame, dir)) = self.held.remove(&token) {
+            // Release a delayed packet without re-classifying it
+            // (Figure 4(b): "[released packet]").
+            match dir {
+                Dir::Send => ctx.send(frame),
+                Dir::Recv => ctx.deliver_up(frame),
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Scenario outcome reporting.
+
+use std::fmt;
+
+use vw_fsl::{CondId, NodeId};
+use vw_netsim::{SimDuration, SimTime};
+
+/// One protocol violation flagged by a `FLAG_ERR` action (or by the engine
+/// itself, e.g. on a runaway rule cascade).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlaggedError {
+    /// The node whose FAE flagged the error.
+    pub node: NodeId,
+    /// Its script name (`node1`, ...).
+    pub node_name: String,
+    /// The condition that fired, if any.
+    pub condition: Option<CondId>,
+    /// A human-readable description.
+    pub message: String,
+    /// When it fired.
+    pub time: SimTime,
+}
+
+impl fmt::Display for FlaggedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.time, self.node_name, self.message)
+    }
+}
+
+/// Why a scenario run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StopReason {
+    /// A `STOP` action fired — the scripted success path.
+    StopAction(String),
+    /// No monitored packet matched for the scenario's inactivity timeout —
+    /// in the paper's Rether example this is the failure path ("an error
+    /// is flagged if the scenario is terminated due to inactivity").
+    InactivityTimeout,
+    /// The runner's wall-clock cap was reached before anything else ended
+    /// the run.
+    DeadlineReached,
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopReason::StopAction(reason) => write!(f, "stopped: {reason}"),
+            StopReason::InactivityTimeout => f.write_str("inactivity timeout"),
+            StopReason::DeadlineReached => f.write_str("deadline reached"),
+        }
+    }
+}
+
+/// The outcome of one scenario run, assembled by the
+/// [`Runner`](crate::Runner).
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Scenario name.
+    pub scenario: String,
+    /// Why the run ended.
+    pub stop: StopReason,
+    /// Every flagged error, across all nodes, in time order.
+    pub errors: Vec<FlaggedError>,
+    /// Final counter values per node: `(node_name, counter_name, value)`,
+    /// authoritative values only (each counter read at its home node).
+    pub counters: Vec<(String, String, i64)>,
+    /// How long the run took in simulated time.
+    pub duration: SimDuration,
+}
+
+impl Report {
+    /// `true` if the scenario completed without flagged errors and without
+    /// an inactivity timeout.
+    pub fn passed(&self) -> bool {
+        self.errors.is_empty() && !matches!(self.stop, StopReason::InactivityTimeout)
+    }
+
+    /// The final value of a counter by name, if recorded.
+    pub fn counter(&self, name: &str) -> Option<i64> {
+        self.counters
+            .iter()
+            .find(|(_, counter, _)| counter == name)
+            .map(|(_, _, value)| *value)
+    }
+
+    /// Renders a human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "scenario {}: {} after {}\n",
+            self.scenario, self.stop, self.duration
+        ));
+        out.push_str(&format!(
+            "verdict: {}\n",
+            if self.passed() { "PASS" } else { "FAIL" }
+        ));
+        for error in &self.errors {
+            out.push_str(&format!("error: {error}\n"));
+        }
+        for (node, counter, value) in &self.counters {
+            out.push_str(&format!("counter {counter} @ {node} = {value}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(errors: Vec<FlaggedError>, stop: StopReason) -> Report {
+        Report {
+            scenario: "t".into(),
+            stop,
+            errors,
+            counters: vec![("node1".into(), "CWND".into(), 5)],
+            duration: SimDuration::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn pass_fail_logic() {
+        assert!(report(vec![], StopReason::StopAction("done".into())).passed());
+        assert!(report(vec![], StopReason::DeadlineReached).passed());
+        assert!(!report(vec![], StopReason::InactivityTimeout).passed());
+        let err = FlaggedError {
+            node: NodeId(0),
+            node_name: "node1".into(),
+            condition: None,
+            message: "boom".into(),
+            time: SimTime::ZERO,
+        };
+        assert!(!report(vec![err], StopReason::StopAction("done".into())).passed());
+    }
+
+    #[test]
+    fn counter_lookup_and_render() {
+        let r = report(vec![], StopReason::StopAction("ok".into()));
+        assert_eq!(r.counter("CWND"), Some(5));
+        assert_eq!(r.counter("missing"), None);
+        let text = r.render();
+        assert!(text.contains("PASS"));
+        assert!(text.contains("CWND @ node1 = 5"));
+    }
+
+    #[test]
+    fn error_display() {
+        let err = FlaggedError {
+            node: NodeId(1),
+            node_name: "node2".into(),
+            condition: Some(CondId(3)),
+            message: "CanTx went negative".into(),
+            time: SimTime::from_nanos(1_000_000),
+        };
+        let text = err.to_string();
+        assert!(text.contains("node2"));
+        assert!(text.contains("CanTx went negative"));
+    }
+}

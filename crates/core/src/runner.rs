@@ -1,0 +1,235 @@
+//! The scenario runner — the programming front-end of Figure 1.
+//!
+//! The runner plays the role of the control node's user-level tool: it
+//! compiles a script, installs a Fault Injection/Analysis Engine on every
+//! participating host, lets the control node distribute the six tables
+//! over the control plane, drives the run (enforcing the scenario's
+//! inactivity timeout), and assembles the final [`Report`].
+
+use vw_fsl::{NodeId, TableSet};
+use vw_netsim::{DeviceId, HookId, SimDuration, SimTime, World};
+use vw_rll::{RllConfig, RllHook};
+
+use crate::engine::{Engine, EngineConfig};
+use crate::report::{Report, StopReason};
+
+/// Orchestrates one scenario over a [`World`].
+#[derive(Debug)]
+pub struct Runner {
+    tables: TableSet,
+    /// Per script-node: the simulator device and the engine hook id.
+    engines: Vec<(DeviceId, HookId)>,
+    timeout: Option<SimDuration>,
+}
+
+impl Runner {
+    /// Creates the testbed hosts named in the script's node table (with
+    /// the script's MAC and IP addresses) and returns their device ids in
+    /// node-table order. Convenience for examples and tests that build
+    /// the topology from the script itself.
+    pub fn create_hosts(world: &mut World, tables: &TableSet) -> Vec<DeviceId> {
+        tables
+            .nodes
+            .iter()
+            .map(|n| world.add_host_with(&n.name, n.mac, n.ip))
+            .collect()
+    }
+
+    /// Installs an engine on every host named in the script's node table.
+    /// Hosts are looked up by name and must carry the script's MAC
+    /// addresses (classification matches on MACs). The first node acts as
+    /// the control node and distributes the tables over the control plane
+    /// when the world starts running.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scripted node has no same-named host in the world, or
+    /// if its MAC differs from the node table.
+    pub fn install(world: &mut World, tables: TableSet, cfg: EngineConfig) -> Runner {
+        Self::install_inner(world, tables, cfg, None)
+    }
+
+    /// Like [`install`](Runner::install), but also layers a Reliable Link
+    /// Layer under each engine, completing the paper's full stack
+    /// (stack / FIE / RLL / wire).
+    pub fn install_with_rll(
+        world: &mut World,
+        tables: TableSet,
+        cfg: EngineConfig,
+        rll: RllConfig,
+    ) -> Runner {
+        Self::install_inner(world, tables, cfg, Some(rll))
+    }
+
+    fn install_inner(
+        world: &mut World,
+        tables: TableSet,
+        cfg: EngineConfig,
+        rll: Option<RllConfig>,
+    ) -> Runner {
+        let timeout = tables.timeout_ns.map(SimDuration::from_nanos);
+        let mut engines = Vec::new();
+        for (i, node) in tables.nodes.iter().enumerate() {
+            let device = world
+                .device_by_name(&node.name)
+                .unwrap_or_else(|| panic!("no host named `{}` in the world", node.name));
+            assert_eq!(
+                world.host_mac(device),
+                node.mac,
+                "host `{}` must carry the script's MAC address",
+                node.name
+            );
+            let engine = if i == 0 {
+                Engine::control(cfg, tables.clone(), NodeId(0))
+            } else {
+                Engine::new(cfg)
+            };
+            let hook = world.add_hook(device, Box::new(engine));
+            engines.push((device, hook));
+        }
+        if let Some(rll_cfg) = rll {
+            for (device, _) in &engines {
+                world.add_hook(*device, Box::new(RllHook::new(rll_cfg)));
+            }
+        }
+        Runner {
+            tables,
+            engines,
+            timeout,
+        }
+    }
+
+    /// The compiled tables this runner distributes.
+    pub fn tables(&self) -> &TableSet {
+        &self.tables
+    }
+
+    /// Shared access to the engine installed for a script node name.
+    pub fn engine<'w>(&self, world: &'w World, node: &str) -> Option<&'w Engine> {
+        let idx = self.tables.nodes.iter().position(|n| n.name == node)?;
+        let (device, hook) = self.engines[idx];
+        world.hook::<Engine>(device, hook)
+    }
+
+    /// Mutable access to the engine installed for a script node name.
+    pub fn engine_mut<'w>(&self, world: &'w mut World, node: &str) -> Option<&'w mut Engine> {
+        let idx = self.tables.nodes.iter().position(|n| n.name == node)?;
+        let (device, hook) = self.engines[idx];
+        world.hook_mut::<Engine>(device, hook)
+    }
+
+    /// Binds a `VAR` pattern on every engine.
+    pub fn bind_var(&self, world: &mut World, name: &str, value: u64) {
+        for (device, hook) in &self.engines {
+            if let Some(engine) = world.hook_mut::<Engine>(*device, *hook) {
+                engine.bind_var(name, value);
+            }
+        }
+    }
+
+    /// Runs the world until every engine has been initialized over the
+    /// control plane (the control node has received an `InitAck` from each
+    /// peer), up to 100 ms of simulated time. Call this after
+    /// [`install`](Runner::install) and **before** starting the workload,
+    /// so that no monitored packet races ahead of the table distribution.
+    /// Returns `true` when initialization completed.
+    pub fn settle(&self, world: &mut World) -> bool {
+        let expected = self.tables.nodes.len().saturating_sub(1);
+        let deadline = world.now().saturating_add(SimDuration::from_millis(100));
+        loop {
+            let (device, hook) = self.engines[0];
+            let acks = world
+                .hook::<Engine>(device, hook)
+                .map_or(0, |e| e.init_acks().len());
+            if acks >= expected {
+                return true;
+            }
+            if world.now() >= deadline {
+                return false;
+            }
+            world.run_for(SimDuration::from_micros(100));
+        }
+    }
+
+    /// Runs the scenario until a `STOP` action fires, the scenario's
+    /// inactivity timeout expires (no monitored packet matched anywhere
+    /// for that long), or `deadline` of simulated time passes.
+    pub fn run(&self, world: &mut World, deadline: SimDuration) -> Report {
+        let started = world.now();
+        let hard_deadline = started.saturating_add(deadline);
+        let slice = match self.timeout {
+            Some(t) => (t / 4).max(SimDuration::from_micros(100)),
+            None => SimDuration::from_millis(1),
+        };
+        let stop = loop {
+            world.run_for(slice);
+            if let Some(reason) = world.stop_reason() {
+                break StopReason::StopAction(reason.to_string());
+            }
+            if let Some(timeout) = self.timeout {
+                let last = self.last_match(world).max(started);
+                if world.now().saturating_since(last) >= timeout {
+                    break StopReason::InactivityTimeout;
+                }
+            }
+            if world.now() >= hard_deadline {
+                break StopReason::DeadlineReached;
+            }
+        };
+        self.report(world, stop, world.now().saturating_since(started))
+    }
+
+    /// The most recent packet-definition match across all engines.
+    fn last_match(&self, world: &World) -> SimTime {
+        self.engines
+            .iter()
+            .filter_map(|(device, hook)| world.hook::<Engine>(*device, *hook))
+            .map(|engine| engine.last_match())
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Assembles the report: all flagged errors (deduplicated — the
+    /// control node also holds remotely reported copies) and authoritative
+    /// counter values read at each counter's home node.
+    fn report(&self, world: &World, stop: StopReason, duration: SimDuration) -> Report {
+        let mut errors = Vec::new();
+        for (i, (device, hook)) in self.engines.iter().enumerate() {
+            let Some(engine) = world.hook::<Engine>(*device, *hook) else {
+                continue;
+            };
+            for error in engine.errors() {
+                // Keep each error once, attributed by its origin node: the
+                // copy held by the origin itself (skip control-node copies
+                // of remote errors).
+                if error.node == NodeId(i as u16) {
+                    errors.push(error.clone());
+                }
+            }
+        }
+        errors.sort_by_key(|e| e.time);
+
+        let mut counters = Vec::new();
+        for (ci, counter) in self.tables.counters.iter().enumerate() {
+            let home = counter.home.index();
+            let (device, hook) = self.engines[home];
+            if let Some(engine) = world.hook::<Engine>(device, hook) {
+                if let Some(value) = engine.counter_value(&self.tables.counters[ci].name) {
+                    counters.push((
+                        self.tables.nodes[home].name.clone(),
+                        counter.name.clone(),
+                        value,
+                    ));
+                }
+            }
+        }
+
+        Report {
+            scenario: self.tables.scenario.clone(),
+            stop,
+            errors,
+            counters,
+            duration,
+        }
+    }
+}

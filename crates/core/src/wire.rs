@@ -1,0 +1,1010 @@
+//! VirtualWire's control-plane wire protocol.
+//!
+//! "The control plane messages are implemented as payloads of raw Ethernet
+//! frames" (Section 5.2). This module defines those payloads:
+//!
+//! * `INIT` — the full six-table set, shipped from the control node to
+//!   every participating FIE/FAE ("all FIEs and FAEs are sent the entire
+//!   set of tables", Section 5.1), acknowledged with `INIT_ACK`;
+//! * `COUNTER_UPDATE` — a counter's new value, sent from its home node to
+//!   subscribers that evaluate terms over it;
+//! * `TERM_STATUS` — a term's truth value, sent from its evaluating node
+//!   to remote condition evaluators ("a term status is conveyed only in
+//!   case of a change in its status");
+//! * `FLAG_ERROR` — a protocol violation, reported to the control node;
+//! * `STOP` — scenario termination, broadcast by whichever node executed
+//!   the `STOP` action.
+//!
+//! Everything is encoded with a small hand-rolled big-endian codec so the
+//! tables genuinely travel through the simulated network during
+//! initialization.
+
+use std::net::Ipv4Addr;
+
+use vw_fsl::{
+    ActionId, CompiledAction, CompiledActionKind, CompiledCondition, CompiledCounter,
+    CompiledCounterKind, CompiledFilter, CompiledNode, CompiledOperand, CompiledTerm, CondId,
+    CondNode, CounterId, Dir, FilterId, FilterTuple, ModifyPattern, NodeId, PatternValue, RelOp,
+    TableSet, TermId,
+};
+use vw_packet::{EtherType, EthernetBuilder, Frame, MacAddr, ParseError};
+
+/// A control-plane message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlMsg {
+    /// Table distribution from the control node.
+    Init {
+        /// The compiled scenario.
+        tables: Box<TableSet>,
+        /// Which node id the receiver plays in the scenario.
+        you_are: NodeId,
+    },
+    /// Initialization acknowledged.
+    InitAck {
+        /// The acknowledging node.
+        node: NodeId,
+    },
+    /// A counter's authoritative value changed.
+    CounterUpdate {
+        /// The counter.
+        counter: CounterId,
+        /// Its new value.
+        value: i64,
+    },
+    /// A term's truth value changed.
+    TermStatus {
+        /// The term.
+        term: TermId,
+        /// Its new status.
+        status: bool,
+    },
+    /// A `FLAG_ERR` fired.
+    FlagError {
+        /// The flagging node.
+        node: NodeId,
+        /// Condition that fired it.
+        condition: CondId,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A `STOP` fired.
+    Stop {
+        /// The stopping node.
+        node: NodeId,
+        /// Why.
+        reason: String,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Codec plumbing
+// ---------------------------------------------------------------------
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn new() -> Self {
+        Writer(Vec::new())
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.0.push(v as u8);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn i64(&mut self, v: i64) {
+        self.0.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn string(&mut self, s: &str) {
+        self.u16(s.len() as u16);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+
+    fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(v) => {
+                self.bool(true);
+                self.u64(v);
+            }
+            None => self.bool(false),
+        }
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ParseError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| ParseError::new("control message truncated"))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, ParseError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> Result<bool, ParseError> {
+        Ok(self.u8()? != 0)
+    }
+
+    fn u16(&mut self) -> Result<u16, ParseError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, ParseError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ParseError> {
+        let b = self.take(8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(b);
+        Ok(u64::from_be_bytes(arr))
+    }
+
+    fn i64(&mut self) -> Result<i64, ParseError> {
+        Ok(self.u64()? as i64)
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ParseError::new("control message carries invalid UTF-8"))
+    }
+
+    fn opt_u64(&mut self) -> Result<Option<u64>, ParseError> {
+        Ok(if self.bool()? { Some(self.u64()?) } else { None })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Message encoding
+// ---------------------------------------------------------------------
+
+const TAG_INIT: u8 = 1;
+const TAG_INIT_ACK: u8 = 2;
+const TAG_COUNTER_UPDATE: u8 = 3;
+const TAG_TERM_STATUS: u8 = 4;
+const TAG_FLAG_ERROR: u8 = 5;
+const TAG_STOP: u8 = 6;
+
+/// Encodes a control message as a raw payload.
+pub fn encode(msg: &ControlMsg) -> Vec<u8> {
+    let mut w = Writer::new();
+    match msg {
+        ControlMsg::Init { tables, you_are } => {
+            w.u8(TAG_INIT);
+            w.u16(you_are.0);
+            encode_tables(&mut w, tables);
+        }
+        ControlMsg::InitAck { node } => {
+            w.u8(TAG_INIT_ACK);
+            w.u16(node.0);
+        }
+        ControlMsg::CounterUpdate { counter, value } => {
+            w.u8(TAG_COUNTER_UPDATE);
+            w.u16(counter.0);
+            w.i64(*value);
+        }
+        ControlMsg::TermStatus { term, status } => {
+            w.u8(TAG_TERM_STATUS);
+            w.u16(term.0);
+            w.bool(*status);
+        }
+        ControlMsg::FlagError {
+            node,
+            condition,
+            message,
+        } => {
+            w.u8(TAG_FLAG_ERROR);
+            w.u16(node.0);
+            w.u16(condition.0);
+            w.string(message);
+        }
+        ControlMsg::Stop { node, reason } => {
+            w.u8(TAG_STOP);
+            w.u16(node.0);
+            w.string(reason);
+        }
+    }
+    w.0
+}
+
+/// Decodes a control payload.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on truncation or unknown tags.
+pub fn decode(bytes: &[u8]) -> Result<ControlMsg, ParseError> {
+    let mut r = Reader::new(bytes);
+    let msg = match r.u8()? {
+        TAG_INIT => {
+            let you_are = NodeId(r.u16()?);
+            let tables = decode_tables(&mut r)?;
+            ControlMsg::Init {
+                tables: Box::new(tables),
+                you_are,
+            }
+        }
+        TAG_INIT_ACK => ControlMsg::InitAck {
+            node: NodeId(r.u16()?),
+        },
+        TAG_COUNTER_UPDATE => ControlMsg::CounterUpdate {
+            counter: CounterId(r.u16()?),
+            value: r.i64()?,
+        },
+        TAG_TERM_STATUS => ControlMsg::TermStatus {
+            term: TermId(r.u16()?),
+            status: r.bool()?,
+        },
+        TAG_FLAG_ERROR => ControlMsg::FlagError {
+            node: NodeId(r.u16()?),
+            condition: CondId(r.u16()?),
+            message: r.string()?,
+        },
+        TAG_STOP => ControlMsg::Stop {
+            node: NodeId(r.u16()?),
+            reason: r.string()?,
+        },
+        tag => {
+            return Err(ParseError::new(format!(
+                "unknown control message tag {tag}"
+            )));
+        }
+    };
+    Ok(msg)
+}
+
+/// Wraps a control message in an Ethernet frame with the VirtualWire
+/// control EtherType.
+pub fn build_frame(src: MacAddr, dst: MacAddr, msg: &ControlMsg) -> Frame {
+    EthernetBuilder::new()
+        .src(src)
+        .dst(dst)
+        .ethertype(EtherType::VW_CONTROL)
+        .payload_owned(encode(msg))
+        .build()
+}
+
+/// Parses a control frame.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] if the frame's EtherType is not
+/// [`EtherType::VW_CONTROL`] or the payload is malformed.
+pub fn parse_frame(frame: &Frame) -> Result<ControlMsg, ParseError> {
+    if frame.ethertype() != EtherType::VW_CONTROL {
+        return Err(ParseError::new("not a VirtualWire control frame"));
+    }
+    decode(frame.payload())
+}
+
+// ---------------------------------------------------------------------
+// TableSet codec
+// ---------------------------------------------------------------------
+
+fn encode_tables(w: &mut Writer, t: &TableSet) {
+    w.string(&t.scenario);
+    w.opt_u64(t.timeout_ns);
+    w.u16(t.vars.len() as u16);
+    for var in &t.vars {
+        w.string(var);
+    }
+    w.u16(t.filters.len() as u16);
+    for f in &t.filters {
+        w.string(&f.name);
+        w.u16(f.tuples.len() as u16);
+        for tuple in &f.tuples {
+            w.u32(tuple.offset);
+            w.u32(tuple.len);
+            w.opt_u64(tuple.mask);
+            match &tuple.pattern {
+                PatternValue::Literal(v) => {
+                    w.u8(0);
+                    w.u64(*v);
+                }
+                PatternValue::Var(name) => {
+                    w.u8(1);
+                    w.string(name);
+                }
+            }
+        }
+    }
+    w.u16(t.nodes.len() as u16);
+    for n in &t.nodes {
+        w.string(&n.name);
+        w.0.extend_from_slice(&n.mac.octets());
+        w.0.extend_from_slice(&n.ip.octets());
+    }
+    w.u16(t.counters.len() as u16);
+    for c in &t.counters {
+        w.string(&c.name);
+        match c.kind {
+            CompiledCounterKind::Packet {
+                filter,
+                from,
+                to,
+                dir,
+            } => {
+                w.u8(0);
+                w.u16(filter.0);
+                w.u16(from.0);
+                w.u16(to.0);
+                encode_dir(w, dir);
+            }
+            CompiledCounterKind::Local => w.u8(1),
+        }
+        w.u16(c.home.0);
+        w.u16(c.affected_terms.len() as u16);
+        for term in &c.affected_terms {
+            w.u16(term.0);
+        }
+        w.u16(c.subscribers.len() as u16);
+        for node in &c.subscribers {
+            w.u16(node.0);
+        }
+    }
+    w.u16(t.terms.len() as u16);
+    for term in &t.terms {
+        encode_operand(w, term.lhs);
+        encode_relop(w, term.op);
+        encode_operand(w, term.rhs);
+        w.u16(term.eval_node.0);
+        w.u16(term.conditions.len() as u16);
+        for cond in &term.conditions {
+            w.u16(cond.0);
+        }
+    }
+    w.u16(t.conditions.len() as u16);
+    for cond in &t.conditions {
+        encode_cond_node(w, &cond.expr);
+        w.u16(cond.eval_nodes.len() as u16);
+        for node in &cond.eval_nodes {
+            w.u16(node.0);
+        }
+        w.u16(cond.triggers.len() as u16);
+        for (node, action) in &cond.triggers {
+            w.u16(node.0);
+            w.u16(action.0);
+        }
+        w.u16(cond.gates.len() as u16);
+        for (node, action) in &cond.gates {
+            w.u16(node.0);
+            w.u16(action.0);
+        }
+    }
+    w.u16(t.actions.len() as u16);
+    for action in &t.actions {
+        w.u16(action.node.0);
+        encode_action_kind(w, &action.kind);
+    }
+}
+
+fn decode_tables(r: &mut Reader<'_>) -> Result<TableSet, ParseError> {
+    let scenario = r.string()?;
+    let timeout_ns = r.opt_u64()?;
+    let vars = (0..r.u16()?)
+        .map(|_| r.string())
+        .collect::<Result<Vec<_>, _>>()?;
+    let nfilters = r.u16()?;
+    let mut filters = Vec::with_capacity(nfilters as usize);
+    for _ in 0..nfilters {
+        let name = r.string()?;
+        let ntuples = r.u16()?;
+        let mut tuples = Vec::with_capacity(ntuples as usize);
+        for _ in 0..ntuples {
+            let offset = r.u32()?;
+            let len = r.u32()?;
+            let mask = r.opt_u64()?;
+            let pattern = match r.u8()? {
+                0 => PatternValue::Literal(r.u64()?),
+                1 => PatternValue::Var(r.string()?),
+                _ => return Err(ParseError::new("bad pattern tag")),
+            };
+            tuples.push(FilterTuple {
+                offset,
+                len,
+                mask,
+                pattern,
+            });
+        }
+        filters.push(CompiledFilter { name, tuples });
+    }
+    let nnodes = r.u16()?;
+    let mut nodes = Vec::with_capacity(nnodes as usize);
+    for _ in 0..nnodes {
+        let name = r.string()?;
+        let mut mac = [0u8; 6];
+        mac.copy_from_slice(r.take(6)?);
+        let ip = r.take(4)?;
+        nodes.push(CompiledNode {
+            name,
+            mac: MacAddr::new(mac),
+            ip: Ipv4Addr::new(ip[0], ip[1], ip[2], ip[3]),
+        });
+    }
+    let ncounters = r.u16()?;
+    let mut counters = Vec::with_capacity(ncounters as usize);
+    for _ in 0..ncounters {
+        let name = r.string()?;
+        let kind = match r.u8()? {
+            0 => CompiledCounterKind::Packet {
+                filter: FilterId(r.u16()?),
+                from: NodeId(r.u16()?),
+                to: NodeId(r.u16()?),
+                dir: decode_dir(r)?,
+            },
+            1 => CompiledCounterKind::Local,
+            _ => return Err(ParseError::new("bad counter kind tag")),
+        };
+        let home = NodeId(r.u16()?);
+        let affected_terms = (0..r.u16()?)
+            .map(|_| r.u16().map(TermId))
+            .collect::<Result<Vec<_>, _>>()?;
+        let subscribers = (0..r.u16()?)
+            .map(|_| r.u16().map(NodeId))
+            .collect::<Result<Vec<_>, _>>()?;
+        counters.push(CompiledCounter {
+            name,
+            kind,
+            home,
+            affected_terms,
+            subscribers,
+        });
+    }
+    let nterms = r.u16()?;
+    let mut terms = Vec::with_capacity(nterms as usize);
+    for _ in 0..nterms {
+        let lhs = decode_operand(r)?;
+        let op = decode_relop(r)?;
+        let rhs = decode_operand(r)?;
+        let eval_node = NodeId(r.u16()?);
+        let conditions = (0..r.u16()?)
+            .map(|_| r.u16().map(CondId))
+            .collect::<Result<Vec<_>, _>>()?;
+        terms.push(CompiledTerm {
+            lhs,
+            op,
+            rhs,
+            eval_node,
+            conditions,
+        });
+    }
+    let nconds = r.u16()?;
+    let mut conditions = Vec::with_capacity(nconds as usize);
+    for _ in 0..nconds {
+        let expr = decode_cond_node(r)?;
+        let eval_nodes = (0..r.u16()?)
+            .map(|_| r.u16().map(NodeId))
+            .collect::<Result<Vec<_>, _>>()?;
+        let ntriggers = r.u16()?;
+        let mut triggers = Vec::with_capacity(ntriggers as usize);
+        for _ in 0..ntriggers {
+            triggers.push((NodeId(r.u16()?), ActionId(r.u16()?)));
+        }
+        let ngates = r.u16()?;
+        let mut gates = Vec::with_capacity(ngates as usize);
+        for _ in 0..ngates {
+            gates.push((NodeId(r.u16()?), ActionId(r.u16()?)));
+        }
+        conditions.push(CompiledCondition {
+            expr,
+            eval_nodes,
+            triggers,
+            gates,
+        });
+    }
+    let nactions = r.u16()?;
+    let mut actions = Vec::with_capacity(nactions as usize);
+    for _ in 0..nactions {
+        let node = NodeId(r.u16()?);
+        let kind = decode_action_kind(r)?;
+        actions.push(CompiledAction { node, kind });
+    }
+    Ok(TableSet {
+        scenario,
+        timeout_ns,
+        vars,
+        filters,
+        nodes,
+        counters,
+        terms,
+        conditions,
+        actions,
+    })
+}
+
+fn encode_dir(w: &mut Writer, dir: Dir) {
+    w.u8(match dir {
+        Dir::Send => 0,
+        Dir::Recv => 1,
+    });
+}
+
+fn decode_dir(r: &mut Reader<'_>) -> Result<Dir, ParseError> {
+    match r.u8()? {
+        0 => Ok(Dir::Send),
+        1 => Ok(Dir::Recv),
+        _ => Err(ParseError::new("bad direction tag")),
+    }
+}
+
+fn encode_relop(w: &mut Writer, op: RelOp) {
+    w.u8(match op {
+        RelOp::Gt => 0,
+        RelOp::Lt => 1,
+        RelOp::Ge => 2,
+        RelOp::Le => 3,
+        RelOp::Eq => 4,
+        RelOp::Ne => 5,
+    });
+}
+
+fn decode_relop(r: &mut Reader<'_>) -> Result<RelOp, ParseError> {
+    Ok(match r.u8()? {
+        0 => RelOp::Gt,
+        1 => RelOp::Lt,
+        2 => RelOp::Ge,
+        3 => RelOp::Le,
+        4 => RelOp::Eq,
+        5 => RelOp::Ne,
+        _ => return Err(ParseError::new("bad relop tag")),
+    })
+}
+
+fn encode_operand(w: &mut Writer, op: CompiledOperand) {
+    match op {
+        CompiledOperand::Counter(c) => {
+            w.u8(0);
+            w.u16(c.0);
+        }
+        CompiledOperand::Const(v) => {
+            w.u8(1);
+            w.i64(v);
+        }
+    }
+}
+
+fn decode_operand(r: &mut Reader<'_>) -> Result<CompiledOperand, ParseError> {
+    match r.u8()? {
+        0 => Ok(CompiledOperand::Counter(CounterId(r.u16()?))),
+        1 => Ok(CompiledOperand::Const(r.i64()?)),
+        _ => Err(ParseError::new("bad operand tag")),
+    }
+}
+
+fn encode_cond_node(w: &mut Writer, node: &CondNode) {
+    match node {
+        CondNode::True => w.u8(0),
+        CondNode::False => w.u8(1),
+        CondNode::Term(t) => {
+            w.u8(2);
+            w.u16(t.0);
+        }
+        CondNode::And(a, b) => {
+            w.u8(3);
+            encode_cond_node(w, a);
+            encode_cond_node(w, b);
+        }
+        CondNode::Or(a, b) => {
+            w.u8(4);
+            encode_cond_node(w, a);
+            encode_cond_node(w, b);
+        }
+        CondNode::Not(a) => {
+            w.u8(5);
+            encode_cond_node(w, a);
+        }
+    }
+}
+
+fn decode_cond_node(r: &mut Reader<'_>) -> Result<CondNode, ParseError> {
+    Ok(match r.u8()? {
+        0 => CondNode::True,
+        1 => CondNode::False,
+        2 => CondNode::Term(TermId(r.u16()?)),
+        3 => CondNode::And(
+            Box::new(decode_cond_node(r)?),
+            Box::new(decode_cond_node(r)?),
+        ),
+        4 => CondNode::Or(
+            Box::new(decode_cond_node(r)?),
+            Box::new(decode_cond_node(r)?),
+        ),
+        5 => CondNode::Not(Box::new(decode_cond_node(r)?)),
+        _ => return Err(ParseError::new("bad condition node tag")),
+    })
+}
+
+fn encode_action_kind(w: &mut Writer, kind: &CompiledActionKind) {
+    match kind {
+        CompiledActionKind::Assign { counter, value } => {
+            w.u8(0);
+            w.u16(counter.0);
+            w.i64(*value);
+        }
+        CompiledActionKind::Enable { counter } => {
+            w.u8(1);
+            w.u16(counter.0);
+        }
+        CompiledActionKind::Disable { counter } => {
+            w.u8(2);
+            w.u16(counter.0);
+        }
+        CompiledActionKind::Incr { counter, value } => {
+            w.u8(3);
+            w.u16(counter.0);
+            w.i64(*value);
+        }
+        CompiledActionKind::Decr { counter, value } => {
+            w.u8(4);
+            w.u16(counter.0);
+            w.i64(*value);
+        }
+        CompiledActionKind::Reset { counter } => {
+            w.u8(5);
+            w.u16(counter.0);
+        }
+        CompiledActionKind::SetCurTime { counter } => {
+            w.u8(6);
+            w.u16(counter.0);
+        }
+        CompiledActionKind::ElapsedTime { counter } => {
+            w.u8(7);
+            w.u16(counter.0);
+        }
+        CompiledActionKind::Drop {
+            filter,
+            from,
+            to,
+            dir,
+        } => {
+            w.u8(8);
+            w.u16(filter.0);
+            w.u16(from.0);
+            w.u16(to.0);
+            encode_dir(w, *dir);
+        }
+        CompiledActionKind::Delay {
+            filter,
+            from,
+            to,
+            dir,
+            duration_ns,
+        } => {
+            w.u8(9);
+            w.u16(filter.0);
+            w.u16(from.0);
+            w.u16(to.0);
+            encode_dir(w, *dir);
+            w.u64(*duration_ns);
+        }
+        CompiledActionKind::Reorder {
+            filter,
+            from,
+            to,
+            dir,
+            count,
+            order,
+        } => {
+            w.u8(10);
+            w.u16(filter.0);
+            w.u16(from.0);
+            w.u16(to.0);
+            encode_dir(w, *dir);
+            w.u32(*count);
+            w.u16(order.len() as u16);
+            for o in order {
+                w.u32(*o);
+            }
+        }
+        CompiledActionKind::Dup {
+            filter,
+            from,
+            to,
+            dir,
+        } => {
+            w.u8(11);
+            w.u16(filter.0);
+            w.u16(from.0);
+            w.u16(to.0);
+            encode_dir(w, *dir);
+        }
+        CompiledActionKind::Modify {
+            filter,
+            from,
+            to,
+            dir,
+            pattern,
+        } => {
+            w.u8(12);
+            w.u16(filter.0);
+            w.u16(from.0);
+            w.u16(to.0);
+            encode_dir(w, *dir);
+            match pattern {
+                ModifyPattern::Random => w.u8(0),
+                ModifyPattern::Set { offset, len, value } => {
+                    w.u8(1);
+                    w.u32(*offset);
+                    w.u32(*len);
+                    w.u64(*value);
+                }
+            }
+        }
+        CompiledActionKind::Fail { node } => {
+            w.u8(13);
+            w.u16(node.0);
+        }
+        CompiledActionKind::Stop => w.u8(14),
+        CompiledActionKind::FlagError { message } => {
+            w.u8(15);
+            match message {
+                Some(msg) => {
+                    w.bool(true);
+                    w.string(msg);
+                }
+                None => w.bool(false),
+            }
+        }
+    }
+}
+
+fn decode_action_kind(r: &mut Reader<'_>) -> Result<CompiledActionKind, ParseError> {
+    Ok(match r.u8()? {
+        0 => CompiledActionKind::Assign {
+            counter: CounterId(r.u16()?),
+            value: r.i64()?,
+        },
+        1 => CompiledActionKind::Enable {
+            counter: CounterId(r.u16()?),
+        },
+        2 => CompiledActionKind::Disable {
+            counter: CounterId(r.u16()?),
+        },
+        3 => CompiledActionKind::Incr {
+            counter: CounterId(r.u16()?),
+            value: r.i64()?,
+        },
+        4 => CompiledActionKind::Decr {
+            counter: CounterId(r.u16()?),
+            value: r.i64()?,
+        },
+        5 => CompiledActionKind::Reset {
+            counter: CounterId(r.u16()?),
+        },
+        6 => CompiledActionKind::SetCurTime {
+            counter: CounterId(r.u16()?),
+        },
+        7 => CompiledActionKind::ElapsedTime {
+            counter: CounterId(r.u16()?),
+        },
+        8 => CompiledActionKind::Drop {
+            filter: FilterId(r.u16()?),
+            from: NodeId(r.u16()?),
+            to: NodeId(r.u16()?),
+            dir: decode_dir(r)?,
+        },
+        9 => CompiledActionKind::Delay {
+            filter: FilterId(r.u16()?),
+            from: NodeId(r.u16()?),
+            to: NodeId(r.u16()?),
+            dir: decode_dir(r)?,
+            duration_ns: r.u64()?,
+        },
+        10 => {
+            let filter = FilterId(r.u16()?);
+            let from = NodeId(r.u16()?);
+            let to = NodeId(r.u16()?);
+            let dir = decode_dir(r)?;
+            let count = r.u32()?;
+            let order = (0..r.u16()?)
+                .map(|_| r.u32())
+                .collect::<Result<Vec<_>, _>>()?;
+            CompiledActionKind::Reorder {
+                filter,
+                from,
+                to,
+                dir,
+                count,
+                order,
+            }
+        }
+        11 => CompiledActionKind::Dup {
+            filter: FilterId(r.u16()?),
+            from: NodeId(r.u16()?),
+            to: NodeId(r.u16()?),
+            dir: decode_dir(r)?,
+        },
+        12 => {
+            let filter = FilterId(r.u16()?);
+            let from = NodeId(r.u16()?);
+            let to = NodeId(r.u16()?);
+            let dir = decode_dir(r)?;
+            let pattern = match r.u8()? {
+                0 => ModifyPattern::Random,
+                1 => ModifyPattern::Set {
+                    offset: r.u32()?,
+                    len: r.u32()?,
+                    value: r.u64()?,
+                },
+                _ => return Err(ParseError::new("bad modify pattern tag")),
+            };
+            CompiledActionKind::Modify {
+                filter,
+                from,
+                to,
+                dir,
+                pattern,
+            }
+        }
+        13 => CompiledActionKind::Fail {
+            node: NodeId(r.u16()?),
+        },
+        14 => CompiledActionKind::Stop,
+        15 => CompiledActionKind::FlagError {
+            message: if r.bool()? { Some(r.string()?) } else { None },
+        },
+        tag => return Err(ParseError::new(format!("unknown action tag {tag}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tables() -> TableSet {
+        let src = r#"
+            VAR SeqNo;
+            FILTER_TABLE
+            tok: (12 2 0x9900), (14 2 0x0001)
+            seq: (38 4 SeqNo), (47 1 0x10 0x10)
+            END
+            NODE_TABLE
+            n1 02:00:00:00:00:01 10.0.0.1
+            n2 02:00:00:00:00:02 10.0.0.2
+            n3 02:00:00:00:00:03 10.0.0.3
+            END
+            SCENARIO Codec 2sec
+            A: (tok, n1, n2, RECV)
+            B: (tok, n2, n3, SEND)
+            V: (n3)
+            (TRUE) >> ENABLE_CNTR(A); ASSIGN_CNTR(V, -7);
+            ((A = 1) && !((B > 2) || (V <= A))) >>
+                DROP(tok, n1, n2, RECV);
+                DELAY(tok, n1, n2, SEND, 30msec);
+                REORDER(tok, n2, n3, RECV, 4, (3 2 1 0));
+                DUP(tok, n1, n2, SEND);
+                MODIFY(tok, n1, n2, RECV, (14 2 0xdead));
+                MODIFY(tok, n1, n2, RECV, RANDOM);
+                FAIL(n3);
+                SET_CURTIME(V);
+                ELAPSED_TIME(V);
+                INCR_CNTR(V, 2);
+                DECR_CNTR(V, 1);
+                DISABLE_CNTR(B);
+                RESET_CNTR(A);
+                FLAG_ERR "boom";
+                STOP;
+            END
+        "#;
+        vw_fsl::compile(&vw_fsl::parse(src).unwrap())
+            .unwrap()
+            .remove(0)
+    }
+
+    #[test]
+    fn init_round_trips_the_full_table_set() {
+        let tables = sample_tables();
+        let msg = ControlMsg::Init {
+            tables: Box::new(tables.clone()),
+            you_are: NodeId(2),
+        };
+        let decoded = decode(&encode(&msg)).unwrap();
+        match decoded {
+            ControlMsg::Init {
+                tables: got,
+                you_are,
+            } => {
+                assert_eq!(*got, tables);
+                assert_eq!(you_are, NodeId(2));
+            }
+            other => panic!("wrong decode {other:?}"),
+        }
+    }
+
+    #[test]
+    fn runtime_messages_round_trip() {
+        let messages = [
+            ControlMsg::InitAck { node: NodeId(3) },
+            ControlMsg::CounterUpdate {
+                counter: CounterId(9),
+                value: -12345,
+            },
+            ControlMsg::TermStatus {
+                term: TermId(4),
+                status: true,
+            },
+            ControlMsg::FlagError {
+                node: NodeId(1),
+                condition: CondId(7),
+                message: "CanTx went negative".into(),
+            },
+            ControlMsg::Stop {
+                node: NodeId(0),
+                reason: "scenario complete".into(),
+            },
+        ];
+        for msg in messages {
+            assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn frames_carry_the_control_ethertype() {
+        let frame = build_frame(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            &ControlMsg::InitAck { node: NodeId(0) },
+        );
+        assert_eq!(frame.ethertype(), EtherType::VW_CONTROL);
+        assert_eq!(
+            parse_frame(&frame).unwrap(),
+            ControlMsg::InitAck { node: NodeId(0) }
+        );
+    }
+
+    #[test]
+    fn non_control_frames_rejected() {
+        let frame = EthernetBuilder::new().payload(&[1, 2, 3]).build();
+        assert!(parse_frame(&frame).is_err());
+    }
+
+    #[test]
+    fn truncated_and_garbage_payloads_rejected() {
+        assert!(decode(&[]).is_err());
+        assert!(decode(&[TAG_COUNTER_UPDATE, 0]).is_err());
+        assert!(decode(&[200]).is_err());
+        // Truncate an init message at every length and make sure decoding
+        // fails rather than panics.
+        let full = encode(&ControlMsg::Init {
+            tables: Box::new(sample_tables()),
+            you_are: NodeId(0),
+        });
+        for cut in 0..full.len() {
+            assert!(decode(&full[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+}

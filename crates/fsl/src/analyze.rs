@@ -1,0 +1,380 @@
+//! Semantic analysis: name resolution and well-formedness checks run
+//! before a script is compiled to tables.
+
+use std::collections::HashSet;
+
+use crate::ast::*;
+use crate::error::FslError;
+
+/// Checks a parsed [`Program`] for semantic errors. Returns every problem
+/// found (not just the first), or `Ok(())` for a valid program.
+///
+/// # Errors
+///
+/// The returned list covers: duplicate definitions; references to
+/// undefined packet types, nodes, counters, or variables; malformed filter
+/// tuples; invalid `REORDER` permutations; and scenarios without rules.
+pub fn analyze(program: &Program) -> Result<(), Vec<FslError>> {
+    let mut errors = Vec::new();
+
+    // ---- duplicate definitions ---------------------------------------
+    let mut seen = HashSet::new();
+    for filter in &program.filters {
+        if !seen.insert(&filter.name) {
+            errors.push(FslError::general(format!(
+                "duplicate packet definition `{}`",
+                filter.name
+            )));
+        }
+    }
+    let mut seen = HashSet::new();
+    for node in &program.nodes {
+        if !seen.insert(&node.name) {
+            errors.push(FslError::general(format!(
+                "duplicate node definition `{}`",
+                node.name
+            )));
+        }
+    }
+    let mut seen = HashSet::new();
+    for mac in program.nodes.iter().map(|n| n.mac) {
+        if !seen.insert(mac) {
+            errors.push(FslError::general(format!("duplicate node MAC `{mac}`")));
+        }
+    }
+    let mut seen = HashSet::new();
+    for var in &program.vars {
+        if !seen.insert(var) {
+            errors.push(FslError::general(format!("duplicate VAR `{var}`")));
+        }
+    }
+
+    // ---- filter tuples -----------------------------------------------
+    let vars: HashSet<&str> = program.vars.iter().map(String::as_str).collect();
+    for filter in &program.filters {
+        if filter.tuples.is_empty() {
+            errors.push(FslError::general(format!(
+                "packet definition `{}` has no match tuples",
+                filter.name
+            )));
+        }
+        for tuple in &filter.tuples {
+            if tuple.len == 0 || tuple.len > 8 {
+                errors.push(FslError::general(format!(
+                    "packet `{}`: tuple length {} is outside 1..=8",
+                    filter.name, tuple.len
+                )));
+            } else {
+                let width_ok = |v: u64| tuple.len == 8 || v < (1u64 << (tuple.len * 8));
+                if let PatternValue::Literal(v) = tuple.pattern {
+                    if !width_ok(v) {
+                        errors.push(FslError::general(format!(
+                            "packet `{}`: pattern 0x{v:x} does not fit in {} bytes",
+                            filter.name, tuple.len
+                        )));
+                    }
+                }
+                if let Some(mask) = tuple.mask {
+                    if !width_ok(mask) {
+                        errors.push(FslError::general(format!(
+                            "packet `{}`: mask 0x{mask:x} does not fit in {} bytes",
+                            filter.name, tuple.len
+                        )));
+                    }
+                }
+            }
+            if let PatternValue::Var(name) = &tuple.pattern {
+                if !vars.contains(name.as_str()) {
+                    errors.push(FslError::general(format!(
+                        "packet `{}` references undeclared VAR `{name}`",
+                        filter.name
+                    )));
+                }
+            }
+        }
+    }
+
+    // ---- scenarios ----------------------------------------------------
+    let filters: HashSet<&str> = program.filters.iter().map(|f| f.name.as_str()).collect();
+    let nodes: HashSet<&str> = program.nodes.iter().map(|n| n.name.as_str()).collect();
+    if program.scenarios.is_empty() {
+        errors.push(FslError::general("no SCENARIO defined"));
+    }
+    let mut scenario_names = HashSet::new();
+    for scenario in &program.scenarios {
+        if !scenario_names.insert(&scenario.name) {
+            errors.push(FslError::general(format!(
+                "duplicate scenario `{}`",
+                scenario.name
+            )));
+        }
+        analyze_scenario(scenario, &filters, &nodes, &mut errors);
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn analyze_scenario(
+    scenario: &Scenario,
+    filters: &HashSet<&str>,
+    nodes: &HashSet<&str>,
+    errors: &mut Vec<FslError>,
+) {
+    let scen = &scenario.name;
+    let mut counters: HashSet<&str> = HashSet::new();
+    for decl in &scenario.counters {
+        if !counters.insert(&decl.name) {
+            errors.push(FslError::general(format!(
+                "{scen}: duplicate counter `{}`",
+                decl.name
+            )));
+        }
+        match &decl.kind {
+            CounterKind::PacketEvent {
+                pkt_type,
+                from,
+                to,
+                ..
+            } => {
+                if !filters.contains(pkt_type.as_str()) {
+                    errors.push(FslError::general(format!(
+                        "{scen}: counter `{}` references undefined packet type `{pkt_type}`",
+                        decl.name
+                    )));
+                }
+                for node in [from, to] {
+                    if !nodes.contains(node.as_str()) {
+                        errors.push(FslError::general(format!(
+                            "{scen}: counter `{}` references undefined node `{node}`",
+                            decl.name
+                        )));
+                    }
+                }
+                if from == to {
+                    errors.push(FslError::general(format!(
+                        "{scen}: counter `{}` has identical endpoints `{from}`",
+                        decl.name
+                    )));
+                }
+            }
+            CounterKind::NodeLocal { node } => {
+                if !nodes.contains(node.as_str()) {
+                    errors.push(FslError::general(format!(
+                        "{scen}: counter `{}` lives on undefined node `{node}`",
+                        decl.name
+                    )));
+                }
+            }
+        }
+    }
+
+    if scenario.rules.is_empty() {
+        errors.push(FslError::general(format!("{scen}: scenario has no rules")));
+    }
+
+    let check_counter = |name: &str, errors: &mut Vec<FslError>| {
+        if !counters.contains(name) {
+            errors.push(FslError::general(format!(
+                "{scen}: reference to undefined counter `{name}`"
+            )));
+        }
+    };
+
+    for (i, rule) in scenario.rules.iter().enumerate() {
+        for counter in rule.condition.counters() {
+            check_counter(counter, errors);
+        }
+        if rule.actions.is_empty() {
+            errors.push(FslError::general(format!("{scen}: rule {i} has no actions")));
+        }
+        for action in &rule.actions {
+            if let Some(counter) = action.target_counter() {
+                check_counter(counter, errors);
+            }
+            match action {
+                Action::Drop { pkt, from, to, .. }
+                | Action::Delay { pkt, from, to, .. }
+                | Action::Dup { pkt, from, to, .. }
+                | Action::Modify { pkt, from, to, .. }
+                | Action::Reorder { pkt, from, to, .. } => {
+                    if !filters.contains(pkt.as_str()) {
+                        errors.push(FslError::general(format!(
+                            "{scen}: fault references undefined packet type `{pkt}`"
+                        )));
+                    }
+                    for node in [from, to] {
+                        if !nodes.contains(node.as_str()) {
+                            errors.push(FslError::general(format!(
+                                "{scen}: fault references undefined node `{node}`"
+                            )));
+                        }
+                    }
+                }
+                Action::Fail { node } if !nodes.contains(node.as_str()) => {
+                    errors.push(FslError::general(format!(
+                        "{scen}: FAIL references undefined node `{node}`"
+                    )));
+                }
+                _ => {}
+            }
+            if let Action::Reorder { count, order, .. } = action {
+                let mut sorted: Vec<u32> = order.clone();
+                sorted.sort_unstable();
+                let expected: Vec<u32> = (0..*count).collect();
+                if sorted != expected {
+                    errors.push(FslError::general(format!(
+                        "{scen}: REORDER order {order:?} is not a permutation of 0..{count}"
+                    )));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn errs(src: &str) -> Vec<String> {
+        match analyze(&parse(src).unwrap()) {
+            Ok(()) => Vec::new(),
+            Err(es) => es.into_iter().map(|e| e.to_string()).collect(),
+        }
+    }
+
+    const PREAMBLE: &str = r#"
+        FILTER_TABLE
+        pkt: (12 2 0x9900)
+        END
+        NODE_TABLE
+        a 00:00:00:00:00:01 10.0.0.1
+        b 00:00:00:00:00:02 10.0.0.2
+        END
+    "#;
+
+    #[test]
+    fn valid_program_passes() {
+        let src = format!(
+            "{PREAMBLE}
+            SCENARIO S
+            C: (pkt, a, b, RECV)
+            ((C = 1)) >> DROP(pkt, a, b, RECV);
+            END"
+        );
+        assert!(errs(&src).is_empty(), "{:?}", errs(&src));
+    }
+
+    #[test]
+    fn undefined_references_caught() {
+        let src = format!(
+            "{PREAMBLE}
+            SCENARIO S
+            C: (nopkt, a, nowhere, RECV)
+            ((Ghost = 1)) >> DROP(pkt, a, b, RECV); FAIL(zombie);
+            END"
+        );
+        let es = errs(&src);
+        assert!(es.iter().any(|e| e.contains("undefined packet type `nopkt`")));
+        assert!(es.iter().any(|e| e.contains("undefined node `nowhere`")));
+        assert!(es.iter().any(|e| e.contains("undefined counter `Ghost`")));
+        assert!(es.iter().any(|e| e.contains("undefined node `zombie`")));
+    }
+
+    #[test]
+    fn duplicates_caught() {
+        let src = r#"
+            FILTER_TABLE
+            p: (0 1 0x1)
+            p: (0 1 0x2)
+            END
+            NODE_TABLE
+            a 00:00:00:00:00:01 10.0.0.1
+            a 00:00:00:00:00:01 10.0.0.2
+            END
+            SCENARIO S
+            C: (a)
+            C: (a)
+            ((C = 1)) >> STOP;
+            END
+        "#;
+        let es = errs(src);
+        assert!(es.iter().any(|e| e.contains("duplicate packet definition")));
+        assert!(es.iter().any(|e| e.contains("duplicate node definition")));
+        assert!(es.iter().any(|e| e.contains("duplicate node MAC")));
+        assert!(es.iter().any(|e| e.contains("duplicate counter")));
+    }
+
+    #[test]
+    fn tuple_width_checked() {
+        let src = r#"
+            FILTER_TABLE
+            p: (0 1 0x1FF)
+            q: (0 9 0x1)
+            END
+            NODE_TABLE
+            a 00:00:00:00:00:01 10.0.0.1
+            END
+            SCENARIO S
+            C: (a)
+            ((C = 1)) >> STOP;
+            END
+        "#;
+        let es = errs(src);
+        assert!(es.iter().any(|e| e.contains("does not fit in 1 bytes")));
+        assert!(es.iter().any(|e| e.contains("outside 1..=8")));
+    }
+
+    #[test]
+    fn reorder_permutation_checked() {
+        let src = format!(
+            "{PREAMBLE}
+            SCENARIO S
+            C: (a)
+            ((C = 1)) >> REORDER(pkt, a, b, SEND, 3, (0 0 2));
+            END"
+        );
+        let es = errs(&src);
+        assert!(es.iter().any(|e| e.contains("not a permutation")));
+    }
+
+    #[test]
+    fn undeclared_var_caught() {
+        let src = r#"
+            FILTER_TABLE
+            p: (0 2 Mystery)
+            END
+            NODE_TABLE
+            a 00:00:00:00:00:01 10.0.0.1
+            END
+            SCENARIO S
+            C: (a)
+            ((C = 1)) >> STOP;
+            END
+        "#;
+        assert!(errs(src).iter().any(|e| e.contains("undeclared VAR `Mystery`")));
+    }
+
+    #[test]
+    fn empty_scenario_and_missing_scenario_caught() {
+        assert!(errs("").iter().any(|e| e.contains("no SCENARIO")));
+        let src = format!("{PREAMBLE} SCENARIO S END");
+        assert!(errs(&src).iter().any(|e| e.contains("no rules")));
+    }
+
+    #[test]
+    fn same_endpoint_counter_caught() {
+        let src = format!(
+            "{PREAMBLE}
+            SCENARIO S
+            C: (pkt, a, a, RECV)
+            ((C = 1)) >> STOP;
+            END"
+        );
+        assert!(errs(&src).iter().any(|e| e.contains("identical endpoints")));
+    }
+}

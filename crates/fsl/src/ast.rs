@@ -1,0 +1,464 @@
+//! Abstract syntax of the Fault Specification Language.
+//!
+//! The shape follows Section 4 of the paper: a script consists of *packet
+//! definitions* (the filter table), *node definitions* (the node table),
+//! optional `VAR` declarations, and one or more *scenarios*, each an
+//! unordered set of `{condition >> action}` rules over *counters*.
+
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use vw_packet::MacAddr;
+
+/// A complete FSL program.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// `VAR` declarations: run-time-bound filter pattern variables.
+    pub vars: Vec<String>,
+    /// Packet definitions, in priority order (first match wins).
+    pub filters: Vec<FilterDef>,
+    /// Node definitions.
+    pub nodes: Vec<NodeDef>,
+    /// Test scenarios.
+    pub scenarios: Vec<Scenario>,
+}
+
+/// A packet definition: a name bound to the logical AND of byte-match
+/// tuples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FilterDef {
+    /// The packet type name (`TCP_synack`, `tr_token`, ...).
+    pub name: String,
+    /// The match tuples, all of which must match.
+    pub tuples: Vec<FilterTuple>,
+}
+
+/// One `(offset length [mask] pattern)` tuple.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FilterTuple {
+    /// Byte offset into the raw frame.
+    pub offset: u32,
+    /// Number of bytes to match (1–8).
+    pub len: u32,
+    /// Optional bit mask applied before comparison.
+    pub mask: Option<u64>,
+    /// The value to compare against.
+    pub pattern: PatternValue,
+}
+
+/// A pattern operand: a literal or a `VAR` bound at run time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PatternValue {
+    /// A literal value (hex or decimal in the source).
+    Literal(u64),
+    /// A declared variable, bound before or during the run.
+    Var(String),
+}
+
+/// A node definition: name, hardware address, IP address.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeDef {
+    /// The node name used throughout the script (`node1`, ...).
+    pub name: String,
+    /// Its MAC address.
+    pub mac: MacAddr,
+    /// Its IPv4 address.
+    pub ip: Ipv4Addr,
+}
+
+/// A test scenario: named counters plus rules.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario name.
+    pub name: String,
+    /// Optional inactivity timeout in nanoseconds (`SCENARIO name 1sec`).
+    pub timeout_ns: Option<u64>,
+    /// Counter declarations.
+    pub counters: Vec<CounterDecl>,
+    /// The unordered rule set.
+    pub rules: Vec<Rule>,
+}
+
+/// Which packet direction a counter or fault observes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Dir {
+    /// Outbound at the acting node.
+    Send,
+    /// Inbound at the acting node.
+    Recv,
+}
+
+/// A counter declaration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterDecl {
+    /// Counter name.
+    pub name: String,
+    /// What it counts.
+    pub kind: CounterKind,
+}
+
+/// What a counter observes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CounterKind {
+    /// Counts send/receive events of a packet type between two nodes:
+    /// `NAME: (pkt_type, from, to, SEND|RECV)`.
+    PacketEvent {
+        /// The packet definition name.
+        pkt_type: String,
+        /// Source node name.
+        from: String,
+        /// Destination node name.
+        to: String,
+        /// Counted on send (at `from`) or on receive (at `to`).
+        dir: Dir,
+    },
+    /// A node-local variable: `NAME: (node)`.
+    NodeLocal {
+        /// The node holding the variable.
+        node: String,
+    },
+}
+
+/// One `{condition >> actions}` rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    /// The guarding condition.
+    pub condition: CondExpr,
+    /// The actions fired when the condition becomes true.
+    pub actions: Vec<Action>,
+}
+
+/// A boolean expression over terms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CondExpr {
+    /// Always true (fires at scenario start).
+    True,
+    /// Never true.
+    False,
+    /// A relational term.
+    Term(Term),
+    /// Conjunction.
+    And(Box<CondExpr>, Box<CondExpr>),
+    /// Disjunction.
+    Or(Box<CondExpr>, Box<CondExpr>),
+    /// Negation.
+    Not(Box<CondExpr>),
+}
+
+impl CondExpr {
+    /// All counter names referenced by the expression.
+    pub fn counters(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_counters(&mut out);
+        out
+    }
+
+    fn collect_counters<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            CondExpr::True | CondExpr::False => {}
+            CondExpr::Term(t) => {
+                if let Operand::Counter(c) = &t.lhs {
+                    out.push(c);
+                }
+                if let Operand::Counter(c) = &t.rhs {
+                    out.push(c);
+                }
+            }
+            CondExpr::And(a, b) | CondExpr::Or(a, b) => {
+                a.collect_counters(out);
+                b.collect_counters(out);
+            }
+            CondExpr::Not(a) => a.collect_counters(out),
+        }
+    }
+}
+
+/// A relational term between two operands.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Term {
+    /// Left operand.
+    pub lhs: Operand,
+    /// Relational operator.
+    pub op: RelOp,
+    /// Right operand.
+    pub rhs: Operand,
+}
+
+/// A term operand.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Operand {
+    /// A counter reference.
+    Counter(String),
+    /// An integer constant.
+    Const(i64),
+}
+
+/// Relational operators (`>`, `<`, `>=`, `<=`, `=`, `!=`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RelOp {
+    /// `>`
+    Gt,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl RelOp {
+    /// Applies the operator.
+    pub fn apply(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            RelOp::Gt => lhs > rhs,
+            RelOp::Lt => lhs < rhs,
+            RelOp::Ge => lhs >= rhs,
+            RelOp::Le => lhs <= rhs,
+            RelOp::Eq => lhs == rhs,
+            RelOp::Ne => lhs != rhs,
+        }
+    }
+
+    /// The source form of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            RelOp::Gt => ">",
+            RelOp::Lt => "<",
+            RelOp::Ge => ">=",
+            RelOp::Le => "<=",
+            RelOp::Eq => "=",
+            RelOp::Ne => "!=",
+        }
+    }
+}
+
+/// How a `MODIFY` fault mutates a packet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ModifyPattern {
+    /// Random perturbation of payload bytes (the paper's default).
+    Random,
+    /// Overwrite `len` bytes at `offset` with `value` (big-endian); the
+    /// user is responsible for fixing checksums, as the paper notes.
+    Set {
+        /// Byte offset into the frame.
+        offset: u32,
+        /// Number of bytes to overwrite (1–8).
+        len: u32,
+        /// The value written.
+        value: u64,
+    },
+}
+
+/// An action (Table I counter manipulations + Table II fault primitives).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Action {
+    /// `ASSIGN_CNTR(counter[, value])` — set a counter (default 0).
+    Assign {
+        /// Target counter.
+        counter: String,
+        /// Value assigned.
+        value: i64,
+    },
+    /// `ENABLE_CNTR(counter)` — start counting events.
+    Enable {
+        /// Target counter.
+        counter: String,
+    },
+    /// `DISABLE_CNTR(counter)` — stop counting events.
+    Disable {
+        /// Target counter.
+        counter: String,
+    },
+    /// `INCR_CNTR(counter, value)`.
+    Incr {
+        /// Target counter.
+        counter: String,
+        /// Increment amount.
+        value: i64,
+    },
+    /// `DECR_CNTR(counter, value)`.
+    Decr {
+        /// Target counter.
+        counter: String,
+        /// Decrement amount.
+        value: i64,
+    },
+    /// `RESET_CNTR(counter)` — back to zero.
+    Reset {
+        /// Target counter.
+        counter: String,
+    },
+    /// `SET_CURTIME(counter)` — store the current time (ns).
+    SetCurTime {
+        /// Target counter.
+        counter: String,
+    },
+    /// `ELAPSED_TIME(counter)` — replace the stored time with `now - it`.
+    ElapsedTime {
+        /// Target counter.
+        counter: String,
+    },
+    /// `DROP(pkt, from, to, SEND|RECV)`.
+    Drop {
+        /// Packet definition name.
+        pkt: String,
+        /// Source node.
+        from: String,
+        /// Destination node.
+        to: String,
+        /// Where the fault acts.
+        dir: Dir,
+    },
+    /// `DELAY(pkt, from, to, SEND|RECV, duration)`.
+    Delay {
+        /// Packet definition name.
+        pkt: String,
+        /// Source node.
+        from: String,
+        /// Destination node.
+        to: String,
+        /// Where the fault acts.
+        dir: Dir,
+        /// Hold time (quantized to 10 ms jiffies by the engine).
+        duration_ns: u64,
+    },
+    /// `REORDER(pkt, from, to, SEND|RECV, npkts, (order...))`.
+    Reorder {
+        /// Packet definition name.
+        pkt: String,
+        /// Source node.
+        from: String,
+        /// Destination node.
+        to: String,
+        /// Where the fault acts.
+        dir: Dir,
+        /// How many packets to collect before releasing.
+        count: u32,
+        /// Release order: a permutation of `0..count`.
+        order: Vec<u32>,
+    },
+    /// `DUP(pkt, from, to, SEND|RECV)`.
+    Dup {
+        /// Packet definition name.
+        pkt: String,
+        /// Source node.
+        from: String,
+        /// Destination node.
+        to: String,
+        /// Where the fault acts.
+        dir: Dir,
+    },
+    /// `MODIFY(pkt, from, to, SEND|RECV, pattern)`.
+    Modify {
+        /// Packet definition name.
+        pkt: String,
+        /// Source node.
+        from: String,
+        /// Destination node.
+        to: String,
+        /// Where the fault acts.
+        dir: Dir,
+        /// The mutation applied.
+        pattern: ModifyPattern,
+    },
+    /// `FAIL(node)` — crash a node (blackhole all its traffic).
+    Fail {
+        /// The node to fail.
+        node: String,
+    },
+    /// `STOP` — end the scenario.
+    Stop,
+    /// `FLAG_ERR` / `FLAG_ERROR` — record a protocol violation.
+    FlagError {
+        /// Optional message (extension; the paper's form carries none).
+        message: Option<String>,
+    },
+}
+
+impl Action {
+    /// The counter this action manipulates, if it is a Table-I action.
+    pub fn target_counter(&self) -> Option<&str> {
+        match self {
+            Action::Assign { counter, .. }
+            | Action::Enable { counter }
+            | Action::Disable { counter }
+            | Action::Incr { counter, .. }
+            | Action::Decr { counter, .. }
+            | Action::Reset { counter }
+            | Action::SetCurTime { counter }
+            | Action::ElapsedTime { counter } => Some(counter),
+            _ => None,
+        }
+    }
+
+    /// `true` for the Table-II packet-fault primitives (DROP/DELAY/
+    /// REORDER/DUP/MODIFY) that act on matching packets while their
+    /// condition holds.
+    pub fn is_packet_fault(&self) -> bool {
+        matches!(
+            self,
+            Action::Drop { .. }
+                | Action::Delay { .. }
+                | Action::Reorder { .. }
+                | Action::Dup { .. }
+                | Action::Modify { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relop_semantics() {
+        assert!(RelOp::Gt.apply(2, 1));
+        assert!(RelOp::Lt.apply(1, 2));
+        assert!(RelOp::Ge.apply(2, 2));
+        assert!(RelOp::Le.apply(2, 2));
+        assert!(RelOp::Eq.apply(3, 3));
+        assert!(RelOp::Ne.apply(3, 4));
+        assert!(!RelOp::Eq.apply(3, 4));
+    }
+
+    #[test]
+    fn cond_counters_collects_all() {
+        let e = CondExpr::And(
+            Box::new(CondExpr::Term(Term {
+                lhs: Operand::Counter("A".into()),
+                op: RelOp::Gt,
+                rhs: Operand::Const(0),
+            })),
+            Box::new(CondExpr::Not(Box::new(CondExpr::Term(Term {
+                lhs: Operand::Counter("B".into()),
+                op: RelOp::Eq,
+                rhs: Operand::Counter("C".into()),
+            })))),
+        );
+        assert_eq!(e.counters(), vec!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn action_classification() {
+        let drop = Action::Drop {
+            pkt: "p".into(),
+            from: "a".into(),
+            to: "b".into(),
+            dir: Dir::Recv,
+        };
+        assert!(drop.is_packet_fault());
+        assert_eq!(drop.target_counter(), None);
+        let incr = Action::Incr {
+            counter: "C".into(),
+            value: 1,
+        };
+        assert!(!incr.is_packet_fault());
+        assert_eq!(incr.target_counter(), Some("C"));
+        assert!(!Action::Stop.is_packet_fault());
+    }
+}

@@ -1,0 +1,423 @@
+//! A typed, programmatic builder for FSL programs.
+//!
+//! The paper's Section 8 sets "generating the fault injection and packet
+//! trace analysis scripts directly from the protocol specification" as the
+//! project's long-term goal. This module is the foundation for that:
+//! instead of concatenating script text, tooling constructs a validated
+//! [`Program`] through a fluent API, then [`print`](crate::print)s or
+//! [`compile`](crate::compile)s it. Everything the builder produces parses
+//! back to itself (it reuses the AST directly).
+//!
+//! # Example
+//!
+//! ```
+//! use vw_fsl::builder::ProgramBuilder;
+//! use vw_fsl::{Action, Dir};
+//!
+//! let program = ProgramBuilder::new()
+//!     .filter("tr_token", |f| f.tuple(12, 2, 0x9900).tuple(14, 2, 0x0001))
+//!     .node("node1", "02:00:00:00:00:01".parse()?, "10.0.0.1".parse()?)
+//!     .node("node2", "02:00:00:00:00:02".parse()?, "10.0.0.2".parse()?)
+//!     .scenario("Drop_First_Token", |s| {
+//!         s.timeout_ms(1000)
+//!             .packet_counter("Tokens", "tr_token", "node1", "node2", Dir::Recv)
+//!             .on_true(|r| r.enable("Tokens"))
+//!             .when("Tokens", "=", 1, |r| {
+//!                 r.action(Action::Drop {
+//!                     pkt: "tr_token".into(),
+//!                     from: "node1".into(),
+//!                     to: "node2".into(),
+//!                     dir: Dir::Recv,
+//!                 })
+//!             })
+//!     })
+//!     .build()
+//!     .map_err(|e| e[0].clone())?;
+//! let tables = vw_fsl::compile(&program).map_err(|e| e[0].clone())?;
+//! assert_eq!(tables[0].scenario, "Drop_First_Token");
+//! // And the generated source round-trips:
+//! assert_eq!(vw_fsl::parse(&vw_fsl::print(&program))?, program);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::net::Ipv4Addr;
+
+use vw_packet::MacAddr;
+
+use crate::ast::*;
+use crate::error::FslError;
+
+/// Builds a [`Program`] incrementally; `build` runs semantic analysis.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    program: Program,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a run-time-bound `VAR`.
+    pub fn var(mut self, name: &str) -> Self {
+        self.program.vars.push(name.to_string());
+        self
+    }
+
+    /// Adds a packet definition; configure its tuples in the closure.
+    pub fn filter(mut self, name: &str, f: impl FnOnce(FilterBuilder) -> FilterBuilder) -> Self {
+        let fb = f(FilterBuilder {
+            def: FilterDef {
+                name: name.to_string(),
+                tuples: Vec::new(),
+            },
+        });
+        self.program.filters.push(fb.def);
+        self
+    }
+
+    /// Adds a node definition.
+    pub fn node(mut self, name: &str, mac: MacAddr, ip: Ipv4Addr) -> Self {
+        self.program.nodes.push(NodeDef {
+            name: name.to_string(),
+            mac,
+            ip,
+        });
+        self
+    }
+
+    /// Adds a scenario; configure counters and rules in the closure.
+    pub fn scenario(
+        mut self,
+        name: &str,
+        f: impl FnOnce(ScenarioBuilder) -> ScenarioBuilder,
+    ) -> Self {
+        let sb = f(ScenarioBuilder {
+            scenario: Scenario {
+                name: name.to_string(),
+                timeout_ns: None,
+                counters: Vec::new(),
+                rules: Vec::new(),
+            },
+        });
+        self.program.scenarios.push(sb.scenario);
+        self
+    }
+
+    /// Finishes the program and runs semantic analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns every semantic problem found, like
+    /// [`analyze`](crate::analyze).
+    pub fn build(self) -> Result<Program, Vec<FslError>> {
+        crate::analyze(&self.program)?;
+        Ok(self.program)
+    }
+
+    /// Finishes the program without validation (for tests that need
+    /// deliberately broken programs).
+    pub fn build_unchecked(self) -> Program {
+        self.program
+    }
+}
+
+/// Builds one packet definition.
+#[derive(Debug)]
+pub struct FilterBuilder {
+    def: FilterDef,
+}
+
+impl FilterBuilder {
+    /// Adds an `(offset len pattern)` tuple.
+    pub fn tuple(mut self, offset: u32, len: u32, pattern: u64) -> Self {
+        self.def.tuples.push(FilterTuple {
+            offset,
+            len,
+            mask: None,
+            pattern: PatternValue::Literal(pattern),
+        });
+        self
+    }
+
+    /// Adds an `(offset len mask pattern)` tuple.
+    pub fn masked_tuple(mut self, offset: u32, len: u32, mask: u64, pattern: u64) -> Self {
+        self.def.tuples.push(FilterTuple {
+            offset,
+            len,
+            mask: Some(mask),
+            pattern: PatternValue::Literal(pattern),
+        });
+        self
+    }
+
+    /// Adds a tuple whose pattern is a `VAR` bound at run time.
+    pub fn var_tuple(mut self, offset: u32, len: u32, var: &str) -> Self {
+        self.def.tuples.push(FilterTuple {
+            offset,
+            len,
+            mask: None,
+            pattern: PatternValue::Var(var.to_string()),
+        });
+        self
+    }
+}
+
+/// Builds one scenario.
+#[derive(Debug)]
+pub struct ScenarioBuilder {
+    scenario: Scenario,
+}
+
+impl ScenarioBuilder {
+    /// Sets the inactivity timeout in milliseconds.
+    pub fn timeout_ms(mut self, ms: u64) -> Self {
+        self.scenario.timeout_ns = Some(ms * 1_000_000);
+        self
+    }
+
+    /// Declares a packet-event counter.
+    pub fn packet_counter(
+        mut self,
+        name: &str,
+        pkt_type: &str,
+        from: &str,
+        to: &str,
+        dir: Dir,
+    ) -> Self {
+        self.scenario.counters.push(CounterDecl {
+            name: name.to_string(),
+            kind: CounterKind::PacketEvent {
+                pkt_type: pkt_type.to_string(),
+                from: from.to_string(),
+                to: to.to_string(),
+                dir,
+            },
+        });
+        self
+    }
+
+    /// Declares a node-local variable counter.
+    pub fn local_counter(mut self, name: &str, node: &str) -> Self {
+        self.scenario.counters.push(CounterDecl {
+            name: name.to_string(),
+            kind: CounterKind::NodeLocal {
+                node: node.to_string(),
+            },
+        });
+        self
+    }
+
+    /// Adds a `(TRUE) >> ...` initialization rule.
+    pub fn on_true(mut self, f: impl FnOnce(RuleBuilder) -> RuleBuilder) -> Self {
+        let rb = f(RuleBuilder {
+            rule: Rule {
+                condition: CondExpr::True,
+                actions: Vec::new(),
+            },
+        });
+        self.scenario.rules.push(rb.rule);
+        self
+    }
+
+    /// Adds a rule guarded by a single `counter <op> constant` term.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown operator symbol (use `>`, `<`, `>=`, `<=`,
+    /// `=`, `!=`).
+    pub fn when(
+        self,
+        counter: &str,
+        op: &str,
+        value: i64,
+        f: impl FnOnce(RuleBuilder) -> RuleBuilder,
+    ) -> Self {
+        let op = match op {
+            ">" => RelOp::Gt,
+            "<" => RelOp::Lt,
+            ">=" => RelOp::Ge,
+            "<=" => RelOp::Le,
+            "=" | "==" => RelOp::Eq,
+            "!=" => RelOp::Ne,
+            other => panic!("unknown relational operator `{other}`"),
+        };
+        let condition = CondExpr::Term(Term {
+            lhs: Operand::Counter(counter.to_string()),
+            op,
+            rhs: Operand::Const(value),
+        });
+        self.rule_with(condition, f)
+    }
+
+    /// Adds a rule with an arbitrary condition expression.
+    pub fn rule_with(
+        mut self,
+        condition: CondExpr,
+        f: impl FnOnce(RuleBuilder) -> RuleBuilder,
+    ) -> Self {
+        let rb = f(RuleBuilder {
+            rule: Rule {
+                condition,
+                actions: Vec::new(),
+            },
+        });
+        self.scenario.rules.push(rb.rule);
+        self
+    }
+}
+
+/// Builds one rule's action list.
+#[derive(Debug)]
+pub struct RuleBuilder {
+    rule: Rule,
+}
+
+impl RuleBuilder {
+    /// Appends any [`Action`].
+    pub fn action(mut self, action: Action) -> Self {
+        self.rule.actions.push(action);
+        self
+    }
+
+    /// `ENABLE_CNTR(counter)`.
+    pub fn enable(self, counter: &str) -> Self {
+        self.action(Action::Enable {
+            counter: counter.to_string(),
+        })
+    }
+
+    /// `DISABLE_CNTR(counter)`.
+    pub fn disable(self, counter: &str) -> Self {
+        self.action(Action::Disable {
+            counter: counter.to_string(),
+        })
+    }
+
+    /// `ASSIGN_CNTR(counter, value)`.
+    pub fn assign(self, counter: &str, value: i64) -> Self {
+        self.action(Action::Assign {
+            counter: counter.to_string(),
+            value,
+        })
+    }
+
+    /// `INCR_CNTR(counter, value)`.
+    pub fn incr(self, counter: &str, value: i64) -> Self {
+        self.action(Action::Incr {
+            counter: counter.to_string(),
+            value,
+        })
+    }
+
+    /// `DECR_CNTR(counter, value)`.
+    pub fn decr(self, counter: &str, value: i64) -> Self {
+        self.action(Action::Decr {
+            counter: counter.to_string(),
+            value,
+        })
+    }
+
+    /// `RESET_CNTR(counter)`.
+    pub fn reset(self, counter: &str) -> Self {
+        self.action(Action::Reset {
+            counter: counter.to_string(),
+        })
+    }
+
+    /// `STOP`.
+    pub fn stop(self) -> Self {
+        self.action(Action::Stop)
+    }
+
+    /// `FLAG_ERR "message"`.
+    pub fn flag_error(self, message: &str) -> Self {
+        self.action(Action::FlagError {
+            message: Some(message.to_string()),
+        })
+    }
+
+    /// `FAIL(node)`.
+    pub fn fail(self, node: &str) -> Self {
+        self.action(Action::Fail {
+            node: node.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(i: u32) -> MacAddr {
+        MacAddr::from_index(i)
+    }
+
+    fn sample() -> Result<Program, Vec<FslError>> {
+        ProgramBuilder::new()
+            .var("SeqNo")
+            .filter("tok", |f| {
+                f.tuple(12, 2, 0x9900)
+                    .masked_tuple(47, 1, 0x10, 0x10)
+                    .var_tuple(38, 4, "SeqNo")
+            })
+            .node("a", mac(1), "10.0.0.1".parse().unwrap())
+            .node("b", mac(2), "10.0.0.2".parse().unwrap())
+            .scenario("S", |s| {
+                s.timeout_ms(500)
+                    .packet_counter("C", "tok", "a", "b", Dir::Recv)
+                    .local_counter("V", "a")
+                    .on_true(|r| r.enable("C").assign("V", 3))
+                    .when("C", ">=", 2, |r| {
+                        r.incr("V", 1).decr("V", 2).reset("C").flag_error("oops")
+                    })
+                    .when("V", "!=", 0, |r| r.fail("b").stop().disable("C"))
+            })
+            .build()
+    }
+
+    #[test]
+    fn builder_produces_a_valid_program() {
+        let program = sample().unwrap();
+        assert_eq!(program.scenarios[0].rules.len(), 3);
+        assert!(crate::compile(&program).is_ok());
+    }
+
+    #[test]
+    fn builder_output_round_trips_through_the_printer() {
+        let program = sample().unwrap();
+        let printed = crate::print(&program);
+        let reparsed = crate::parse(&printed).unwrap();
+        assert_eq!(program, reparsed);
+    }
+
+    #[test]
+    fn build_validates() {
+        let bad = ProgramBuilder::new()
+            .filter("p", |f| f.tuple(0, 1, 0x1))
+            .node("a", mac(1), "10.0.0.1".parse().unwrap())
+            .scenario("S", |s| {
+                s.packet_counter("C", "ghost_pkt", "a", "nowhere", Dir::Send)
+                    .when("C", "=", 1, |r| r.stop())
+            })
+            .build();
+        let errors = bad.unwrap_err();
+        assert!(errors.iter().any(|e| e.to_string().contains("ghost_pkt")));
+        assert!(errors.iter().any(|e| e.to_string().contains("nowhere")));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown relational operator")]
+    fn bad_operator_panics() {
+        let _ = ProgramBuilder::new().scenario("S", |s| {
+            s.local_counter("C", "a").when("C", "~", 1, |r| r.stop())
+        });
+    }
+
+    #[test]
+    fn build_unchecked_skips_analysis() {
+        let program = ProgramBuilder::new().build_unchecked();
+        assert_eq!(program, Program::default());
+    }
+}

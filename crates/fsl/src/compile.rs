@@ -1,0 +1,967 @@
+//! Compilation of a checked FSL scenario into the six runtime tables of
+//! Figure 3: filter, node, counter, term, condition, and action tables.
+//!
+//! The compiler also performs the *placement* analysis of Section 5.2:
+//!
+//! * a counter lives at the node that observes its event (`SEND` ⇒ the
+//!   sender, `RECV` ⇒ the receiver; a node-local variable at its node);
+//! * a term is evaluated where its first counter operand lives; if the
+//!   other operand is a counter on a different node, that node must
+//!   forward value updates (the counter's *subscriber* list);
+//! * a condition is evaluated "at the nodes where an action dependent on
+//!   that condition might have to be triggered" — the homes of its
+//!   actions; term-status changes are forwarded there;
+//! * counter-manipulation actions execute at their counter's home;
+//!   packet faults execute where they act on packets; `FAIL` executes at
+//!   its victim.
+
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use vw_packet::MacAddr;
+
+use crate::ast::*;
+use crate::error::FslError;
+
+macro_rules! table_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u16);
+
+        impl $name {
+            /// The raw table index.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+table_id!(
+    /// Index into the filter table.
+    FilterId
+);
+table_id!(
+    /// Index into the node table.
+    NodeId
+);
+table_id!(
+    /// Index into the counter table.
+    CounterId
+);
+table_id!(
+    /// Index into the term table.
+    TermId
+);
+table_id!(
+    /// Index into the condition table.
+    CondId
+);
+table_id!(
+    /// Index into the action table.
+    ActionId
+);
+
+/// Filter-table entry: a named packet definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledFilter {
+    /// Packet type name.
+    pub name: String,
+    /// Match tuples (all must match).
+    pub tuples: Vec<FilterTuple>,
+}
+
+/// Node-table entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompiledNode {
+    /// Node name.
+    pub name: String,
+    /// Hardware address.
+    pub mac: MacAddr,
+    /// IP address.
+    pub ip: Ipv4Addr,
+}
+
+/// What a compiled counter observes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CompiledCounterKind {
+    /// Send/receive events of a packet type between two nodes.
+    Packet {
+        /// The packet definition.
+        filter: FilterId,
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Which side counts.
+        dir: Dir,
+    },
+    /// A node-local variable.
+    Local,
+}
+
+/// Counter-table entry, with the dependency tags of Section 5.1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledCounter {
+    /// Counter name.
+    pub name: String,
+    /// What it counts.
+    pub kind: CompiledCounterKind,
+    /// The node holding the authoritative value.
+    pub home: NodeId,
+    /// Terms whose value depends on this counter.
+    pub affected_terms: Vec<TermId>,
+    /// Remote nodes that evaluate an affected term and therefore receive
+    /// value updates over the control plane.
+    pub subscribers: Vec<NodeId>,
+}
+
+/// A term operand after name resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompiledOperand {
+    /// A counter's current value.
+    Counter(CounterId),
+    /// A constant.
+    Const(i64),
+}
+
+/// Term-table entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledTerm {
+    /// Left operand.
+    pub lhs: CompiledOperand,
+    /// Relational operator.
+    pub op: RelOp,
+    /// Right operand.
+    pub rhs: CompiledOperand,
+    /// The node evaluating the term.
+    pub eval_node: NodeId,
+    /// Conditions referencing this term.
+    pub conditions: Vec<CondId>,
+}
+
+/// A condition expression over term ids.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CondNode {
+    /// Always true (fires once at scenario start).
+    True,
+    /// Never true.
+    False,
+    /// A term's current truth value.
+    Term(TermId),
+    /// Conjunction.
+    And(Box<CondNode>, Box<CondNode>),
+    /// Disjunction.
+    Or(Box<CondNode>, Box<CondNode>),
+    /// Negation.
+    Not(Box<CondNode>),
+}
+
+impl CondNode {
+    /// All term ids in the expression.
+    pub fn terms(&self) -> Vec<TermId> {
+        let mut out = Vec::new();
+        self.collect(&mut out);
+        out
+    }
+
+    fn collect(&self, out: &mut Vec<TermId>) {
+        match self {
+            CondNode::True | CondNode::False => {}
+            CondNode::Term(t) => out.push(*t),
+            CondNode::And(a, b) | CondNode::Or(a, b) => {
+                a.collect(out);
+                b.collect(out);
+            }
+            CondNode::Not(a) => a.collect(out),
+        }
+    }
+
+    /// Evaluates against a term-status lookup.
+    pub fn eval(&self, term_status: &dyn Fn(TermId) -> bool) -> bool {
+        match self {
+            CondNode::True => true,
+            CondNode::False => false,
+            CondNode::Term(t) => term_status(*t),
+            CondNode::And(a, b) => a.eval(term_status) && b.eval(term_status),
+            CondNode::Or(a, b) => a.eval(term_status) || b.eval(term_status),
+            CondNode::Not(a) => !a.eval(term_status),
+        }
+    }
+}
+
+/// Condition-table entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledCondition {
+    /// The boolean expression.
+    pub expr: CondNode,
+    /// Nodes where the condition is evaluated (the homes of its actions).
+    pub eval_nodes: Vec<NodeId>,
+    /// Edge-triggered actions: fired once per false→true transition
+    /// (counter manipulations, `FAIL`, `STOP`, `FLAG_ERR`).
+    pub triggers: Vec<(NodeId, ActionId)>,
+    /// Level-gated packet faults: applied to every matching packet while
+    /// the condition holds (`DROP`/`DELAY`/`REORDER`/`DUP`/`MODIFY`).
+    pub gates: Vec<(NodeId, ActionId)>,
+}
+
+/// Action-table entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledAction {
+    /// The node executing the action.
+    pub node: NodeId,
+    /// What to do.
+    pub kind: CompiledActionKind,
+}
+
+/// Resolved action kinds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CompiledActionKind {
+    /// Set a counter.
+    Assign {
+        /// Target counter.
+        counter: CounterId,
+        /// New value.
+        value: i64,
+    },
+    /// Start event counting.
+    Enable {
+        /// Target counter.
+        counter: CounterId,
+    },
+    /// Stop event counting.
+    Disable {
+        /// Target counter.
+        counter: CounterId,
+    },
+    /// Add to a counter.
+    Incr {
+        /// Target counter.
+        counter: CounterId,
+        /// Amount.
+        value: i64,
+    },
+    /// Subtract from a counter.
+    Decr {
+        /// Target counter.
+        counter: CounterId,
+        /// Amount.
+        value: i64,
+    },
+    /// Zero a counter.
+    Reset {
+        /// Target counter.
+        counter: CounterId,
+    },
+    /// Store the current time (ns) into a counter.
+    SetCurTime {
+        /// Target counter.
+        counter: CounterId,
+    },
+    /// Replace a stored time with the elapsed time since it.
+    ElapsedTime {
+        /// Target counter.
+        counter: CounterId,
+    },
+    /// Drop matching packets.
+    Drop {
+        /// Packet type.
+        filter: FilterId,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Acting side.
+        dir: Dir,
+    },
+    /// Delay matching packets (quantized to 10 ms jiffies).
+    Delay {
+        /// Packet type.
+        filter: FilterId,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Acting side.
+        dir: Dir,
+        /// Hold time in nanoseconds.
+        duration_ns: u64,
+    },
+    /// Collect `count` matching packets, release in `order`.
+    Reorder {
+        /// Packet type.
+        filter: FilterId,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Acting side.
+        dir: Dir,
+        /// Packets per batch.
+        count: u32,
+        /// Release permutation.
+        order: Vec<u32>,
+    },
+    /// Duplicate matching packets.
+    Dup {
+        /// Packet type.
+        filter: FilterId,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Acting side.
+        dir: Dir,
+    },
+    /// Corrupt matching packets.
+    Modify {
+        /// Packet type.
+        filter: FilterId,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Acting side.
+        dir: Dir,
+        /// Mutation.
+        pattern: ModifyPattern,
+    },
+    /// Crash a node.
+    Fail {
+        /// The victim.
+        node: NodeId,
+    },
+    /// End the scenario.
+    Stop,
+    /// Record a protocol violation.
+    FlagError {
+        /// Optional message.
+        message: Option<String>,
+    },
+}
+
+/// The complete compiled form of one scenario — everything a Fault
+/// Injection/Analysis Engine needs, shipped to every node over the control
+/// plane ("all FIEs and FAEs are sent the entire set of tables",
+/// Section 5.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableSet {
+    /// Scenario name.
+    pub scenario: String,
+    /// Optional inactivity timeout in nanoseconds.
+    pub timeout_ns: Option<u64>,
+    /// Runtime-bound pattern variables.
+    pub vars: Vec<String>,
+    /// Filter table (priority order: first match wins).
+    pub filters: Vec<CompiledFilter>,
+    /// Node table.
+    pub nodes: Vec<CompiledNode>,
+    /// Counter table.
+    pub counters: Vec<CompiledCounter>,
+    /// Term table.
+    pub terms: Vec<CompiledTerm>,
+    /// Condition table.
+    pub conditions: Vec<CompiledCondition>,
+    /// Action table.
+    pub actions: Vec<CompiledAction>,
+}
+
+impl TableSet {
+    /// Finds a node id by name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| NodeId(i as u16))
+    }
+
+    /// Finds a counter id by name.
+    pub fn counter_by_name(&self, name: &str) -> Option<CounterId> {
+        self.counters
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| CounterId(i as u16))
+    }
+
+    /// Finds a filter id by name.
+    pub fn filter_by_name(&self, name: &str) -> Option<FilterId> {
+        self.filters
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FilterId(i as u16))
+    }
+}
+
+/// Compiles every scenario of a program into its own [`TableSet`].
+///
+/// # Errors
+///
+/// Returns the semantic errors from [`analyze`](crate::analyze) if the
+/// program is invalid.
+pub fn compile(program: &Program) -> Result<Vec<TableSet>, Vec<FslError>> {
+    crate::analyze(program)?;
+    Ok(program
+        .scenarios
+        .iter()
+        .map(|scenario| compile_scenario(program, scenario))
+        .collect())
+}
+
+fn compile_scenario(program: &Program, scenario: &Scenario) -> TableSet {
+    let filters: Vec<CompiledFilter> = program
+        .filters
+        .iter()
+        .map(|f| CompiledFilter {
+            name: f.name.clone(),
+            tuples: f.tuples.clone(),
+        })
+        .collect();
+    let nodes: Vec<CompiledNode> = program
+        .nodes
+        .iter()
+        .map(|n| CompiledNode {
+            name: n.name.clone(),
+            mac: n.mac,
+            ip: n.ip,
+        })
+        .collect();
+
+    let filter_ids: HashMap<&str, FilterId> = program
+        .filters
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.as_str(), FilterId(i as u16)))
+        .collect();
+    let node_ids: HashMap<&str, NodeId> = program
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.name.as_str(), NodeId(i as u16)))
+        .collect();
+
+    // ---- counter table --------------------------------------------
+    let mut counters: Vec<CompiledCounter> = Vec::new();
+    let mut counter_ids: HashMap<&str, CounterId> = HashMap::new();
+    for decl in &scenario.counters {
+        let (kind, home) = match &decl.kind {
+            CounterKind::PacketEvent {
+                pkt_type,
+                from,
+                to,
+                dir,
+            } => {
+                let from_id = node_ids[from.as_str()];
+                let to_id = node_ids[to.as_str()];
+                let home = match dir {
+                    Dir::Send => from_id,
+                    Dir::Recv => to_id,
+                };
+                (
+                    CompiledCounterKind::Packet {
+                        filter: filter_ids[pkt_type.as_str()],
+                        from: from_id,
+                        to: to_id,
+                        dir: *dir,
+                    },
+                    home,
+                )
+            }
+            CounterKind::NodeLocal { node } => {
+                (CompiledCounterKind::Local, node_ids[node.as_str()])
+            }
+        };
+        counter_ids.insert(decl.name.as_str(), CounterId(counters.len() as u16));
+        counters.push(CompiledCounter {
+            name: decl.name.clone(),
+            kind,
+            home,
+            affected_terms: Vec::new(),
+            subscribers: Vec::new(),
+        });
+    }
+
+    // ---- terms, conditions, actions --------------------------------
+    let mut terms: Vec<CompiledTerm> = Vec::new();
+    let mut term_dedup: HashMap<(CompiledOperand, RelOp, CompiledOperand), TermId> =
+        HashMap::new();
+    let mut conditions: Vec<CompiledCondition> = Vec::new();
+    let mut actions: Vec<CompiledAction> = Vec::new();
+
+    for rule in &scenario.rules {
+        let cond_id = CondId(conditions.len() as u16);
+        let expr = compile_cond(
+            &rule.condition,
+            &counter_ids,
+            &counters,
+            &mut terms,
+            &mut term_dedup,
+            cond_id,
+        );
+
+        // Fallback home for STOP / FLAG_ERR: the first counter referenced
+        // by the condition, else node 0.
+        let fallback_home = rule
+            .condition
+            .counters()
+            .first()
+            .map(|name| counters[counter_ids[*name].index()].home)
+            .unwrap_or(NodeId(0));
+
+        let mut triggers = Vec::new();
+        let mut gates = Vec::new();
+        for action in &rule.actions {
+            let action_id = ActionId(actions.len() as u16);
+            let (node, kind) = compile_action(action, &filter_ids, &node_ids, &counter_ids, &counters, fallback_home);
+            actions.push(CompiledAction { node, kind });
+            if action.is_packet_fault() {
+                gates.push((node, action_id));
+            } else {
+                triggers.push((node, action_id));
+            }
+        }
+        let eval_nodes: BTreeSet<NodeId> = triggers
+            .iter()
+            .chain(gates.iter())
+            .map(|(node, _)| *node)
+            .collect();
+        conditions.push(CompiledCondition {
+            expr,
+            eval_nodes: eval_nodes.into_iter().collect(),
+            triggers,
+            gates,
+        });
+    }
+
+    // ---- dependency tags -------------------------------------------
+    for (ti, term) in terms.iter().enumerate() {
+        for operand in [term.lhs, term.rhs] {
+            if let CompiledOperand::Counter(cid) = operand {
+                let counter = &mut counters[cid.index()];
+                if !counter.affected_terms.contains(&TermId(ti as u16)) {
+                    counter.affected_terms.push(TermId(ti as u16));
+                }
+                if term.eval_node != counter.home
+                    && !counter.subscribers.contains(&term.eval_node)
+                {
+                    counter.subscribers.push(term.eval_node);
+                }
+            }
+        }
+    }
+
+    TableSet {
+        scenario: scenario.name.clone(),
+        timeout_ns: scenario.timeout_ns,
+        vars: program.vars.clone(),
+        filters,
+        nodes,
+        counters,
+        terms,
+        conditions,
+        actions,
+    }
+}
+
+fn compile_cond(
+    expr: &CondExpr,
+    counter_ids: &HashMap<&str, CounterId>,
+    counters: &[CompiledCounter],
+    terms: &mut Vec<CompiledTerm>,
+    dedup: &mut HashMap<(CompiledOperand, RelOp, CompiledOperand), TermId>,
+    cond_id: CondId,
+) -> CondNode {
+    match expr {
+        CondExpr::True => CondNode::True,
+        CondExpr::False => CondNode::False,
+        CondExpr::Term(term) => {
+            let lhs = compile_operand(&term.lhs, counter_ids);
+            let rhs = compile_operand(&term.rhs, counter_ids);
+            let key = (lhs, term.op, rhs);
+            let tid = *dedup.entry(key).or_insert_with(|| {
+                // Placement: evaluate where the first counter operand lives.
+                let eval_node = match (lhs, rhs) {
+                    (CompiledOperand::Counter(c), _) => counters[c.index()].home,
+                    (_, CompiledOperand::Counter(c)) => counters[c.index()].home,
+                    _ => NodeId(0),
+                };
+                terms.push(CompiledTerm {
+                    lhs,
+                    op: term.op,
+                    rhs,
+                    eval_node,
+                    conditions: Vec::new(),
+                });
+                TermId((terms.len() - 1) as u16)
+            });
+            if !terms[tid.index()].conditions.contains(&cond_id) {
+                terms[tid.index()].conditions.push(cond_id);
+            }
+            CondNode::Term(tid)
+        }
+        CondExpr::And(a, b) => CondNode::And(
+            Box::new(compile_cond(a, counter_ids, counters, terms, dedup, cond_id)),
+            Box::new(compile_cond(b, counter_ids, counters, terms, dedup, cond_id)),
+        ),
+        CondExpr::Or(a, b) => CondNode::Or(
+            Box::new(compile_cond(a, counter_ids, counters, terms, dedup, cond_id)),
+            Box::new(compile_cond(b, counter_ids, counters, terms, dedup, cond_id)),
+        ),
+        CondExpr::Not(a) => CondNode::Not(Box::new(compile_cond(
+            a,
+            counter_ids,
+            counters,
+            terms,
+            dedup,
+            cond_id,
+        ))),
+    }
+}
+
+fn compile_operand(
+    operand: &Operand,
+    counter_ids: &HashMap<&str, CounterId>,
+) -> CompiledOperand {
+    match operand {
+        Operand::Counter(name) => CompiledOperand::Counter(counter_ids[name.as_str()]),
+        Operand::Const(v) => CompiledOperand::Const(*v),
+    }
+}
+
+fn compile_action(
+    action: &Action,
+    filter_ids: &HashMap<&str, FilterId>,
+    node_ids: &HashMap<&str, NodeId>,
+    counter_ids: &HashMap<&str, CounterId>,
+    counters: &[CompiledCounter],
+    fallback_home: NodeId,
+) -> (NodeId, CompiledActionKind) {
+    let counter_home = |name: &str| counters[counter_ids[name].index()].home;
+    let fault_home = |from: &str, to: &str, dir: Dir| match dir {
+        Dir::Send => node_ids[from],
+        Dir::Recv => node_ids[to],
+    };
+    match action {
+        Action::Assign { counter, value } => (
+            counter_home(counter),
+            CompiledActionKind::Assign {
+                counter: counter_ids[counter.as_str()],
+                value: *value,
+            },
+        ),
+        Action::Enable { counter } => (
+            counter_home(counter),
+            CompiledActionKind::Enable {
+                counter: counter_ids[counter.as_str()],
+            },
+        ),
+        Action::Disable { counter } => (
+            counter_home(counter),
+            CompiledActionKind::Disable {
+                counter: counter_ids[counter.as_str()],
+            },
+        ),
+        Action::Incr { counter, value } => (
+            counter_home(counter),
+            CompiledActionKind::Incr {
+                counter: counter_ids[counter.as_str()],
+                value: *value,
+            },
+        ),
+        Action::Decr { counter, value } => (
+            counter_home(counter),
+            CompiledActionKind::Decr {
+                counter: counter_ids[counter.as_str()],
+                value: *value,
+            },
+        ),
+        Action::Reset { counter } => (
+            counter_home(counter),
+            CompiledActionKind::Reset {
+                counter: counter_ids[counter.as_str()],
+            },
+        ),
+        Action::SetCurTime { counter } => (
+            counter_home(counter),
+            CompiledActionKind::SetCurTime {
+                counter: counter_ids[counter.as_str()],
+            },
+        ),
+        Action::ElapsedTime { counter } => (
+            counter_home(counter),
+            CompiledActionKind::ElapsedTime {
+                counter: counter_ids[counter.as_str()],
+            },
+        ),
+        Action::Drop { pkt, from, to, dir } => (
+            fault_home(from, to, *dir),
+            CompiledActionKind::Drop {
+                filter: filter_ids[pkt.as_str()],
+                from: node_ids[from.as_str()],
+                to: node_ids[to.as_str()],
+                dir: *dir,
+            },
+        ),
+        Action::Delay {
+            pkt,
+            from,
+            to,
+            dir,
+            duration_ns,
+        } => (
+            fault_home(from, to, *dir),
+            CompiledActionKind::Delay {
+                filter: filter_ids[pkt.as_str()],
+                from: node_ids[from.as_str()],
+                to: node_ids[to.as_str()],
+                dir: *dir,
+                duration_ns: *duration_ns,
+            },
+        ),
+        Action::Reorder {
+            pkt,
+            from,
+            to,
+            dir,
+            count,
+            order,
+        } => (
+            fault_home(from, to, *dir),
+            CompiledActionKind::Reorder {
+                filter: filter_ids[pkt.as_str()],
+                from: node_ids[from.as_str()],
+                to: node_ids[to.as_str()],
+                dir: *dir,
+                count: *count,
+                order: order.clone(),
+            },
+        ),
+        Action::Dup { pkt, from, to, dir } => (
+            fault_home(from, to, *dir),
+            CompiledActionKind::Dup {
+                filter: filter_ids[pkt.as_str()],
+                from: node_ids[from.as_str()],
+                to: node_ids[to.as_str()],
+                dir: *dir,
+            },
+        ),
+        Action::Modify {
+            pkt,
+            from,
+            to,
+            dir,
+            pattern,
+        } => (
+            fault_home(from, to, *dir),
+            CompiledActionKind::Modify {
+                filter: filter_ids[pkt.as_str()],
+                from: node_ids[from.as_str()],
+                to: node_ids[to.as_str()],
+                dir: *dir,
+                pattern: pattern.clone(),
+            },
+        ),
+        Action::Fail { node } => (
+            node_ids[node.as_str()],
+            CompiledActionKind::Fail {
+                node: node_ids[node.as_str()],
+            },
+        ),
+        Action::Stop => (fallback_home, CompiledActionKind::Stop),
+        Action::FlagError { message } => (
+            fallback_home,
+            CompiledActionKind::FlagError {
+                message: message.clone(),
+            },
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const SRC: &str = r#"
+        FILTER_TABLE
+        tok: (12 2 0x9900), (14 2 0x0001)
+        data: (34 2 0x6000)
+        END
+        NODE_TABLE
+        n1 00:00:00:00:00:01 10.0.0.1
+        n2 00:00:00:00:00:02 10.0.0.2
+        n3 00:00:00:00:00:03 10.0.0.3
+        END
+        SCENARIO Placement 1sec
+        RxAt2: (tok, n1, n2, RECV)
+        TxAt1: (data, n1, n2, SEND)
+        Var3: (n3)
+        ((RxAt2 = 1)) >> FAIL(n3); ENABLE_CNTR(TxAt1);
+        ((RxAt2 > 0) && (TxAt1 = 3)) >> STOP;
+        ((Var3 < 0)) >> FLAG_ERROR;
+        ((RxAt2 = 2)) >> DROP(tok, n1, n2, RECV);
+        END
+    "#;
+
+    fn tables() -> TableSet {
+        compile(&parse(SRC).unwrap()).unwrap().remove(0)
+    }
+
+    #[test]
+    fn counter_homes_follow_direction() {
+        let t = tables();
+        let rx = t.counter_by_name("RxAt2").unwrap();
+        let tx = t.counter_by_name("TxAt1").unwrap();
+        let var = t.counter_by_name("Var3").unwrap();
+        assert_eq!(t.counters[rx.index()].home, t.node_by_name("n2").unwrap());
+        assert_eq!(t.counters[tx.index()].home, t.node_by_name("n1").unwrap());
+        assert_eq!(t.counters[var.index()].home, t.node_by_name("n3").unwrap());
+    }
+
+    #[test]
+    fn fail_executes_at_the_victim() {
+        let t = tables();
+        let fail = t
+            .actions
+            .iter()
+            .find(|a| matches!(a.kind, CompiledActionKind::Fail { .. }))
+            .unwrap();
+        assert_eq!(fail.node, t.node_by_name("n3").unwrap());
+    }
+
+    #[test]
+    fn counter_ops_execute_at_counter_home() {
+        let t = tables();
+        let enable = t
+            .actions
+            .iter()
+            .find(|a| matches!(a.kind, CompiledActionKind::Enable { .. }))
+            .unwrap();
+        assert_eq!(enable.node, t.node_by_name("n1").unwrap());
+    }
+
+    #[test]
+    fn condition_eval_nodes_are_action_homes() {
+        let t = tables();
+        // First condition triggers FAIL@n3 and ENABLE@n1.
+        let cond = &t.conditions[0];
+        let n1 = t.node_by_name("n1").unwrap();
+        let n3 = t.node_by_name("n3").unwrap();
+        assert_eq!(cond.eval_nodes, vec![n1, n3]);
+        assert_eq!(cond.triggers.len(), 2);
+        assert!(cond.gates.is_empty());
+    }
+
+    #[test]
+    fn packet_faults_are_gates_not_triggers() {
+        let t = tables();
+        let cond = &t.conditions[3];
+        assert!(cond.triggers.is_empty());
+        assert_eq!(cond.gates.len(), 1);
+        // DROP ... RECV executes at the receiver, n2.
+        assert_eq!(cond.gates[0].0, t.node_by_name("n2").unwrap());
+    }
+
+    #[test]
+    fn terms_deduplicate_and_tag_conditions() {
+        let t = tables();
+        // `RxAt2 = 1` appears once; `RxAt2 > 0`, `TxAt1 = 3`, `Var3 < 0`,
+        // `RxAt2 = 2` once each → 5 terms.
+        assert_eq!(t.terms.len(), 5);
+        // The `RxAt2 > 0` term belongs to condition 1 only.
+        let rx = t.counter_by_name("RxAt2").unwrap();
+        let gt = t
+            .terms
+            .iter()
+            .find(|term| {
+                term.op == RelOp::Gt && term.lhs == CompiledOperand::Counter(rx)
+            })
+            .unwrap();
+        assert_eq!(gt.conditions, vec![CondId(1)]);
+    }
+
+    #[test]
+    fn counter_dependency_tags() {
+        let t = tables();
+        let rx = t.counter_by_name("RxAt2").unwrap();
+        let counter = &t.counters[rx.index()];
+        // RxAt2 appears in three terms.
+        assert_eq!(counter.affected_terms.len(), 3);
+        // All RxAt2 terms evaluate at its home (n2) → no subscribers.
+        assert!(counter.subscribers.is_empty());
+    }
+
+    #[test]
+    fn stop_falls_back_to_first_condition_counter_home() {
+        let t = tables();
+        let stop = t
+            .actions
+            .iter()
+            .find(|a| matches!(a.kind, CompiledActionKind::Stop))
+            .unwrap();
+        // Condition references RxAt2 first; its home is n2.
+        assert_eq!(stop.node, t.node_by_name("n2").unwrap());
+    }
+
+    #[test]
+    fn timeout_and_names_carried_over() {
+        let t = tables();
+        assert_eq!(t.scenario, "Placement");
+        assert_eq!(t.timeout_ns, Some(1_000_000_000));
+        assert_eq!(t.filters.len(), 2);
+        assert_eq!(t.nodes.len(), 3);
+        assert_eq!(t.filter_by_name("tok"), Some(FilterId(0)));
+        assert_eq!(t.node_by_name("nope"), None);
+    }
+
+    #[test]
+    fn remote_term_creates_subscription() {
+        let src = r#"
+            FILTER_TABLE
+            p: (12 2 0x9900)
+            END
+            NODE_TABLE
+            a 00:00:00:00:00:01 10.0.0.1
+            b 00:00:00:00:00:02 10.0.0.2
+            END
+            SCENARIO Remote
+            AtA: (p, b, a, RECV)
+            AtB: (p, a, b, RECV)
+            ((AtA = AtB)) >> STOP;
+            END
+        "#;
+        let t = compile(&parse(src).unwrap()).unwrap().remove(0);
+        // Term `AtA = AtB` evaluates at AtA's home (a); AtB (home b) must
+        // subscribe a.
+        let at_b = t.counter_by_name("AtB").unwrap();
+        let a = t.node_by_name("a").unwrap();
+        assert_eq!(t.counters[at_b.index()].subscribers, vec![a]);
+        let at_a = t.counter_by_name("AtA").unwrap();
+        assert!(t.counters[at_a.index()].subscribers.is_empty());
+    }
+
+    #[test]
+    fn invalid_program_rejected() {
+        let bad = parse("SCENARIO S (Ghost = 1) >> STOP; END").unwrap();
+        assert!(compile(&bad).is_err());
+    }
+
+    #[test]
+    fn table_set_is_cloneable_and_comparable() {
+        let t = tables();
+        let cloned = t.clone();
+        assert_eq!(t, cloned);
+        assert!(!format!("{t:?}").is_empty());
+    }
+}

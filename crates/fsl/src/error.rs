@@ -1,0 +1,72 @@
+//! FSL errors: lexical, syntactic, and semantic.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::token::Span;
+
+/// An error produced while lexing, parsing, or analyzing an FSL script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FslError {
+    message: String,
+    span: Option<Span>,
+}
+
+impl FslError {
+    /// Creates an error anchored at a source position.
+    pub fn at(span: Span, message: impl Into<String>) -> Self {
+        FslError {
+            message: message.into(),
+            span: Some(span),
+        }
+    }
+
+    /// Creates an error with no position (e.g. program-level checks).
+    pub fn general(message: impl Into<String>) -> Self {
+        FslError {
+            message: message.into(),
+            span: None,
+        }
+    }
+
+    /// The human-readable message, without position.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The source position, if known.
+    pub fn span(&self) -> Option<Span> {
+        self.span
+    }
+}
+
+impl fmt::Display for FslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(span) => write!(f, "{span}: {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl Error for FslError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_span() {
+        let e = FslError::at(Span { line: 3, col: 7 }, "unexpected token");
+        assert_eq!(e.to_string(), "3:7: unexpected token");
+        let g = FslError::general("no scenario defined");
+        assert_eq!(g.to_string(), "no scenario defined");
+    }
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn is_send_sync() {
+        assert_send_sync::<FslError>();
+    }
+}

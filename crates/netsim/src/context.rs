@@ -1,0 +1,189 @@
+//! The capability handle passed to hooks and protocols during dispatch.
+
+use std::net::Ipv4Addr;
+
+use rand::rngs::StdRng;
+
+use vw_packet::{Frame, MacAddr};
+
+use crate::id::{DeviceId, HandlerRef, TimerId};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::TraceKind;
+
+/// Who is currently being dispatched, which determines how emitted frames
+/// are routed through the hook chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CtxOrigin {
+    /// A protocol handler: [`Context::send`] enters the chain at the stack
+    /// end.
+    Protocol,
+    /// The hook at this chain index: [`Context::send`] continues wire-ward
+    /// from it, [`Context::deliver_up`] continues stack-ward.
+    Hook(usize),
+}
+
+/// A deferred side effect collected during a handler call and applied by the
+/// [`World`](crate::World) afterwards.
+#[derive(Debug)]
+pub(crate) enum Effect {
+    /// Send a frame toward the wire (routed by origin).
+    Send { frame: Frame, after: SimDuration },
+    /// Deliver a frame toward the protocol stack (hooks only).
+    DeliverUp { frame: Frame, after: SimDuration },
+    /// Hand a frame straight to the NIC, bypassing the remaining chain.
+    TransmitRaw { frame: Frame, after: SimDuration },
+    /// Arm a timer for this handler.
+    SetTimer {
+        id: TimerId,
+        token: u64,
+        at: SimTime,
+        handler: HandlerRef,
+    },
+    /// Disarm a previously set timer.
+    CancelTimer(TimerId),
+    /// Append a trace record.
+    Trace {
+        kind: TraceKind,
+        frame: Option<Frame>,
+        note: String,
+    },
+    /// Ask the world to stop the run (the `STOP` action).
+    RequestStop { reason: String },
+}
+
+/// Execution context handed to [`Hook`](crate::Hook) and
+/// [`Protocol`](crate::Protocol) callbacks.
+///
+/// All mutations requested through a `Context` are collected as effects and
+/// applied by the world after the callback returns, which keeps dispatch
+/// free of re-entrancy.
+///
+/// # Processing cost
+///
+/// [`charge`](Context::charge) models CPU time spent handling the current
+/// frame (the paper's Section 7 measures exactly this: per-packet latency
+/// added by filter matching, table updates, and RLL processing). Charged
+/// time delays both the continuation of the frame along the chain and every
+/// effect emitted afterwards.
+pub struct Context<'a> {
+    pub(crate) now: SimTime,
+    pub(crate) node: DeviceId,
+    pub(crate) mac: MacAddr,
+    pub(crate) ip: Ipv4Addr,
+    pub(crate) handler: HandlerRef,
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) next_timer: &'a mut u64,
+    pub(crate) effects: Vec<Effect>,
+    pub(crate) charged: SimDuration,
+}
+
+impl<'a> Context<'a> {
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The device this handler runs on.
+    pub fn node(&self) -> DeviceId {
+        self.node
+    }
+
+    /// This host's MAC address.
+    pub fn mac(&self) -> MacAddr {
+        self.mac
+    }
+
+    /// This host's IPv4 address.
+    pub fn ip(&self) -> Ipv4Addr {
+        self.ip
+    }
+
+    /// The world's deterministic random number generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Sends a frame toward the wire.
+    ///
+    /// From a protocol, the frame enters the hook chain at the stack end
+    /// (so installed fault injectors see it). From a hook, it continues
+    /// wire-ward from that hook — a hook never re-processes its own output.
+    pub fn send(&mut self, frame: Frame) {
+        let after = self.charged;
+        self.effects.push(Effect::Send { frame, after });
+    }
+
+    /// Delivers a frame toward the protocol stack, continuing stack-ward
+    /// from the calling hook. Used by the RLL to hand up decapsulated
+    /// frames and by the FIE to release a delayed inbound packet without
+    /// re-classifying it.
+    pub fn deliver_up(&mut self, frame: Frame) {
+        let after = self.charged;
+        self.effects.push(Effect::DeliverUp { frame, after });
+    }
+
+    /// Hands a frame straight to the NIC transmit queue, bypassing all
+    /// remaining hooks (link-level messages such as RLL acknowledgments).
+    pub fn transmit_raw(&mut self, frame: Frame) {
+        let after = self.charged;
+        self.effects.push(Effect::TransmitRaw { frame, after });
+    }
+
+    /// Arms a timer that will call this handler's `on_timer` with `token`
+    /// after `delay`. Returns an id usable with
+    /// [`cancel_timer`](Context::cancel_timer).
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerId {
+        *self.next_timer += 1;
+        let id = TimerId(*self.next_timer);
+        self.effects.push(Effect::SetTimer {
+            id,
+            token,
+            at: self.now.saturating_add(self.charged.saturating_add(delay)),
+            handler: self.handler,
+        });
+        id
+    }
+
+    /// Disarms a pending timer. Cancelling an already-fired timer is a
+    /// harmless no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.effects.push(Effect::CancelTimer(id));
+    }
+
+    /// Records simulated CPU time spent processing the current frame. The
+    /// charge delays the frame's continuation and all subsequently emitted
+    /// effects.
+    pub fn charge(&mut self, cost: SimDuration) {
+        self.charged = self.charged.saturating_add(cost);
+    }
+
+    /// Total time charged so far in this callback.
+    pub fn charged(&self) -> SimDuration {
+        self.charged
+    }
+
+    /// Appends a free-form note to the world trace.
+    pub fn trace_note(&mut self, note: impl Into<String>) {
+        self.effects.push(Effect::Trace {
+            kind: TraceKind::Note,
+            frame: None,
+            note: note.into(),
+        });
+    }
+
+    /// Appends a trace record carrying a frame.
+    pub fn trace_frame(&mut self, kind: TraceKind, frame: &Frame, note: impl Into<String>) {
+        self.effects.push(Effect::Trace {
+            kind,
+            frame: Some(frame.clone()),
+            note: note.into(),
+        });
+    }
+
+    /// Requests that the whole simulation stop (the FSL `STOP` action).
+    pub fn request_stop(&mut self, reason: impl Into<String>) {
+        self.effects.push(Effect::RequestStop {
+            reason: reason.into(),
+        });
+    }
+}

@@ -1,0 +1,250 @@
+//! Link error models: frame loss and bit corruption.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use vw_packet::Frame;
+
+/// What the wire did to a frame in transit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkOutcome {
+    /// The frame arrived unchanged.
+    Delivered,
+    /// The frame was lost entirely.
+    Lost,
+    /// One or more bits were flipped (the mutated frame is delivered;
+    /// integrity checks upstream decide its fate).
+    Corrupted {
+        /// How many bits were flipped.
+        bits_flipped: u32,
+    },
+}
+
+/// A stochastic model of what a physical link does to frames.
+///
+/// VirtualWire's *Reliable Link Layer* exists precisely because of this:
+/// MAC-level bit errors must never cause a packet loss the fault injection
+/// engine is unaware of (Section 3.3). Tests drive the RLL against this
+/// model.
+///
+/// ```
+/// use vw_netsim::ErrorModel;
+/// let perfect = ErrorModel::perfect();
+/// assert_eq!(perfect.loss_probability(), 0.0);
+/// let lossy = ErrorModel::lossy(0.1);
+/// assert_eq!(lossy.loss_probability(), 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorModel {
+    /// Probability that a frame is lost outright.
+    loss: f64,
+    /// Per-bit flip probability applied to surviving frames.
+    bit_error_rate: f64,
+}
+
+impl ErrorModel {
+    /// A link that never loses or corrupts frames.
+    pub const fn perfect() -> Self {
+        ErrorModel {
+            loss: 0.0,
+            bit_error_rate: 0.0,
+        }
+    }
+
+    /// A link that loses each frame independently with probability `loss`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= loss <= 1.0`.
+    pub fn lossy(loss: f64) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+        ErrorModel {
+            loss,
+            bit_error_rate: 0.0,
+        }
+    }
+
+    /// A link that flips each bit independently with probability `ber`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= ber <= 1.0`.
+    pub fn bit_errors(ber: f64) -> Self {
+        assert!((0.0..=1.0).contains(&ber), "BER must be a probability");
+        ErrorModel {
+            loss: 0.0,
+            bit_error_rate: ber,
+        }
+    }
+
+    /// Combines frame loss and bit errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both arguments are probabilities.
+    pub fn new(loss: f64, bit_error_rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&bit_error_rate),
+            "BER must be a probability"
+        );
+        ErrorModel {
+            loss,
+            bit_error_rate,
+        }
+    }
+
+    /// The configured frame-loss probability.
+    pub fn loss_probability(&self) -> f64 {
+        self.loss
+    }
+
+    /// The configured per-bit error rate.
+    pub fn bit_error_rate(&self) -> f64 {
+        self.bit_error_rate
+    }
+
+    /// Returns `true` for a model that can never touch a frame.
+    pub fn is_perfect(&self) -> bool {
+        self.loss == 0.0 && self.bit_error_rate == 0.0
+    }
+
+    /// Applies the model to a frame in transit, possibly mutating it.
+    pub fn apply(&self, frame: &mut Frame, rng: &mut StdRng) -> LinkOutcome {
+        if self.loss > 0.0 && rng.random::<f64>() < self.loss {
+            return LinkOutcome::Lost;
+        }
+        if self.bit_error_rate > 0.0 {
+            let mut flipped = 0u32;
+            // Exact per-bit sampling is O(bits); for the tiny BERs used in
+            // practice, sample the number of flips from the expected count
+            // cheaply: walk bytes and flip with per-byte probability
+            // 1-(1-p)^8 (approximated as 8p for small p, capped at 1).
+            let per_byte = (self.bit_error_rate * 8.0).min(1.0);
+            for byte in 0..frame.len() {
+                if rng.random::<f64>() < per_byte {
+                    let bit = rng.random_range(0..8u8);
+                    frame.flip_bit(byte, bit);
+                    flipped += 1;
+                }
+            }
+            if flipped > 0 {
+                return LinkOutcome::Corrupted {
+                    bits_flipped: flipped,
+                };
+            }
+        }
+        LinkOutcome::Delivered
+    }
+}
+
+impl Default for ErrorModel {
+    fn default() -> Self {
+        ErrorModel::perfect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use vw_packet::{EthernetBuilder, MacAddr};
+
+    fn frame() -> Frame {
+        EthernetBuilder::new()
+            .src(MacAddr::from_index(1))
+            .dst(MacAddr::from_index(2))
+            .payload(&[0u8; 100])
+            .build()
+    }
+
+    #[test]
+    fn perfect_link_never_touches_frames() {
+        let model = ErrorModel::perfect();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let mut f = frame();
+            let original = f.clone();
+            assert_eq!(model.apply(&mut f, &mut rng), LinkOutcome::Delivered);
+            assert_eq!(f, original);
+        }
+    }
+
+    #[test]
+    fn total_loss_drops_everything() {
+        let model = ErrorModel::lossy(1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let mut f = frame();
+            assert_eq!(model.apply(&mut f, &mut rng), LinkOutcome::Lost);
+        }
+    }
+
+    #[test]
+    fn loss_rate_is_approximately_honored() {
+        let model = ErrorModel::lossy(0.3);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let lost = (0..n)
+            .filter(|_| model.apply(&mut frame(), &mut rng) == LinkOutcome::Lost)
+            .count();
+        let rate = lost as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "observed loss rate {rate}");
+    }
+
+    #[test]
+    fn bit_errors_mutate_the_frame() {
+        let model = ErrorModel::bit_errors(0.01);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut corrupted = 0;
+        for _ in 0..200 {
+            let mut f = frame();
+            let original = f.clone();
+            match model.apply(&mut f, &mut rng) {
+                LinkOutcome::Corrupted { bits_flipped } => {
+                    assert!(bits_flipped > 0);
+                    assert_ne!(f, original);
+                    corrupted += 1;
+                }
+                LinkOutcome::Delivered => assert_eq!(f, original),
+                LinkOutcome::Lost => panic!("loss disabled"),
+            }
+        }
+        assert!(corrupted > 100, "BER 0.01 should corrupt most 114-byte frames");
+    }
+
+    #[test]
+    fn determinism_under_same_seed() {
+        let model = ErrorModel::new(0.2, 0.001);
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(123);
+            (0..500)
+                .map(|_| {
+                    let mut f = frame();
+                    (model.apply(&mut f, &mut rng), f)
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_loss_rejected() {
+        let _ = ErrorModel::lossy(1.5);
+    }
+
+    #[test]
+    fn is_perfect_flag() {
+        assert!(ErrorModel::perfect().is_perfect());
+        assert!(ErrorModel::default().is_perfect());
+        assert!(!ErrorModel::lossy(0.01).is_perfect());
+        assert!(!ErrorModel::bit_errors(1e-6).is_perfect());
+    }
+}

@@ -1,0 +1,158 @@
+//! The discrete-event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use vw_packet::Frame;
+
+use crate::id::{DeviceId, HandlerRef, PortRef, TimerId};
+use crate::time::SimTime;
+
+/// The kinds of events the simulator processes.
+#[derive(Debug)]
+pub(crate) enum EventKind {
+    /// A frame finished crossing a link and arrives at a port.
+    Arrive { to: PortRef, frame: Frame },
+    /// A port finished serializing its in-flight frame.
+    TxComplete { port: PortRef },
+    /// A handler's timer fired.
+    Timer {
+        node: DeviceId,
+        handler: HandlerRef,
+        token: u64,
+        id: TimerId,
+    },
+    /// Deliver a start/poke callback to a handler.
+    Start { node: DeviceId, handler: HandlerRef },
+    /// Continue an outbound frame at hook index `idx` of `node`'s chain.
+    OutboundChain {
+        node: DeviceId,
+        idx: usize,
+        frame: Frame,
+    },
+    /// Continue an inbound frame; the next hook to visit is `next - 1`,
+    /// and `next == 0` delivers to the protocol stack.
+    InboundChain {
+        node: DeviceId,
+        next: usize,
+        frame: Frame,
+    },
+}
+
+#[derive(Debug)]
+pub(crate) struct Event {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    // Reverse ordering: the BinaryHeap is a max-heap, we want earliest
+    // first, ties broken by insertion order for determinism.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic priority queue of events: earliest time first, FIFO
+/// within a timestamp.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, time: SimTime, kind: EventKind) {
+        self.next_seq += 1;
+        self.heap.push(Event {
+            time,
+            seq: self.next_seq,
+            kind,
+        });
+    }
+
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(node: usize) -> EventKind {
+        EventKind::Start {
+            node: DeviceId::from_index(node),
+            handler: HandlerRef::Protocol(crate::id::ProtocolId::from_index(0)),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(30), start(3));
+        q.push(SimTime::from_nanos(10), start(1));
+        q.push(SimTime::from_nanos(20), start(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.as_nanos())
+            .collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn fifo_within_a_timestamp() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(SimTime::from_nanos(5), start(i));
+        }
+        let seqs: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(seqs, sorted, "same-time events must pop in insertion order");
+    }
+
+    #[test]
+    fn peek_time_sees_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_nanos(7), start(0));
+        q.push(SimTime::from_nanos(3), start(0));
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(3)));
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+}

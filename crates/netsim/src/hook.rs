@@ -1,0 +1,103 @@
+//! The driver/stack interposition layer.
+//!
+//! VirtualWire's defining implementation trick is inserting its engines
+//! *between the network interface card's device driver and the IP protocol
+//! stack* (Section 3.3) so that every frame entering or leaving a host can
+//! be observed and manipulated without touching the OS or the protocol under
+//! test. [`Hook`] is that interposition point in the simulator.
+//!
+//! Hooks on a host form an ordered chain. Index 0 is closest to the protocol
+//! stack; the last hook is closest to the wire. An outbound frame traverses
+//! the chain stack→wire; an inbound frame traverses it wire→stack. This is
+//! exactly the paper's layering, where the Fault Injection Engine sits above
+//! the Reliable Link Layer:
+//!
+//! ```text
+//!   IP stack / protocols
+//!        │ ▲
+//!   hook 0 (VirtualWire FIE/FAE)
+//!        │ ▲
+//!   hook 1 (Reliable Link Layer)
+//!        │ ▲
+//!   NIC / wire
+//! ```
+
+use std::any::Any;
+
+use vw_packet::Frame;
+
+use crate::context::Context;
+
+/// What a hook decided to do with a frame.
+#[derive(Debug)]
+pub enum Verdict {
+    /// Pass this frame along the chain (possibly modified).
+    Accept(Frame),
+    /// Silently consume the frame; it goes no further. A `DROP` fault and a
+    /// crashed ("FAILed") node both look like this.
+    Consume,
+    /// Replace the frame with zero or more frames that continue along the
+    /// chain — a `DUP` fault yields two, a queued `REORDER` release yields
+    /// several, a `DELAY` yields none now (and reinjects later via
+    /// [`Context::send`] or [`Context::deliver_up`]).
+    Replace(Vec<Frame>),
+}
+
+/// A frame-processing layer interposed between a host's protocol stack and
+/// its NIC.
+///
+/// Implementations receive every outbound and inbound frame and may pass,
+/// drop, rewrite, multiply, or hold them. Hooks can keep timers (for delayed
+/// release or retransmission) and emit new frames through the [`Context`].
+///
+/// Hooks must also implement [`Any`] so tests and the scenario runner can
+/// recover the concrete type via
+/// [`World::hook_mut`](crate::World::hook_mut).
+pub trait Hook: Any {
+    /// A short name used in trace annotations.
+    fn name(&self) -> &str;
+
+    /// Called for every frame moving from the stack toward the wire.
+    fn on_outbound(&mut self, _ctx: &mut Context<'_>, frame: Frame) -> Verdict {
+        Verdict::Accept(frame)
+    }
+
+    /// Called for every frame moving from the wire toward the stack.
+    fn on_inbound(&mut self, _ctx: &mut Context<'_>, frame: Frame) -> Verdict {
+        Verdict::Accept(frame)
+    }
+
+    /// Called when a timer set by this hook fires.
+    fn on_timer(&mut self, _ctx: &mut Context<'_>, _token: u64) {}
+
+    /// Called once when the simulation delivers the hook's start event
+    /// (immediately after installation, or on a
+    /// [`World::poke`](crate::World::poke)).
+    fn on_start(&mut self, _ctx: &mut Context<'_>) {}
+}
+
+/// A hook that passes everything through unchanged; useful as a placeholder
+/// and for overhead measurements.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PassThrough;
+
+impl Hook for PassThrough {
+    fn name(&self) -> &str {
+        "pass-through"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_debug_nonempty() {
+        assert!(!format!("{:?}", Verdict::Consume).is_empty());
+    }
+
+    #[test]
+    fn passthrough_name() {
+        assert_eq!(PassThrough.name(), "pass-through");
+    }
+}

@@ -1,0 +1,138 @@
+//! Point-to-point links.
+
+use crate::error_model::ErrorModel;
+use crate::id::PortRef;
+use crate::time::SimDuration;
+
+/// Configuration for a link created by
+/// [`World::connect`](crate::World::connect).
+///
+/// Defaults model the paper's testbed: 100 Mb/s full-duplex Ethernet with a
+/// few microseconds of propagation/switch latency and no errors.
+///
+/// ```
+/// use vw_netsim::LinkConfig;
+/// let link = LinkConfig::fast_ethernet();
+/// assert_eq!(link.rate_bps, 100_000_000);
+/// assert!(link.error_a_to_b.is_perfect());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// Line rate in bits per second (each direction; links are full-duplex).
+    pub rate_bps: u64,
+    /// One-way propagation delay.
+    pub propagation: SimDuration,
+    /// Error model applied to frames travelling from endpoint A to B.
+    pub error_a_to_b: ErrorModel,
+    /// Error model applied to frames travelling from endpoint B to A.
+    pub error_b_to_a: ErrorModel,
+}
+
+impl LinkConfig {
+    /// 100 Mb/s Ethernet, 2 µs propagation, error-free — the paper's
+    /// "100Mbps switch" fabric.
+    pub fn fast_ethernet() -> Self {
+        LinkConfig {
+            rate_bps: 100_000_000,
+            propagation: SimDuration::from_micros(2),
+            error_a_to_b: ErrorModel::perfect(),
+            error_b_to_a: ErrorModel::perfect(),
+        }
+    }
+
+    /// 10 Mb/s Ethernet (the original Rether deployment medium).
+    pub fn ethernet_10m() -> Self {
+        LinkConfig {
+            rate_bps: 10_000_000,
+            propagation: SimDuration::from_micros(5),
+            error_a_to_b: ErrorModel::perfect(),
+            error_b_to_a: ErrorModel::perfect(),
+        }
+    }
+
+    /// Sets the line rate, returning the modified config.
+    pub fn rate(mut self, bits_per_sec: u64) -> Self {
+        self.rate_bps = bits_per_sec;
+        self
+    }
+
+    /// Sets the propagation delay, returning the modified config.
+    pub fn propagation(mut self, delay: SimDuration) -> Self {
+        self.propagation = delay;
+        self
+    }
+
+    /// Applies the same error model in both directions.
+    pub fn errors(mut self, model: ErrorModel) -> Self {
+        self.error_a_to_b = model;
+        self.error_b_to_a = model;
+        self
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig::fast_ethernet()
+    }
+}
+
+/// A realized link between two ports.
+#[derive(Debug)]
+pub(crate) struct Link {
+    pub a: PortRef,
+    pub b: PortRef,
+    pub config: LinkConfig,
+}
+
+impl Link {
+    /// The far end of the link from `from`, with the error model for that
+    /// direction of travel.
+    pub fn peer_of(&self, from: PortRef) -> Option<(PortRef, ErrorModel)> {
+        if from == self.a {
+            Some((self.b, self.config.error_a_to_b))
+        } else if from == self.b {
+            Some((self.a, self.config.error_b_to_a))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::DeviceId;
+
+    #[test]
+    fn defaults_are_fast_ethernet() {
+        assert_eq!(LinkConfig::default(), LinkConfig::fast_ethernet());
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let cfg = LinkConfig::fast_ethernet()
+            .rate(1_000_000_000)
+            .propagation(SimDuration::from_micros(1))
+            .errors(ErrorModel::lossy(0.5));
+        assert_eq!(cfg.rate_bps, 1_000_000_000);
+        assert_eq!(cfg.propagation, SimDuration::from_micros(1));
+        assert_eq!(cfg.error_a_to_b.loss_probability(), 0.5);
+        assert_eq!(cfg.error_b_to_a.loss_probability(), 0.5);
+    }
+
+    #[test]
+    fn peer_resolution() {
+        let a = PortRef::new(DeviceId::from_index(0), 0);
+        let b = PortRef::new(DeviceId::from_index(1), 3);
+        let link = Link {
+            a,
+            b,
+            config: LinkConfig::default(),
+        };
+        assert_eq!(link.peer_of(a).unwrap().0, b);
+        assert_eq!(link.peer_of(b).unwrap().0, a);
+        assert!(link
+            .peer_of(PortRef::new(DeviceId::from_index(9), 0))
+            .is_none());
+    }
+}

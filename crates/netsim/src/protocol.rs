@@ -1,0 +1,61 @@
+//! Protocol handlers: the simulated "IP stack and above".
+
+use std::any::Any;
+
+use vw_packet::{EtherType, Frame};
+
+use crate::context::Context;
+
+/// Which inbound frames a protocol handler wants to see.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Binding {
+    /// Frames with a specific EtherType.
+    EtherType(EtherType),
+    /// Every frame that reaches the stack.
+    All,
+}
+
+impl Binding {
+    /// Does a frame with this EtherType match the binding?
+    pub fn matches(&self, ethertype: EtherType) -> bool {
+        match self {
+            Binding::EtherType(t) => *t == ethertype,
+            Binding::All => true,
+        }
+    }
+}
+
+/// A protocol or application running on a simulated host, above the hook
+/// chain — the position of "the protocol implementation under test" in the
+/// paper's architecture.
+///
+/// Several protocols may be bound on one host (e.g. a TCP stack and a UDP
+/// echo responder both bound to IPv4); each matching handler receives its
+/// own copy of an inbound frame and is expected to ignore traffic that is
+/// not its own.
+pub trait Protocol: Any {
+    /// A short name used in trace annotations.
+    fn name(&self) -> &str;
+
+    /// Called once when the handler's start event is delivered (right after
+    /// installation, or on a [`World::poke`](crate::World::poke)).
+    fn on_start(&mut self, _ctx: &mut Context<'_>) {}
+
+    /// Called for each inbound frame matching the handler's [`Binding`].
+    fn on_frame(&mut self, ctx: &mut Context<'_>, frame: Frame);
+
+    /// Called when a timer set by this handler fires.
+    fn on_timer(&mut self, _ctx: &mut Context<'_>, _token: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binding_matches() {
+        assert!(Binding::All.matches(EtherType::IPV4));
+        assert!(Binding::EtherType(EtherType::RETHER).matches(EtherType::RETHER));
+        assert!(!Binding::EtherType(EtherType::RETHER).matches(EtherType::IPV4));
+    }
+}

@@ -1,0 +1,347 @@
+//! Packet trace capture — the simulator's tcpdump.
+//!
+//! Every interesting frame event in a [`World`](crate::World) is appended to
+//! a [`TraceSink`]. VirtualWire's Fault Analysis Engine works *online* (it
+//! counts packets as they pass), but the trace remains invaluable for test
+//! assertions and for the kind of manual inspection the paper's introduction
+//! complains about having to do before VirtualWire existed.
+
+use std::fmt;
+
+use vw_packet::{EtherType, Frame, MacAddr};
+
+use crate::id::DeviceId;
+use crate::time::SimTime;
+
+/// Direction of a host-level frame event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Leaving the protocol stack toward the wire.
+    Send,
+    /// Arriving from the wire toward the protocol stack.
+    Recv,
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::Send => f.write_str("send"),
+            Direction::Recv => f.write_str("recv"),
+        }
+    }
+}
+
+/// What happened to a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// A host's stack handed the frame to the wire-side machinery.
+    HostSend,
+    /// A frame was delivered up to a host's protocol stack.
+    HostRecv,
+    /// The physical link lost the frame.
+    LinkLoss,
+    /// The physical link flipped bits in the frame.
+    LinkCorrupt,
+    /// A bounded transmit queue overflowed and dropped the frame.
+    QueueDrop,
+    /// A hook consumed the frame (e.g. an injected DROP fault).
+    HookConsume,
+    /// A hook emitted a frame (e.g. an injected DUP copy or a control
+    /// message).
+    HookEmit,
+    /// A frame arrived at a host whose destination filter rejected it.
+    AddrFilterDrop,
+    /// Free-form annotation from a hook or protocol.
+    Note,
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceKind::HostSend => "host-send",
+            TraceKind::HostRecv => "host-recv",
+            TraceKind::LinkLoss => "link-loss",
+            TraceKind::LinkCorrupt => "link-corrupt",
+            TraceKind::QueueDrop => "queue-drop",
+            TraceKind::HookConsume => "hook-consume",
+            TraceKind::HookEmit => "hook-emit",
+            TraceKind::AddrFilterDrop => "addr-filter-drop",
+            TraceKind::Note => "note",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One record in the packet trace.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// When the event happened.
+    pub time: SimTime,
+    /// The device at which it happened.
+    pub device: DeviceId,
+    /// What happened.
+    pub kind: TraceKind,
+    /// The frame involved, if any ([`TraceKind::Note`] records may omit it).
+    pub frame: Option<Frame>,
+    /// Free-form annotation (hook name, drop reason, ...).
+    pub note: String,
+}
+
+impl TraceRecord {
+    /// One-line rendering in a loosely tcpdump-flavored format.
+    pub fn render(&self) -> String {
+        match &self.frame {
+            Some(f) => format!(
+                "{} {} {} {} > {} type {} len {} {}",
+                self.time,
+                self.device,
+                self.kind,
+                f.src(),
+                f.dst(),
+                f.ethertype(),
+                f.len(),
+                self.note
+            ),
+            None => format!("{} {} {} {}", self.time, self.device, self.kind, self.note),
+        }
+    }
+}
+
+/// An append-only capture of trace records with query helpers.
+///
+/// ```
+/// use vw_netsim::{TraceSink, TraceKind};
+/// let sink = TraceSink::new();
+/// assert_eq!(sink.len(), 0);
+/// assert!(sink.records().is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    records: Vec<TraceRecord>,
+    enabled: bool,
+    capture_frames: bool,
+}
+
+impl TraceSink {
+    /// Creates an enabled sink that captures full frame bytes.
+    pub fn new() -> Self {
+        TraceSink {
+            records: Vec::new(),
+            enabled: true,
+            capture_frames: true,
+        }
+    }
+
+    /// Creates a disabled sink (no overhead; used by benchmarks).
+    pub fn disabled() -> Self {
+        TraceSink {
+            records: Vec::new(),
+            enabled: false,
+            capture_frames: false,
+        }
+    }
+
+    /// Whether records are being captured at all.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enables or disables capture.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Appends a record (no-op when disabled).
+    pub fn record(
+        &mut self,
+        time: SimTime,
+        device: DeviceId,
+        kind: TraceKind,
+        frame: Option<&Frame>,
+        note: impl Into<String>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.records.push(TraceRecord {
+            time,
+            device,
+            kind,
+            frame: if self.capture_frames {
+                frame.cloned()
+            } else {
+                None
+            },
+            note: note.into(),
+        });
+    }
+
+    /// All records, in order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of captured records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Discards all captured records.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+
+    /// Records of a given kind.
+    pub fn of_kind(&self, kind: TraceKind) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter().filter(move |r| r.kind == kind)
+    }
+
+    /// Records at a given device.
+    pub fn at_device(&self, device: DeviceId) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter().filter(move |r| r.device == device)
+    }
+
+    /// Counts frames of `ethertype` sent by MAC `src` (a common analysis
+    /// primitive: "how many tokens did node2 transmit?").
+    pub fn count_sent(&self, src: MacAddr, ethertype: EtherType) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.kind == TraceKind::HostSend)
+            .filter_map(|r| r.frame.as_ref())
+            .filter(|f| f.src() == src && f.ethertype() == ethertype)
+            .count()
+    }
+
+    /// Renders the whole capture as text, one record per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vw_packet::EthernetBuilder;
+
+    fn frame(src: u32) -> Frame {
+        EthernetBuilder::new()
+            .src(MacAddr::from_index(src))
+            .dst(MacAddr::BROADCAST)
+            .ethertype(EtherType::RETHER)
+            .build()
+    }
+
+    #[test]
+    fn records_accumulate_in_order() {
+        let mut sink = TraceSink::new();
+        for i in 0..5 {
+            sink.record(
+                SimTime::from_nanos(i),
+                DeviceId::from_index(0),
+                TraceKind::HostSend,
+                Some(&frame(1)),
+                "t",
+            );
+        }
+        assert_eq!(sink.len(), 5);
+        assert!(sink
+            .records()
+            .windows(2)
+            .all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn disabled_sink_captures_nothing() {
+        let mut sink = TraceSink::disabled();
+        sink.record(
+            SimTime::ZERO,
+            DeviceId::from_index(0),
+            TraceKind::HostSend,
+            Some(&frame(1)),
+            "",
+        );
+        assert!(sink.is_empty());
+        assert!(!sink.is_enabled());
+    }
+
+    #[test]
+    fn toggling_enabled() {
+        let mut sink = TraceSink::new();
+        sink.set_enabled(false);
+        sink.record(SimTime::ZERO, DeviceId::from_index(0), TraceKind::Note, None, "x");
+        sink.set_enabled(true);
+        sink.record(SimTime::ZERO, DeviceId::from_index(0), TraceKind::Note, None, "y");
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.records()[0].note, "y");
+    }
+
+    #[test]
+    fn count_sent_filters_by_src_and_type() {
+        let mut sink = TraceSink::new();
+        for i in 0..3 {
+            sink.record(
+                SimTime::from_nanos(i),
+                DeviceId::from_index(0),
+                TraceKind::HostSend,
+                Some(&frame(1)),
+                "",
+            );
+        }
+        sink.record(
+            SimTime::from_nanos(9),
+            DeviceId::from_index(0),
+            TraceKind::HostSend,
+            Some(&frame(2)),
+            "",
+        );
+        sink.record(
+            SimTime::from_nanos(10),
+            DeviceId::from_index(0),
+            TraceKind::HostRecv,
+            Some(&frame(1)),
+            "",
+        );
+        assert_eq!(sink.count_sent(MacAddr::from_index(1), EtherType::RETHER), 3);
+        assert_eq!(sink.count_sent(MacAddr::from_index(2), EtherType::RETHER), 1);
+        assert_eq!(sink.count_sent(MacAddr::from_index(1), EtherType::IPV4), 0);
+    }
+
+    #[test]
+    fn render_produces_one_line_per_record() {
+        let mut sink = TraceSink::new();
+        sink.record(
+            SimTime::ZERO,
+            DeviceId::from_index(2),
+            TraceKind::LinkLoss,
+            Some(&frame(1)),
+            "unlucky",
+        );
+        sink.record(SimTime::ZERO, DeviceId::from_index(2), TraceKind::Note, None, "hello");
+        let text = sink.render();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("link-loss"));
+        assert!(text.contains("unlucky"));
+        assert!(text.contains("hello"));
+    }
+
+    #[test]
+    fn queries_by_kind_and_device() {
+        let mut sink = TraceSink::new();
+        sink.record(SimTime::ZERO, DeviceId::from_index(0), TraceKind::HostSend, Some(&frame(1)), "");
+        sink.record(SimTime::ZERO, DeviceId::from_index(1), TraceKind::QueueDrop, Some(&frame(1)), "");
+        assert_eq!(sink.of_kind(TraceKind::QueueDrop).count(), 1);
+        assert_eq!(sink.at_device(DeviceId::from_index(0)).count(), 1);
+        sink.clear();
+        assert!(sink.is_empty());
+    }
+}

@@ -1,0 +1,1091 @@
+//! The simulation world: topology, event loop, and dispatch.
+
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use vw_packet::{Frame, MacAddr};
+
+use crate::context::{Context, CtxOrigin, Effect};
+use crate::device::{Device, Host, Hub, Port, PortStats, Switch};
+use crate::event::{EventKind, EventQueue};
+use crate::hook::{Hook, Verdict};
+use crate::id::{DeviceId, HandlerRef, HookId, LinkId, PortRef, ProtocolId, TimerId};
+use crate::link::{Link, LinkConfig};
+use crate::protocol::{Binding, Protocol};
+use crate::time::{serialization_time, SimDuration, SimTime};
+use crate::trace::{TraceKind, TraceSink};
+
+/// Per-frame on-the-wire overhead: preamble (8) + FCS (4) + inter-frame gap
+/// (12 byte-times), charged during serialization for realistic throughput.
+pub const WIRE_OVERHEAD_BYTES: usize = 24;
+
+/// Minimum Ethernet frame size (before overhead); shorter frames are padded
+/// on the wire.
+pub const MIN_FRAME_BYTES: usize = 60;
+
+/// A deterministic discrete-event simulation of a LAN testbed.
+///
+/// The `World` owns every device, link, handler and the event queue. Build
+/// a topology with [`add_host`](World::add_host),
+/// [`add_switch`](World::add_switch), [`add_hub`](World::add_hub) and
+/// [`connect`](World::connect); install protocol handlers and hooks; then
+/// drive time with [`run_until`](World::run_until) /
+/// [`run_for`](World::run_for) / [`step`](World::step).
+///
+/// Runs are exactly reproducible: the same seed and the same sequence of
+/// calls produce the same trace.
+///
+/// # Examples
+///
+/// ```
+/// use vw_netsim::{LinkConfig, SimDuration, World};
+///
+/// let mut world = World::new(42);
+/// let a = world.add_host("node1");
+/// let b = world.add_host("node2");
+/// let sw = world.add_switch("sw0", 4);
+/// world.connect(a, sw, LinkConfig::fast_ethernet());
+/// world.connect(b, sw, LinkConfig::fast_ethernet());
+/// world.run_for(SimDuration::from_millis(1));
+/// assert_eq!(world.now().as_nanos(), 1_000_000);
+/// ```
+pub struct World {
+    devices: Vec<Device>,
+    links: Vec<Link>,
+    queue: EventQueue,
+    now: SimTime,
+    rng: StdRng,
+    next_timer_id: u64,
+    cancelled_timers: HashSet<TimerId>,
+    trace: TraceSink,
+    stop_reason: Option<String>,
+    host_count: u32,
+    events_processed: u64,
+    last_frame_activity: SimTime,
+}
+
+impl fmt::Debug for World {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("World")
+            .field("now", &self.now)
+            .field("devices", &self.devices.len())
+            .field("links", &self.links.len())
+            .field("pending_events", &self.queue.len())
+            .field("stop_reason", &self.stop_reason)
+            .finish()
+    }
+}
+
+impl World {
+    /// Creates an empty world with a seeded deterministic RNG.
+    pub fn new(seed: u64) -> Self {
+        World {
+            devices: Vec::new(),
+            links: Vec::new(),
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            rng: StdRng::seed_from_u64(seed),
+            next_timer_id: 0,
+            cancelled_timers: HashSet::new(),
+            trace: TraceSink::new(),
+            stop_reason: None,
+            host_count: 0,
+            events_processed: 0,
+            last_frame_activity: SimTime::ZERO,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Topology construction
+    // ------------------------------------------------------------------
+
+    /// Adds a host with an automatically assigned MAC (`02:00:…`) and IP
+    /// (`192.168.1.x`).
+    pub fn add_host(&mut self, name: &str) -> DeviceId {
+        self.host_count += 1;
+        let n = self.host_count;
+        self.add_host_with(
+            name,
+            MacAddr::from_index(n),
+            Ipv4Addr::new(192, 168, 1, (n % 250 + 1) as u8),
+        )
+    }
+
+    /// Adds a host with explicit addresses.
+    pub fn add_host_with(&mut self, name: &str, mac: MacAddr, ip: Ipv4Addr) -> DeviceId {
+        let id = DeviceId::from_index(self.devices.len());
+        self.devices.push(Device::Host(Host {
+            name: name.to_string(),
+            mac,
+            ip,
+            port: Port::new(),
+            hooks: Vec::new(),
+            protocols: Vec::new(),
+            failed: false,
+            promiscuous: false,
+        }));
+        id
+    }
+
+    /// Adds a store-and-forward learning switch with `ports` ports.
+    pub fn add_switch(&mut self, name: &str, ports: usize) -> DeviceId {
+        let id = DeviceId::from_index(self.devices.len());
+        self.devices.push(Device::Switch(Switch {
+            name: name.to_string(),
+            ports: (0..ports).map(|_| Port::new()).collect(),
+            fdb: HashMap::new(),
+        }));
+        id
+    }
+
+    /// Adds a hub (shared medium approximated as a repeating star) with
+    /// `ports` ports.
+    pub fn add_hub(&mut self, name: &str, ports: usize) -> DeviceId {
+        let id = DeviceId::from_index(self.devices.len());
+        self.devices.push(Device::Hub(Hub {
+            name: name.to_string(),
+            ports: (0..ports).map(|_| Port::new()).collect(),
+        }));
+        id
+    }
+
+    /// Connects the first free port of `a` to the first free port of `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either device has no free port or an id is invalid.
+    pub fn connect(&mut self, a: DeviceId, b: DeviceId, config: LinkConfig) -> LinkId {
+        let pa = self.devices[a.index()]
+            .free_port()
+            .unwrap_or_else(|| panic!("{} has no free port", self.devices[a.index()].name()));
+        let pb = self.devices[b.index()]
+            .free_port()
+            .unwrap_or_else(|| panic!("{} has no free port", self.devices[b.index()].name()));
+        self.connect_ports(PortRef::new(a, pa), PortRef::new(b, pb), config)
+    }
+
+    /// Connects two explicit ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a port does not exist or is already connected.
+    pub fn connect_ports(&mut self, a: PortRef, b: PortRef, config: LinkConfig) -> LinkId {
+        let id = LinkId::from_index(self.links.len());
+        for p in [a, b] {
+            let port = self.devices[p.device.index()]
+                .port_mut(p.port)
+                .unwrap_or_else(|| panic!("no port {p}"));
+            assert!(port.link.is_none(), "port {p} already connected");
+            port.link = Some(id);
+        }
+        self.links.push(Link { a, b, config });
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Handler installation
+    // ------------------------------------------------------------------
+
+    /// Installs a protocol handler on `node` and schedules its `on_start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a host.
+    pub fn add_protocol(
+        &mut self,
+        node: DeviceId,
+        binding: Binding,
+        protocol: Box<dyn Protocol>,
+    ) -> ProtocolId {
+        let host = self.devices[node.index()]
+            .as_host_mut()
+            .expect("protocols attach to hosts");
+        host.protocols.push((binding, Some(protocol)));
+        let id = ProtocolId::from_index(host.protocols.len() - 1);
+        self.queue.push(
+            self.now,
+            EventKind::Start {
+                node,
+                handler: HandlerRef::Protocol(id),
+            },
+        );
+        id
+    }
+
+    /// Appends a hook at the wire end of `node`'s chain (the first hook
+    /// added is closest to the protocol stack) and schedules its
+    /// `on_start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a host.
+    pub fn add_hook(&mut self, node: DeviceId, hook: Box<dyn Hook>) -> HookId {
+        let host = self.devices[node.index()]
+            .as_host_mut()
+            .expect("hooks attach to hosts");
+        host.hooks.push(Some(hook));
+        let id = HookId::from_index(host.hooks.len() - 1);
+        self.queue.push(
+            self.now,
+            EventKind::Start {
+                node,
+                handler: HandlerRef::Hook(id),
+            },
+        );
+        id
+    }
+
+    /// Mutable access to an installed protocol, downcast to its concrete
+    /// type. Returns `None` if the id or type does not match.
+    pub fn protocol_mut<T: Protocol>(&mut self, node: DeviceId, id: ProtocolId) -> Option<&mut T> {
+        let host = self.devices.get_mut(node.index())?.as_host_mut()?;
+        let boxed = host.protocols.get_mut(id.index())?.1.as_mut()?;
+        let any: &mut dyn Any = boxed.as_mut();
+        any.downcast_mut::<T>()
+    }
+
+    /// Shared access to an installed protocol, downcast to its concrete
+    /// type.
+    pub fn protocol<T: Protocol>(&self, node: DeviceId, id: ProtocolId) -> Option<&T> {
+        let host = self.devices.get(node.index())?.as_host()?;
+        let boxed = host.protocols.get(id.index())?.1.as_ref()?;
+        let any: &dyn Any = boxed.as_ref();
+        any.downcast_ref::<T>()
+    }
+
+    /// Mutable access to an installed hook, downcast to its concrete type.
+    pub fn hook_mut<T: Hook>(&mut self, node: DeviceId, id: HookId) -> Option<&mut T> {
+        let host = self.devices.get_mut(node.index())?.as_host_mut()?;
+        let boxed = host.hooks.get_mut(id.index())?.as_mut()?;
+        let any: &mut dyn Any = boxed.as_mut();
+        any.downcast_mut::<T>()
+    }
+
+    /// Shared access to an installed hook, downcast to its concrete type.
+    pub fn hook<T: Hook>(&self, node: DeviceId, id: HookId) -> Option<&T> {
+        let host = self.devices.get(node.index())?.as_host()?;
+        let boxed = host.hooks.get(id.index())?.as_ref()?;
+        let any: &dyn Any = boxed.as_ref();
+        any.downcast_ref::<T>()
+    }
+
+    /// Schedules a fresh `on_start` callback for a handler at the current
+    /// time — the way external drivers nudge an installed handler.
+    pub fn poke(&mut self, node: DeviceId, handler: HandlerRef) {
+        self.queue.push(self.now, EventKind::Start { node, handler });
+    }
+
+    // ------------------------------------------------------------------
+    // Host info and control
+    // ------------------------------------------------------------------
+
+    /// The MAC address of a host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a host.
+    pub fn host_mac(&self, node: DeviceId) -> MacAddr {
+        self.devices[node.index()].as_host().expect("host").mac
+    }
+
+    /// The IPv4 address of a host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a host.
+    pub fn host_ip(&self, node: DeviceId) -> Ipv4Addr {
+        self.devices[node.index()].as_host().expect("host").ip
+    }
+
+    /// The name a device was created with.
+    pub fn device_name(&self, node: DeviceId) -> &str {
+        self.devices[node.index()].name()
+    }
+
+    /// Looks a device up by name.
+    pub fn device_by_name(&self, name: &str) -> Option<DeviceId> {
+        self.devices
+            .iter()
+            .position(|d| d.name() == name)
+            .map(DeviceId::from_index)
+    }
+
+    /// Marks a host failed (silently discards all rx/tx) or restores it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a host.
+    pub fn set_host_failed(&mut self, node: DeviceId, failed: bool) {
+        self.devices[node.index()]
+            .as_host_mut()
+            .expect("host")
+            .failed = failed;
+    }
+
+    /// Enables or disables promiscuous reception on a host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a host.
+    pub fn set_promiscuous(&mut self, node: DeviceId, promiscuous: bool) {
+        self.devices[node.index()]
+            .as_host_mut()
+            .expect("host")
+            .promiscuous = promiscuous;
+    }
+
+    /// Counters for a device port (port 0 for hosts).
+    pub fn port_stats(&self, port: PortRef) -> PortStats {
+        match self.devices[port.device.index()].port(port.port) {
+            Some(p) => PortStats {
+                dropped: p.dropped,
+                tx_frames: p.tx_frames,
+                tx_bytes: p.tx_bytes,
+                queued: p.queue.len(),
+            },
+            None => PortStats::default(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Clock and run loop
+    // ------------------------------------------------------------------
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// The time of the most recent frame-level activity (send, receive,
+    /// link traversal). Scenario inactivity timeouts key off this.
+    pub fn last_frame_activity(&self) -> SimTime {
+        self.last_frame_activity
+    }
+
+    /// The read-only packet trace.
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Mutable access to the packet trace (to clear or disable it).
+    pub fn trace_mut(&mut self) -> &mut TraceSink {
+        &mut self.trace
+    }
+
+    /// Requests that the run stop; `step` returns `false` from then on.
+    pub fn request_stop(&mut self, reason: impl Into<String>) {
+        if self.stop_reason.is_none() {
+            self.stop_reason = Some(reason.into());
+        }
+    }
+
+    /// The stop reason, if a stop was requested.
+    pub fn stop_reason(&self) -> Option<&str> {
+        self.stop_reason.as_deref()
+    }
+
+    /// Processes the next event. Returns `false` when the queue is empty
+    /// or a stop was requested.
+    pub fn step(&mut self) -> bool {
+        if self.stop_reason.is_some() {
+            return false;
+        }
+        let Some(event) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(event.time >= self.now, "time went backwards");
+        self.now = event.time;
+        self.events_processed += 1;
+        self.handle(event.kind);
+        true
+    }
+
+    /// Runs until the clock reaches `deadline` (events at exactly
+    /// `deadline` are processed) or a stop is requested. The clock is
+    /// advanced to `deadline` even if the queue drains first.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while self.stop_reason.is_none() {
+            match self.queue.peek_time() {
+                Some(t) if t <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.stop_reason.is_none() && self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs for `duration` of simulated time from now.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let deadline = self.now.saturating_add(duration);
+        self.run_until(deadline);
+    }
+
+    /// Runs until the event queue is empty, a stop is requested, or the
+    /// clock passes `max_time`. Returns `true` if the queue drained.
+    pub fn run_until_idle(&mut self, max_time: SimTime) -> bool {
+        while self.stop_reason.is_none() {
+            match self.queue.peek_time() {
+                Some(t) if t <= max_time => {
+                    self.step();
+                }
+                Some(_) => return false,
+                None => return true,
+            }
+        }
+        self.queue.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Arrive { to, frame } => self.handle_arrival(to, frame),
+            EventKind::TxComplete { port } => self.handle_tx_complete(port),
+            EventKind::Timer {
+                node,
+                handler,
+                token,
+                id,
+            } => {
+                if self.cancelled_timers.remove(&id) {
+                    return;
+                }
+                self.dispatch_timer(node, handler, token);
+            }
+            EventKind::Start { node, handler } => self.dispatch_start(node, handler),
+            EventKind::OutboundChain { node, idx, frame } => self.outbound_step(node, idx, frame),
+            EventKind::InboundChain { node, next, frame } => self.inbound_step(node, next, frame),
+        }
+    }
+
+    fn handle_arrival(&mut self, to: PortRef, frame: Frame) {
+        self.last_frame_activity = self.now;
+        match &self.devices[to.device.index()] {
+            Device::Host(h) => {
+                if h.failed {
+                    self.trace.record(
+                        self.now,
+                        to.device,
+                        TraceKind::AddrFilterDrop,
+                        Some(&frame),
+                        "host failed",
+                    );
+                    return;
+                }
+                let accept = h.promiscuous
+                    || frame.dst() == h.mac
+                    || frame.dst().is_broadcast()
+                    || frame.dst().is_multicast();
+                if !accept {
+                    self.trace.record(
+                        self.now,
+                        to.device,
+                        TraceKind::AddrFilterDrop,
+                        Some(&frame),
+                        "not addressed to host",
+                    );
+                    return;
+                }
+                let chain_len = h.hooks.len();
+                self.inbound_step(to.device, chain_len, frame);
+            }
+            Device::Switch(_) => self.switch_forward(to, frame),
+            Device::Hub(_) => self.hub_repeat(to, frame),
+        }
+    }
+
+    fn switch_forward(&mut self, ingress: PortRef, frame: Frame) {
+        let src = frame.src();
+        let dst = frame.dst();
+        let nports = match &mut self.devices[ingress.device.index()] {
+            Device::Switch(sw) => {
+                if !src.is_multicast() {
+                    sw.fdb.insert(src, ingress.port);
+                }
+                sw.ports.len() as u16
+            }
+            _ => unreachable!("switch_forward on non-switch"),
+        };
+        let out_port = if dst.is_broadcast() || dst.is_multicast() {
+            None
+        } else {
+            match &self.devices[ingress.device.index()] {
+                Device::Switch(sw) => sw.fdb.get(&dst).copied(),
+                _ => unreachable!(),
+            }
+        };
+        match out_port {
+            Some(p) if p != ingress.port => {
+                self.port_send(PortRef::new(ingress.device, p), frame);
+            }
+            Some(_) => {
+                // Destination is on the ingress port: filter (drop).
+            }
+            None => {
+                // Flood to all other connected ports.
+                for p in 0..nports {
+                    if p == ingress.port {
+                        continue;
+                    }
+                    let connected = self.devices[ingress.device.index()]
+                        .port(p)
+                        .is_some_and(|port| port.link.is_some());
+                    if connected {
+                        self.port_send(PortRef::new(ingress.device, p), frame.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    fn hub_repeat(&mut self, ingress: PortRef, frame: Frame) {
+        let nports = match &self.devices[ingress.device.index()] {
+            Device::Hub(h) => h.ports.len() as u16,
+            _ => unreachable!("hub_repeat on non-hub"),
+        };
+        for p in 0..nports {
+            if p == ingress.port {
+                continue;
+            }
+            let connected = self.devices[ingress.device.index()]
+                .port(p)
+                .is_some_and(|port| port.link.is_some());
+            if connected {
+                self.port_send(PortRef::new(ingress.device, p), frame.clone());
+            }
+        }
+    }
+
+    fn handle_tx_complete(&mut self, at: PortRef) {
+        self.last_frame_activity = self.now;
+        let (frame, link_id) = {
+            let port = self.devices[at.device.index()]
+                .port_mut(at.port)
+                .expect("tx-complete on missing port");
+            let frame = port.in_flight.take().expect("tx-complete without frame");
+            port.tx_frames += 1;
+            port.tx_bytes += frame.len() as u64;
+            (frame, port.link)
+        };
+        if let Some(link_id) = link_id {
+            self.cross_link(link_id, at, frame);
+        }
+        // Start the next transmission, if any.
+        let next = {
+            let port = self.devices[at.device.index()]
+                .port_mut(at.port)
+                .expect("port");
+            match port.queue.pop_front() {
+                Some(f) => Some(f),
+                None => {
+                    port.busy = false;
+                    None
+                }
+            }
+        };
+        if let Some(f) = next {
+            self.begin_tx(at, f);
+        }
+    }
+
+    fn cross_link(&mut self, link_id: LinkId, from: PortRef, mut frame: Frame) {
+        let link = &self.links[link_id.index()];
+        let Some((peer, error_model)) = link.peer_of(from) else {
+            return;
+        };
+        let propagation = link.config.propagation;
+        use crate::error_model::LinkOutcome;
+        match error_model.apply(&mut frame, &mut self.rng) {
+            LinkOutcome::Lost => {
+                self.trace.record(
+                    self.now,
+                    from.device,
+                    TraceKind::LinkLoss,
+                    Some(&frame),
+                    format!("on {link_id}"),
+                );
+            }
+            outcome => {
+                if let LinkOutcome::Corrupted { bits_flipped } = outcome {
+                    self.trace.record(
+                        self.now,
+                        from.device,
+                        TraceKind::LinkCorrupt,
+                        Some(&frame),
+                        format!("{bits_flipped} bits flipped on {link_id}"),
+                    );
+                }
+                self.queue.push(
+                    self.now.saturating_add(propagation),
+                    EventKind::Arrive { to: peer, frame },
+                );
+            }
+        }
+    }
+
+    /// Enqueues a frame on a port's transmitter, beginning transmission if
+    /// the port is idle.
+    fn port_send(&mut self, at: PortRef, frame: Frame) {
+        enum Outcome {
+            StartTx(Frame),
+            Queued,
+            Overflow(Frame),
+            NoLink,
+        }
+        let outcome = {
+            let Some(port) = self.devices[at.device.index()].port_mut(at.port) else {
+                return;
+            };
+            if port.link.is_none() {
+                Outcome::NoLink
+            } else if !port.busy {
+                Outcome::StartTx(frame)
+            } else if port.queue.len() >= port.queue_cap {
+                port.dropped += 1;
+                Outcome::Overflow(frame)
+            } else {
+                port.queue.push_back(frame);
+                Outcome::Queued
+            }
+        };
+        match outcome {
+            Outcome::StartTx(frame) => self.begin_tx(at, frame),
+            Outcome::Queued | Outcome::NoLink => {}
+            Outcome::Overflow(frame) => {
+                self.trace.record(
+                    self.now,
+                    at.device,
+                    TraceKind::QueueDrop,
+                    Some(&frame),
+                    "tx queue overflow",
+                );
+            }
+        }
+    }
+
+    fn begin_tx(&mut self, at: PortRef, frame: Frame) {
+        let rate = {
+            let port = self.devices[at.device.index()]
+                .port_mut(at.port)
+                .expect("port");
+            let link_id = port.link.expect("begin_tx on unconnected port");
+            self.links[link_id.index()].config.rate_bps
+        };
+        let wire_bytes = frame.len().max(MIN_FRAME_BYTES) + WIRE_OVERHEAD_BYTES;
+        let ser = serialization_time(wire_bytes, rate);
+        {
+            let port = self.devices[at.device.index()]
+                .port_mut(at.port)
+                .expect("port");
+            port.busy = true;
+            port.in_flight = Some(frame);
+        }
+        self.queue
+            .push(self.now.saturating_add(ser), EventKind::TxComplete { port: at });
+    }
+
+    // ------------------------------------------------------------------
+    // Hook chain dispatch
+    // ------------------------------------------------------------------
+
+    fn outbound_step(&mut self, node: DeviceId, idx: usize, frame: Frame) {
+        let (chain_len, failed) = match self.devices[node.index()].as_host() {
+            Some(h) => (h.hooks.len(), h.failed),
+            None => return,
+        };
+        if failed {
+            return;
+        }
+        if idx >= chain_len {
+            self.trace
+                .record(self.now, node, TraceKind::HostSend, Some(&frame), "");
+            self.last_frame_activity = self.now;
+            self.port_send(PortRef::new(node, 0), frame);
+            return;
+        }
+        let Some(mut hook) = self.take_hook(node, idx) else {
+            self.outbound_step(node, idx + 1, frame);
+            return;
+        };
+        let (verdict, effects, charged, name) = {
+            let mut ctx = self.make_ctx(node, CtxOrigin::Hook(idx));
+            let verdict = hook.on_outbound(&mut ctx, frame);
+            let name = hook.name().to_string();
+            (verdict, std::mem::take(&mut ctx.effects), ctx.charged, name)
+        };
+        self.put_hook(node, idx, hook);
+        self.apply_effects(node, CtxOrigin::Hook(idx), effects);
+        self.continue_verdict(node, verdict, charged, &name, ChainDir::Outbound { next: idx + 1 });
+    }
+
+    fn inbound_step(&mut self, node: DeviceId, next: usize, frame: Frame) {
+        let failed = match self.devices[node.index()].as_host() {
+            Some(h) => h.failed,
+            None => return,
+        };
+        if failed {
+            return;
+        }
+        if next == 0 {
+            self.deliver_to_protocols(node, frame);
+            return;
+        }
+        let idx = next - 1;
+        let Some(mut hook) = self.take_hook(node, idx) else {
+            self.inbound_step(node, idx, frame);
+            return;
+        };
+        let (verdict, effects, charged, name) = {
+            let mut ctx = self.make_ctx(node, CtxOrigin::Hook(idx));
+            let verdict = hook.on_inbound(&mut ctx, frame);
+            let name = hook.name().to_string();
+            (verdict, std::mem::take(&mut ctx.effects), ctx.charged, name)
+        };
+        self.put_hook(node, idx, hook);
+        self.apply_effects(node, CtxOrigin::Hook(idx), effects);
+        self.continue_verdict(node, verdict, charged, &name, ChainDir::Inbound { next: idx });
+    }
+
+    fn continue_verdict(
+        &mut self,
+        node: DeviceId,
+        verdict: Verdict,
+        charged: SimDuration,
+        hook_name: &str,
+        dir: ChainDir,
+    ) {
+        let frames = match verdict {
+            Verdict::Accept(f) => vec![f],
+            Verdict::Consume => {
+                self.trace
+                    .record(self.now, node, TraceKind::HookConsume, None, hook_name);
+                return;
+            }
+            Verdict::Replace(fs) => fs,
+        };
+        for frame in frames {
+            match dir {
+                ChainDir::Outbound { next } => {
+                    if charged == SimDuration::ZERO {
+                        self.outbound_step(node, next, frame);
+                    } else {
+                        self.queue.push(
+                            self.now.saturating_add(charged),
+                            EventKind::OutboundChain {
+                                node,
+                                idx: next,
+                                frame,
+                            },
+                        );
+                    }
+                }
+                ChainDir::Inbound { next } => {
+                    if charged == SimDuration::ZERO {
+                        self.inbound_step(node, next, frame);
+                    } else {
+                        self.queue.push(
+                            self.now.saturating_add(charged),
+                            EventKind::InboundChain { node, next, frame },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn deliver_to_protocols(&mut self, node: DeviceId, frame: Frame) {
+        self.trace
+            .record(self.now, node, TraceKind::HostRecv, Some(&frame), "");
+        self.last_frame_activity = self.now;
+        let ethertype = frame.ethertype();
+        let matches: Vec<ProtocolId> = match self.devices[node.index()].as_host() {
+            Some(h) => h
+                .protocols
+                .iter()
+                .enumerate()
+                .filter(|(_, (binding, slot))| slot.is_some() && binding.matches(ethertype))
+                .map(|(i, _)| ProtocolId::from_index(i))
+                .collect(),
+            None => return,
+        };
+        for id in matches {
+            let Some(mut proto) = self.take_protocol(node, id) else {
+                continue;
+            };
+            let effects = {
+                let mut ctx = self.make_ctx_for(node, CtxOrigin::Protocol, HandlerRef::Protocol(id));
+                proto.on_frame(&mut ctx, frame.clone());
+                std::mem::take(&mut ctx.effects)
+            };
+            self.put_protocol(node, id, proto);
+            self.apply_effects(node, CtxOrigin::Protocol, effects);
+        }
+    }
+
+    fn dispatch_timer(&mut self, node: DeviceId, handler: HandlerRef, token: u64) {
+        match handler {
+            HandlerRef::Protocol(id) => {
+                let Some(mut proto) = self.take_protocol(node, id) else {
+                    return;
+                };
+                let effects = {
+                    let mut ctx = self.make_ctx_for(node, CtxOrigin::Protocol, handler);
+                    proto.on_timer(&mut ctx, token);
+                    std::mem::take(&mut ctx.effects)
+                };
+                self.put_protocol(node, id, proto);
+                self.apply_effects(node, CtxOrigin::Protocol, effects);
+            }
+            HandlerRef::Hook(id) => {
+                let idx = id.index();
+                let Some(mut hook) = self.take_hook(node, idx) else {
+                    return;
+                };
+                let effects = {
+                    let mut ctx = self.make_ctx_for(node, CtxOrigin::Hook(idx), handler);
+                    hook.on_timer(&mut ctx, token);
+                    std::mem::take(&mut ctx.effects)
+                };
+                self.put_hook(node, idx, hook);
+                self.apply_effects(node, CtxOrigin::Hook(idx), effects);
+            }
+        }
+    }
+
+    fn dispatch_start(&mut self, node: DeviceId, handler: HandlerRef) {
+        match handler {
+            HandlerRef::Protocol(id) => {
+                let Some(mut proto) = self.take_protocol(node, id) else {
+                    return;
+                };
+                let effects = {
+                    let mut ctx = self.make_ctx_for(node, CtxOrigin::Protocol, handler);
+                    proto.on_start(&mut ctx);
+                    std::mem::take(&mut ctx.effects)
+                };
+                self.put_protocol(node, id, proto);
+                self.apply_effects(node, CtxOrigin::Protocol, effects);
+            }
+            HandlerRef::Hook(id) => {
+                let idx = id.index();
+                let Some(mut hook) = self.take_hook(node, idx) else {
+                    return;
+                };
+                let effects = {
+                    let mut ctx = self.make_ctx_for(node, CtxOrigin::Hook(idx), handler);
+                    hook.on_start(&mut ctx);
+                    std::mem::take(&mut ctx.effects)
+                };
+                self.put_hook(node, idx, hook);
+                self.apply_effects(node, CtxOrigin::Hook(idx), effects);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Effects
+    // ------------------------------------------------------------------
+
+    fn apply_effects(&mut self, node: DeviceId, origin: CtxOrigin, effects: Vec<Effect>) {
+        for effect in effects {
+            match effect {
+                Effect::Send { frame, after } => {
+                    let idx = match origin {
+                        CtxOrigin::Protocol => 0,
+                        CtxOrigin::Hook(i) => i + 1,
+                    };
+                    if after == SimDuration::ZERO {
+                        self.outbound_step(node, idx, frame);
+                    } else {
+                        self.queue.push(
+                            self.now.saturating_add(after),
+                            EventKind::OutboundChain { node, idx, frame },
+                        );
+                    }
+                }
+                Effect::DeliverUp { frame, after } => {
+                    let next = match origin {
+                        CtxOrigin::Hook(i) => i,
+                        CtxOrigin::Protocol => continue, // meaningless from a protocol
+                    };
+                    if after == SimDuration::ZERO {
+                        self.inbound_step(node, next, frame);
+                    } else {
+                        self.queue.push(
+                            self.now.saturating_add(after),
+                            EventKind::InboundChain { node, next, frame },
+                        );
+                    }
+                }
+                Effect::TransmitRaw { frame, after } => {
+                    if after == SimDuration::ZERO {
+                        self.trace
+                            .record(self.now, node, TraceKind::HookEmit, Some(&frame), "raw");
+                        self.last_frame_activity = self.now;
+                        self.port_send(PortRef::new(node, 0), frame);
+                    } else {
+                        let chain_len = self.devices[node.index()]
+                            .as_host()
+                            .map_or(0, |h| h.hooks.len());
+                        self.queue.push(
+                            self.now.saturating_add(after),
+                            EventKind::OutboundChain {
+                                node,
+                                idx: chain_len,
+                                frame,
+                            },
+                        );
+                    }
+                }
+                Effect::SetTimer {
+                    id,
+                    token,
+                    at,
+                    handler,
+                } => {
+                    self.queue.push(
+                        at,
+                        EventKind::Timer {
+                            node,
+                            handler,
+                            token,
+                            id,
+                        },
+                    );
+                }
+                Effect::CancelTimer(id) => {
+                    self.cancelled_timers.insert(id);
+                }
+                Effect::Trace { kind, frame, note } => {
+                    self.trace.record(self.now, node, kind, frame.as_ref(), note);
+                }
+                Effect::RequestStop { reason } => {
+                    self.request_stop(reason);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Handler slot helpers
+    // ------------------------------------------------------------------
+
+    fn take_hook(&mut self, node: DeviceId, idx: usize) -> Option<Box<dyn Hook>> {
+        self.devices[node.index()]
+            .as_host_mut()?
+            .hooks
+            .get_mut(idx)?
+            .take()
+    }
+
+    fn put_hook(&mut self, node: DeviceId, idx: usize, hook: Box<dyn Hook>) {
+        if let Some(h) = self.devices[node.index()].as_host_mut() {
+            if let Some(slot) = h.hooks.get_mut(idx) {
+                *slot = Some(hook);
+            }
+        }
+    }
+
+    fn take_protocol(&mut self, node: DeviceId, id: ProtocolId) -> Option<Box<dyn Protocol>> {
+        self.devices[node.index()]
+            .as_host_mut()?
+            .protocols
+            .get_mut(id.index())?
+            .1
+            .take()
+    }
+
+    fn put_protocol(&mut self, node: DeviceId, id: ProtocolId, proto: Box<dyn Protocol>) {
+        if let Some(h) = self.devices[node.index()].as_host_mut() {
+            if let Some(slot) = h.protocols.get_mut(id.index()) {
+                slot.1 = Some(proto);
+            }
+        }
+    }
+
+    fn make_ctx(&mut self, node: DeviceId, origin: CtxOrigin) -> Context<'_> {
+        let handler = match origin {
+            CtxOrigin::Protocol => HandlerRef::Protocol(ProtocolId::from_index(0)),
+            CtxOrigin::Hook(i) => HandlerRef::Hook(HookId::from_index(i)),
+        };
+        self.make_ctx_for(node, origin, handler)
+    }
+
+    fn make_ctx_for(
+        &mut self,
+        node: DeviceId,
+        origin: CtxOrigin,
+        handler: HandlerRef,
+    ) -> Context<'_> {
+        let (mac, ip) = match self.devices[node.index()].as_host() {
+            Some(h) => (h.mac, h.ip),
+            None => (MacAddr::ZERO, Ipv4Addr::UNSPECIFIED),
+        };
+        let World {
+            ref mut rng,
+            ref mut next_timer_id,
+            now,
+            ..
+        } = *self;
+        let _ = origin;
+        Context {
+            now,
+            node,
+            mac,
+            ip,
+            handler,
+            rng,
+            next_timer: next_timer_id,
+            effects: Vec::new(),
+            charged: SimDuration::ZERO,
+        }
+    }
+
+    /// Injects a frame as if `node`'s protocol stack had sent it —
+    /// convenient for tests that exercise the hook chain directly.
+    pub fn inject_from_stack(&mut self, node: DeviceId, frame: Frame) {
+        self.queue.push(
+            self.now,
+            EventKind::OutboundChain {
+                node,
+                idx: 0,
+                frame,
+            },
+        );
+    }
+
+    /// Injects a frame as if it had just arrived on `node`'s wire.
+    pub fn inject_from_wire(&mut self, node: DeviceId, frame: Frame) {
+        self.queue
+            .push(self.now, EventKind::Arrive {
+                to: PortRef::new(node, 0),
+                frame,
+            });
+    }
+
+    /// Number of events currently pending in the queue.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ChainDir {
+    Outbound { next: usize },
+    Inbound { next: usize },
+}

@@ -1,0 +1,58 @@
+//! Packet parsing errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when raw bytes cannot be interpreted as the requested
+/// header or address.
+///
+/// ```
+/// use vw_packet::MacAddr;
+/// let err = "not-a-mac".parse::<MacAddr>().unwrap_err();
+/// assert!(err.to_string().contains("not-a-mac"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+}
+
+impl ParseError {
+    /// Creates an error with the given human-readable message.
+    pub fn new(message: impl Into<String>) -> Self {
+        ParseError {
+            message: message.into(),
+        }
+    }
+
+    /// The human-readable description of what failed to parse.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_message() {
+        let err = ParseError::new("frame too short for IPv4 header");
+        assert_eq!(err.to_string(), "frame too short for IPv4 header");
+        assert_eq!(err.message(), "frame too short for IPv4 header");
+    }
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn error_is_send_sync() {
+        assert_send_sync::<ParseError>();
+    }
+}

@@ -1,0 +1,72 @@
+//! Well-known byte offsets into an Ethernet/IPv4/TCP frame.
+//!
+//! The paper's Fault Specification Language identifies packet types by
+//! `(offset, length, [mask,] pattern)` tuples over the raw frame. These
+//! constants name the offsets its example scripts use (Figure 2 and
+//! Figure 6), assuming a 14-byte Ethernet II header and an option-less
+//! 20-byte IPv4 header.
+//!
+//! ```
+//! use vw_packet::offsets;
+//! assert_eq!(offsets::TCP_SRC_PORT, 34);
+//! assert_eq!(offsets::TCP_FLAGS, 47);
+//! assert_eq!(offsets::ETHERTYPE, 12);
+//! ```
+
+/// Destination MAC address (6 bytes).
+pub const ETH_DST: usize = 0;
+/// Source MAC address (6 bytes).
+pub const ETH_SRC: usize = 6;
+/// EtherType field (2 bytes) — the `(12 2 0x9900)` tuple in Figure 6.
+pub const ETHERTYPE: usize = 12;
+/// First byte of the Ethernet payload; Rether opcode lives here
+/// (`(14 2 0x0001)` in Figure 6).
+pub const ETH_PAYLOAD: usize = 14;
+
+/// IPv4 version/IHL byte.
+pub const IP_VERSION_IHL: usize = 14;
+/// IPv4 total-length field (2 bytes).
+pub const IP_TOTAL_LEN: usize = 16;
+/// IPv4 protocol field (1 byte).
+pub const IP_PROTOCOL: usize = 23;
+/// IPv4 header checksum (2 bytes).
+pub const IP_CHECKSUM: usize = 24;
+/// IPv4 source address (4 bytes).
+pub const IP_SRC: usize = 26;
+/// IPv4 destination address (4 bytes).
+pub const IP_DST: usize = 30;
+
+/// TCP source port (2 bytes) — `(34 2 0x6000)` in Figure 2.
+pub const TCP_SRC_PORT: usize = 34;
+/// TCP destination port (2 bytes) — `(36 2 0x4000)` in Figure 2.
+pub const TCP_DST_PORT: usize = 36;
+/// TCP sequence number (4 bytes) — `(38 4 SeqNoData)` in Figure 2.
+pub const TCP_SEQ: usize = 38;
+/// TCP acknowledgment number (4 bytes) — `(42 4 SeqNoAck)` in Figure 2.
+pub const TCP_ACK: usize = 42;
+/// TCP flags byte — `(47 1 0x10 0x10)` in Figure 2 matches the ACK bit.
+pub const TCP_FLAGS: usize = 47;
+
+/// UDP source port (2 bytes).
+pub const UDP_SRC_PORT: usize = 34;
+/// UDP destination port (2 bytes).
+pub const UDP_DST_PORT: usize = 36;
+/// UDP length (2 bytes).
+pub const UDP_LEN: usize = 38;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ETHERNET_HEADER_LEN, IPV4_HEADER_LEN};
+
+    #[test]
+    fn offsets_are_consistent_with_header_lengths() {
+        assert_eq!(ETH_PAYLOAD, ETHERNET_HEADER_LEN);
+        assert_eq!(TCP_SRC_PORT, ETHERNET_HEADER_LEN + IPV4_HEADER_LEN);
+        assert_eq!(TCP_DST_PORT, TCP_SRC_PORT + 2);
+        assert_eq!(TCP_SEQ, TCP_SRC_PORT + 4);
+        assert_eq!(TCP_ACK, TCP_SRC_PORT + 8);
+        assert_eq!(TCP_FLAGS, TCP_SRC_PORT + 13);
+        assert_eq!(UDP_SRC_PORT, TCP_SRC_PORT);
+    }
+}

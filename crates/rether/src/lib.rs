@@ -1,0 +1,55 @@
+//! Rether — a software-based real-time Ethernet token-passing protocol,
+//! reimplemented as the second "protocol under test" of the VirtualWire
+//! reproduction (paper Section 6.2).
+//!
+//! Rether regulates access to a shared medium with a circulating control
+//! token: a node may transmit data only while holding the token. Because a
+//! node or link failure can leave the ring with no token (or, transiently,
+//! more than one), the protocol carries "elaborate mechanisms to keep a
+//! single token in circulation in spite of packet drops and node failures"
+//! (paper, Section 1):
+//!
+//! * **token acknowledgment** — each token pass is acknowledged; a missing
+//!   ack is retransmitted up to [`RetherConfig::token_send_limit`] times
+//!   (3, the number the Figure 6 analysis script counts),
+//! * **ring reconstruction** — a successor that never acknowledges is
+//!   declared dead and removed; the updated membership travels inside the
+//!   token itself,
+//! * **token regeneration** — after prolonged silence a node regenerates
+//!   the token under a fresh generation number; stale-generation tokens
+//!   are discarded, restoring the single-token invariant,
+//! * **bandwidth reservation** — real-time senders reserve per-cycle bytes
+//!   ([`RetherNode::reserve_rt`]) on top of the best-effort quantum.
+//!
+//! The layer is a [`Hook`](vw_netsim::Hook): outbound data frames are
+//! queued and released only while holding the token, exactly where the
+//! kernel implementation interposed between the Ethernet driver and IP.
+//!
+//! # Example
+//!
+//! ```
+//! use vw_netsim::{LinkConfig, SimDuration, World};
+//! use vw_rether::{RetherConfig, RetherNode};
+//!
+//! let mut world = World::new(3);
+//! let hub = world.add_hub("bus", 4);
+//! let nodes: Vec<_> = (1..=3).map(|i| world.add_host(&format!("node{i}"))).collect();
+//! let ring: Vec<_> = nodes.iter().map(|&n| world.host_mac(n)).collect();
+//! let mut hooks = Vec::new();
+//! for &n in &nodes {
+//!     world.connect(n, hub, LinkConfig::ethernet_10m());
+//!     let node = RetherNode::new(RetherConfig::new(ring.clone()), world.host_mac(n));
+//!     hooks.push(world.add_hook(n, Box::new(node)));
+//! }
+//! world.run_for(SimDuration::from_millis(200));
+//! let n0 = world.hook::<RetherNode>(nodes[0], hooks[0]).unwrap();
+//! assert!(n0.stats().tokens_received > 10, "token must be circulating");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod node;
+pub mod wire;
+
+pub use node::{RetherConfig, RetherNode, RetherStats};

@@ -1,0 +1,215 @@
+//! Rether control-frame wire format.
+//!
+//! Rether control packets are raw Ethernet frames with protocol identifier
+//! `0x9900` (the value the paper's Figure 6 filter table matches at offset
+//! 12) and a 16-bit opcode at offset 14: `0x0001` for the token and
+//! `0x0010` for the token acknowledgment — again exactly the Figure 6
+//! patterns.
+//!
+//! The token additionally carries a generation number (to kill stale tokens
+//! after a regeneration), a cycle counter, and the current ring membership,
+//! so that a ring reconstructed after a node failure propagates to every
+//! surviving member with the token itself.
+
+use vw_packet::{EtherType, EthernetBuilder, Frame, MacAddr, ParseError};
+
+/// Opcode of a token frame (`(14 2 0x0001)` in Figure 6).
+pub const OPCODE_TOKEN: u16 = 0x0001;
+/// Opcode of a token acknowledgment (`(14 2 0x0010)` in Figure 6).
+pub const OPCODE_TOKEN_ACK: u16 = 0x0010;
+
+/// The circulating token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Regeneration generation: tokens older than a node's view are dead.
+    pub generation: u32,
+    /// Completed rotations (incremented by the ring's first member).
+    pub cycle: u32,
+    /// Current ring membership in rotation order.
+    pub ring: Vec<MacAddr>,
+}
+
+/// Builds a token frame from `src` to `dst`.
+pub fn build_token(src: MacAddr, dst: MacAddr, token: &Token) -> Frame {
+    let mut payload = Vec::with_capacity(2 + 4 + 4 + 1 + token.ring.len() * 6);
+    payload.extend_from_slice(&OPCODE_TOKEN.to_be_bytes());
+    payload.extend_from_slice(&token.generation.to_be_bytes());
+    payload.extend_from_slice(&token.cycle.to_be_bytes());
+    payload.push(token.ring.len() as u8);
+    for mac in &token.ring {
+        payload.extend_from_slice(&mac.octets());
+    }
+    EthernetBuilder::new()
+        .src(src)
+        .dst(dst)
+        .ethertype(EtherType::RETHER)
+        .payload_owned(payload)
+        .build()
+}
+
+/// Builds a token acknowledgment from `src` to `dst` echoing `generation`.
+pub fn build_token_ack(src: MacAddr, dst: MacAddr, generation: u32) -> Frame {
+    let mut payload = Vec::with_capacity(6);
+    payload.extend_from_slice(&OPCODE_TOKEN_ACK.to_be_bytes());
+    payload.extend_from_slice(&generation.to_be_bytes());
+    EthernetBuilder::new()
+        .src(src)
+        .dst(dst)
+        .ethertype(EtherType::RETHER)
+        .payload_owned(payload)
+        .build()
+}
+
+/// A parsed Rether control frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetherMessage {
+    /// The token, with its state.
+    Token(Token),
+    /// An acknowledgment echoing the token generation.
+    TokenAck {
+        /// Echoed generation number.
+        generation: u32,
+    },
+}
+
+/// Parses a Rether control frame.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] if the frame is not Rether, is truncated, or has
+/// an unknown opcode.
+pub fn parse(frame: &Frame) -> Result<RetherMessage, ParseError> {
+    if frame.ethertype() != EtherType::RETHER {
+        return Err(ParseError::new("not a Rether frame"));
+    }
+    let p = frame.payload();
+    if p.len() < 2 {
+        return Err(ParseError::new("Rether frame truncated"));
+    }
+    let opcode = u16::from_be_bytes([p[0], p[1]]);
+    match opcode {
+        OPCODE_TOKEN => {
+            if p.len() < 11 {
+                return Err(ParseError::new("token frame truncated"));
+            }
+            let generation = u32::from_be_bytes([p[2], p[3], p[4], p[5]]);
+            let cycle = u32::from_be_bytes([p[6], p[7], p[8], p[9]]);
+            let count = p[10] as usize;
+            if p.len() < 11 + count * 6 {
+                return Err(ParseError::new("token ring list truncated"));
+            }
+            let ring = (0..count)
+                .map(|i| {
+                    let mut o = [0u8; 6];
+                    o.copy_from_slice(&p[11 + i * 6..11 + (i + 1) * 6]);
+                    MacAddr::new(o)
+                })
+                .collect();
+            Ok(RetherMessage::Token(Token {
+                generation,
+                cycle,
+                ring,
+            }))
+        }
+        OPCODE_TOKEN_ACK => {
+            if p.len() < 6 {
+                return Err(ParseError::new("token-ack frame truncated"));
+            }
+            let generation = u32::from_be_bytes([p[2], p[3], p[4], p[5]]);
+            Ok(RetherMessage::TokenAck { generation })
+        }
+        other => Err(ParseError::new(format!(
+            "unknown Rether opcode 0x{other:04x}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vw_packet::offsets;
+
+    fn macs(n: u32) -> Vec<MacAddr> {
+        (1..=n).map(MacAddr::from_index).collect()
+    }
+
+    #[test]
+    fn token_round_trip() {
+        let token = Token {
+            generation: 3,
+            cycle: 1042,
+            ring: macs(4),
+        };
+        let frame = build_token(MacAddr::from_index(1), MacAddr::from_index(2), &token);
+        assert_eq!(frame.ethertype(), EtherType::RETHER);
+        match parse(&frame).unwrap() {
+            RetherMessage::Token(t) => assert_eq!(t, token),
+            other => panic!("wrong message {other:?}"),
+        }
+    }
+
+    #[test]
+    fn token_ack_round_trip() {
+        let frame = build_token_ack(MacAddr::from_index(2), MacAddr::from_index(1), 7);
+        match parse(&frame).unwrap() {
+            RetherMessage::TokenAck { generation } => assert_eq!(generation, 7),
+            other => panic!("wrong message {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure6_filter_offsets_match() {
+        // The Figure 6 filter table matches (12 2 0x9900) and (14 2 opcode).
+        let token = build_token(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            &Token {
+                generation: 0,
+                cycle: 0,
+                ring: macs(4),
+            },
+        );
+        assert_eq!(token.read_at(offsets::ETHERTYPE, 2).unwrap(), &[0x99, 0x00]);
+        assert_eq!(token.read_at(14, 2).unwrap(), &[0x00, 0x01]);
+        let ack = build_token_ack(MacAddr::from_index(2), MacAddr::from_index(1), 0);
+        assert_eq!(ack.read_at(offsets::ETHERTYPE, 2).unwrap(), &[0x99, 0x00]);
+        assert_eq!(ack.read_at(14, 2).unwrap(), &[0x00, 0x10]);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let not_rether = EthernetBuilder::new().payload(&[0, 0]).build();
+        assert!(parse(&not_rether).is_err());
+        let bad_opcode = EthernetBuilder::new()
+            .ethertype(EtherType::RETHER)
+            .payload(&[0xBE, 0xEF])
+            .build();
+        assert!(parse(&bad_opcode).is_err());
+        let truncated_token = EthernetBuilder::new()
+            .ethertype(EtherType::RETHER)
+            .payload(&[0x00, 0x01, 0x00])
+            .build();
+        assert!(parse(&truncated_token).is_err());
+        // Ring list shorter than its declared count.
+        let mut payload = vec![0x00, 0x01];
+        payload.extend_from_slice(&0u32.to_be_bytes());
+        payload.extend_from_slice(&0u32.to_be_bytes());
+        payload.push(4); // claims 4 members, provides none
+        let bad_ring = EthernetBuilder::new()
+            .ethertype(EtherType::RETHER)
+            .payload_owned(payload)
+            .build();
+        assert!(parse(&bad_ring).is_err());
+    }
+
+    #[test]
+    fn empty_ring_token_is_legal() {
+        let token = Token {
+            generation: 1,
+            cycle: 0,
+            ring: Vec::new(),
+        };
+        let frame = build_token(MacAddr::from_index(1), MacAddr::from_index(2), &token);
+        assert_eq!(parse(&frame).unwrap(), RetherMessage::Token(token));
+    }
+}

@@ -1,0 +1,368 @@
+//! TCP congestion control: slow start, congestion avoidance, fast
+//! retransmit and fast recovery (RFC 5681), with the RTO reaction the
+//! paper's Section 6.1 experiment depends on.
+
+use vw_netsim::SimDuration;
+
+/// Which congestion-control phase the sender is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcPhase {
+    /// Exponential window growth: one MSS per ACK while `cwnd <= ssthresh`.
+    SlowStart,
+    /// Additive increase: one MSS per window's worth of ACKs.
+    CongestionAvoidance,
+    /// Between a fast retransmit and the ACK of new data.
+    FastRecovery,
+}
+
+/// Congestion-control state, in bytes (window counters are byte-based with
+/// ACK-counting additive increase, which matches the packet-counting model
+/// in the paper's Figure 5 analysis script).
+#[derive(Debug, Clone)]
+pub struct Congestion {
+    mss: u32,
+    cwnd: u32,
+    ssthresh: u32,
+    phase: CcPhase,
+    /// Bytes acked since the last additive increase (congestion
+    /// avoidance) — the paper script's `CCNT` counter.
+    acked_since_increase: u32,
+    dup_acks: u32,
+    /// `cwnd` is restored to this on exiting fast recovery.
+    recover_ssthresh: u32,
+    /// If set, the implementation is deliberately broken: it never leaves
+    /// slow start (used to demonstrate that the FAE catches the bug the
+    /// Figure 5 script tests for).
+    bug_never_enter_ca: bool,
+}
+
+impl Congestion {
+    /// Creates state with an initial window of `initial_cwnd_mss`
+    /// (RFC 5681 permits 1–4) and the given initial `ssthresh`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mss` is zero.
+    pub fn new(mss: u32, initial_cwnd_mss: u32, initial_ssthresh: u32) -> Self {
+        assert!(mss > 0, "MSS must be positive");
+        Congestion {
+            mss,
+            cwnd: mss * initial_cwnd_mss.max(1),
+            ssthresh: initial_ssthresh,
+            phase: CcPhase::SlowStart,
+            acked_since_increase: 0,
+            dup_acks: 0,
+            recover_ssthresh: initial_ssthresh,
+            bug_never_enter_ca: false,
+        }
+    }
+
+    /// Enables the deliberate "never enter congestion avoidance" bug.
+    pub fn set_bug_never_enter_ca(&mut self, enabled: bool) {
+        self.bug_never_enter_ca = enabled;
+    }
+
+    /// Current congestion window in bytes.
+    pub fn cwnd(&self) -> u32 {
+        self.cwnd
+    }
+
+    /// Current slow-start threshold in bytes.
+    pub fn ssthresh(&self) -> u32 {
+        self.ssthresh
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> CcPhase {
+        if self.phase == CcPhase::FastRecovery {
+            return CcPhase::FastRecovery;
+        }
+        // Derived, matching RFC 5681's "cwnd <= ssthresh ⇒ slow start".
+        if self.cwnd <= self.ssthresh {
+            CcPhase::SlowStart
+        } else {
+            CcPhase::CongestionAvoidance
+        }
+    }
+
+    /// Consecutive duplicate ACKs seen.
+    pub fn dup_acks(&self) -> u32 {
+        self.dup_acks
+    }
+
+    /// Handles an ACK of `acked_bytes` of new data. Returns `true` if this
+    /// ACK ended fast recovery.
+    pub fn on_new_ack(&mut self, acked_bytes: u32) -> bool {
+        self.dup_acks = 0;
+        if self.phase == CcPhase::FastRecovery {
+            // Full ACK: deflate to ssthresh and resume CA.
+            self.cwnd = self.recover_ssthresh.max(self.mss);
+            self.phase = CcPhase::CongestionAvoidance;
+            self.acked_since_increase = 0;
+            return true;
+        }
+        if self.bug_never_enter_ca || self.cwnd <= self.ssthresh {
+            // Slow start: exponential growth.
+            self.cwnd = self.cwnd.saturating_add(self.mss);
+        } else {
+            // Congestion avoidance: +1 MSS per cwnd of acked bytes — the
+            // paper script's `CCNT > CWND` rule.
+            self.phase = CcPhase::CongestionAvoidance;
+            self.acked_since_increase = self.acked_since_increase.saturating_add(acked_bytes);
+            if self.acked_since_increase >= self.cwnd {
+                self.acked_since_increase -= self.cwnd;
+                self.cwnd = self.cwnd.saturating_add(self.mss);
+            }
+        }
+        false
+    }
+
+    /// Handles a duplicate ACK with `flight` bytes outstanding. Returns
+    /// `true` when this is the third duplicate and the caller must fast-
+    /// retransmit the lost segment.
+    pub fn on_dup_ack(&mut self, flight: u32) -> bool {
+        if self.phase == CcPhase::FastRecovery {
+            // Window inflation: each further dup ACK signals a departure.
+            self.cwnd = self.cwnd.saturating_add(self.mss);
+            return false;
+        }
+        self.dup_acks += 1;
+        if self.dup_acks == 3 {
+            self.enter_fast_recovery(flight);
+            return true;
+        }
+        false
+    }
+
+    fn enter_fast_recovery(&mut self, flight: u32) {
+        let half = (flight / 2).max(2 * self.mss);
+        self.ssthresh = half;
+        self.recover_ssthresh = half;
+        self.cwnd = half + 3 * self.mss;
+        self.phase = CcPhase::FastRecovery;
+    }
+
+    /// Handles a retransmission timeout with `flight` bytes outstanding:
+    /// `ssthresh = max(flight/2, 2·MSS)`, `cwnd = 1·MSS`, back to slow
+    /// start. This is exactly the behaviour the Figure 5 scenario forces
+    /// by dropping a SYNACK ("ssthresh is reset to 2 and cwnd to 1").
+    pub fn on_timeout(&mut self, flight: u32) {
+        self.ssthresh = (flight / 2).max(2 * self.mss);
+        self.cwnd = self.mss;
+        self.phase = CcPhase::SlowStart;
+        self.acked_since_increase = 0;
+        self.dup_acks = 0;
+    }
+
+    /// The MSS this state was built with.
+    pub fn mss(&self) -> u32 {
+        self.mss
+    }
+}
+
+/// RFC 6298-style retransmission-timeout estimator with Karn's algorithm
+/// and exponential backoff.
+#[derive(Debug, Clone)]
+pub struct RtoEstimator {
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    rto: SimDuration,
+    min_rto: SimDuration,
+    max_rto: SimDuration,
+    backoff: u32,
+}
+
+impl RtoEstimator {
+    /// Creates an estimator with the given initial and minimum RTO.
+    pub fn new(initial: SimDuration, min_rto: SimDuration) -> Self {
+        RtoEstimator {
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            rto: initial,
+            min_rto,
+            max_rto: SimDuration::from_secs(60),
+            backoff: 0,
+        }
+    }
+
+    /// The current retransmission timeout (with backoff applied).
+    pub fn rto(&self) -> SimDuration {
+        let shifted = self.rto * (1u64 << self.backoff.min(16));
+        shifted.min(self.max_rto)
+    }
+
+    /// Smoothed RTT, once at least one sample has been taken.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+
+    /// Feeds an RTT sample from a segment that was *not* retransmitted
+    /// (Karn's algorithm: the caller must not sample retransmitted
+    /// segments). Resets backoff.
+    pub fn sample(&mut self, rtt: SimDuration) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                let delta = if srtt > rtt { srtt - rtt } else { rtt - srtt };
+                // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - R|
+                self.rttvar = (self.rttvar * 3 + delta) / 4;
+                // SRTT = 7/8 SRTT + 1/8 R
+                self.srtt = Some((srtt * 7 + rtt) / 8);
+            }
+        }
+        let srtt = self.srtt.expect("just set");
+        self.rto = (srtt + self.rttvar * 4).max(self.min_rto);
+        self.backoff = 0;
+    }
+
+    /// Doubles the timeout after an expiry (exponential backoff).
+    pub fn on_timeout(&mut self) {
+        self.backoff = (self.backoff + 1).min(16);
+    }
+
+    /// Clears backoff after forward progress.
+    pub fn on_progress(&mut self) {
+        self.backoff = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: u32 = 1000;
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut cc = Congestion::new(MSS, 1, 64 * 1024);
+        assert_eq!(cc.phase(), CcPhase::SlowStart);
+        assert_eq!(cc.cwnd(), MSS);
+        cc.on_new_ack(MSS);
+        assert_eq!(cc.cwnd(), 2 * MSS);
+        cc.on_new_ack(MSS);
+        cc.on_new_ack(MSS);
+        assert_eq!(cc.cwnd(), 4 * MSS);
+    }
+
+    #[test]
+    fn crosses_into_congestion_avoidance_at_ssthresh() {
+        // The Section 6.1 check: ssthresh = 2 MSS; after 2 ACKs cwnd
+        // exceeds it and growth becomes additive.
+        let mut cc = Congestion::new(MSS, 1, 2 * MSS);
+        cc.on_new_ack(MSS); // cwnd 2 MSS (== ssthresh, still SS)
+        assert_eq!(cc.phase(), CcPhase::SlowStart);
+        cc.on_new_ack(MSS); // cwnd 3 MSS > ssthresh → CA
+        assert_eq!(cc.cwnd(), 3 * MSS);
+        assert_eq!(cc.phase(), CcPhase::CongestionAvoidance);
+        // Now additive: needs cwnd worth of acks for +1 MSS.
+        cc.on_new_ack(MSS);
+        cc.on_new_ack(MSS);
+        assert_eq!(cc.cwnd(), 3 * MSS, "not yet a full window of acks");
+        cc.on_new_ack(MSS);
+        assert_eq!(cc.cwnd(), 4 * MSS);
+    }
+
+    #[test]
+    fn buggy_mode_never_enters_ca() {
+        let mut cc = Congestion::new(MSS, 1, 2 * MSS);
+        cc.set_bug_never_enter_ca(true);
+        for _ in 0..10 {
+            cc.on_new_ack(MSS);
+        }
+        assert_eq!(cc.cwnd(), 11 * MSS, "exponential growth continued");
+    }
+
+    #[test]
+    fn timeout_resets_to_slow_start() {
+        let mut cc = Congestion::new(MSS, 4, 64 * 1024);
+        for _ in 0..20 {
+            cc.on_new_ack(MSS);
+        }
+        let flight = 10 * MSS;
+        cc.on_timeout(flight);
+        assert_eq!(cc.cwnd(), MSS);
+        assert_eq!(cc.ssthresh(), 5 * MSS);
+        assert_eq!(cc.phase(), CcPhase::SlowStart);
+    }
+
+    #[test]
+    fn timeout_floor_is_two_mss() {
+        let mut cc = Congestion::new(MSS, 1, 64 * 1024);
+        cc.on_timeout(MSS); // tiny flight
+        assert_eq!(cc.ssthresh(), 2 * MSS, "ssthresh floor is 2 MSS");
+    }
+
+    #[test]
+    fn three_dup_acks_trigger_fast_retransmit() {
+        let mut cc = Congestion::new(MSS, 8, 4 * MSS);
+        let flight = 8 * MSS;
+        assert!(!cc.on_dup_ack(flight));
+        assert!(!cc.on_dup_ack(flight));
+        assert!(cc.on_dup_ack(flight), "third dup ack fires");
+        assert_eq!(cc.phase(), CcPhase::FastRecovery);
+        assert_eq!(cc.ssthresh(), 4 * MSS);
+        assert_eq!(cc.cwnd(), 4 * MSS + 3 * MSS);
+        // Further dups inflate.
+        cc.on_dup_ack(flight);
+        assert_eq!(cc.cwnd(), 8 * MSS);
+        // New ack deflates to ssthresh; at cwnd == ssthresh the derived
+        // phase is slow start (the paper script's `CWND <= SSTHRESH` rule),
+        // and one more ack tips it into congestion avoidance.
+        assert!(cc.on_new_ack(MSS));
+        assert_eq!(cc.cwnd(), 4 * MSS);
+        assert_ne!(cc.phase(), CcPhase::FastRecovery);
+        cc.on_new_ack(MSS);
+        assert_eq!(cc.phase(), CcPhase::CongestionAvoidance);
+    }
+
+    #[test]
+    fn new_ack_resets_dup_count() {
+        let mut cc = Congestion::new(MSS, 8, 64 * 1024);
+        cc.on_dup_ack(8 * MSS);
+        cc.on_dup_ack(8 * MSS);
+        cc.on_new_ack(MSS);
+        assert_eq!(cc.dup_acks(), 0);
+        assert!(!cc.on_dup_ack(8 * MSS));
+        assert!(!cc.on_dup_ack(8 * MSS));
+        assert!(cc.on_dup_ack(8 * MSS));
+    }
+
+    #[test]
+    fn rto_initial_and_backoff() {
+        let mut rto = RtoEstimator::new(SimDuration::from_millis(200), SimDuration::from_millis(50));
+        assert_eq!(rto.rto(), SimDuration::from_millis(200));
+        rto.on_timeout();
+        assert_eq!(rto.rto(), SimDuration::from_millis(400));
+        rto.on_timeout();
+        assert_eq!(rto.rto(), SimDuration::from_millis(800));
+        rto.on_progress();
+        assert_eq!(rto.rto(), SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn rto_tracks_samples() {
+        let mut rto = RtoEstimator::new(SimDuration::from_millis(200), SimDuration::from_millis(10));
+        rto.sample(SimDuration::from_millis(20));
+        // First sample: SRTT = 20ms, RTTVAR = 10ms, RTO = 20 + 40 = 60ms.
+        assert_eq!(rto.srtt(), Some(SimDuration::from_millis(20)));
+        assert_eq!(rto.rto(), SimDuration::from_millis(60));
+        // Stable samples shrink the variance term.
+        for _ in 0..50 {
+            rto.sample(SimDuration::from_millis(20));
+        }
+        assert!(rto.rto() < SimDuration::from_millis(30));
+        assert!(rto.rto() >= SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn rto_is_capped() {
+        let mut rto = RtoEstimator::new(SimDuration::from_secs(1), SimDuration::from_millis(10));
+        for _ in 0..30 {
+            rto.on_timeout();
+        }
+        assert_eq!(rto.rto(), SimDuration::from_secs(60));
+    }
+}

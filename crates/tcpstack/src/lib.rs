@@ -1,0 +1,67 @@
+//! A TCP implementation — the "protocol under test" for the VirtualWire
+//! reproduction's Section 6.1 experiments.
+//!
+//! The paper tests the Linux 2.4.17 TCP stack, which is not available to a
+//! pure-Rust laptop reproduction; this crate provides an RFC-conformant
+//! substitute implementing the behaviours the Figure 5 script checks:
+//!
+//! * three-way handshake with SYN retransmission on timeout,
+//! * slow start and congestion avoidance (RFC 5681), with the
+//!   ACK-counting additive increase that mirrors the script's `CCNT`
+//!   counter,
+//! * on RTO: `ssthresh = max(flight/2, 2·MSS)`, `cwnd = 1·MSS` — so a
+//!   dropped SYNACK leaves `ssthresh = 2` segments exactly as Section 6.1
+//!   engineers,
+//! * fast retransmit on three duplicate ACKs and fast recovery,
+//! * adaptive RTO (RFC 6298 style) with Karn's algorithm and exponential
+//!   backoff,
+//! * out-of-order reassembly, graceful close, RST handling.
+//!
+//! A deliberate-bug switch ([`TcpConfig::bug_never_enter_ca`]) makes the
+//! stack ignore `ssthresh` and stay in slow start forever, demonstrating
+//! that the Fault Analysis Engine actually catches the defect the paper's
+//! script was written for.
+//!
+//! # Example
+//!
+//! ```
+//! use vw_netsim::{Binding, LinkConfig, SimDuration, World};
+//! use vw_packet::EtherType;
+//! use vw_tcpstack::{Endpoint, TcpConfig, TcpStack, TcpState};
+//!
+//! let mut world = World::new(5);
+//! let a = world.add_host("client");
+//! let b = world.add_host("server");
+//! world.connect(a, b, LinkConfig::fast_ethernet());
+//!
+//! let mut server = TcpStack::new(world.host_mac(b), world.host_ip(b));
+//! server.listen(16384, TcpConfig::default());
+//! let sid = world.add_protocol(b, Binding::EtherType(EtherType::IPV4), Box::new(server));
+//!
+//! let mut client = TcpStack::new(world.host_mac(a), world.host_ip(a));
+//! let h = client.connect(TcpConfig::default(), 24576, Endpoint {
+//!     mac: world.host_mac(b), ip: world.host_ip(b), port: 16384,
+//! });
+//! client.send(h, b"hello over tcp");
+//! let cid = world.add_protocol(a, Binding::EtherType(EtherType::IPV4), Box::new(client));
+//!
+//! world.run_for(SimDuration::from_millis(100));
+//!
+//! let server = world.protocol_mut::<TcpStack>(b, sid).unwrap();
+//! let accepted = server.take_accepted();
+//! assert_eq!(accepted.len(), 1);
+//! assert_eq!(server.socket_mut(accepted[0]).take_received(), b"hello over tcp");
+//! let client = world.protocol::<TcpStack>(a, cid).unwrap();
+//! assert_eq!(client.socket(h).state(), TcpState::Established);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod congestion;
+mod socket;
+mod stack;
+
+pub use congestion::{CcPhase, Congestion, RtoEstimator};
+pub use socket::{Endpoint, SegmentIn, SocketStats, TcpConfig, TcpSocket, TcpState};
+pub use stack::{SocketHandle, TcpStack};

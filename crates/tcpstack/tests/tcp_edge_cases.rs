@@ -1,0 +1,231 @@
+//! TCP edge cases: receiver-window limiting, adaptive RTO behaviour,
+//! close-state machinery, and recovery dynamics under engineered loss.
+
+use vw_netsim::{Binding, Context, ErrorModel, Hook, LinkConfig, SimDuration, Verdict, World};
+use vw_packet::{EtherType, Frame};
+use vw_tcpstack::{Endpoint, SocketHandle, TcpConfig, TcpStack, TcpState};
+
+struct Bed {
+    world: World,
+    a: vw_netsim::DeviceId,
+    b: vw_netsim::DeviceId,
+    cid: vw_netsim::ProtocolId,
+    sid: vw_netsim::ProtocolId,
+    h: SocketHandle,
+}
+
+fn bed(seed: u64, link: LinkConfig, client_cfg: TcpConfig, server_cfg: TcpConfig, data: &[u8]) -> Bed {
+    let mut world = World::new(seed);
+    let a = world.add_host("client");
+    let b = world.add_host("server");
+    world.connect(a, b, link);
+    let mut server = TcpStack::new(world.host_mac(b), world.host_ip(b));
+    server.listen(80, server_cfg);
+    let sid = world.add_protocol(b, Binding::EtherType(EtherType::IPV4), Box::new(server));
+    let mut client = TcpStack::new(world.host_mac(a), world.host_ip(a));
+    let h = client.connect(
+        client_cfg,
+        5000,
+        Endpoint {
+            mac: world.host_mac(b),
+            ip: world.host_ip(b),
+            port: 80,
+        },
+    );
+    client.send(h, data);
+    let cid = world.add_protocol(a, Binding::EtherType(EtherType::IPV4), Box::new(client));
+    Bed {
+        world,
+        a,
+        b,
+        cid,
+        sid,
+        h,
+    }
+}
+
+fn transfer_time(seed: u64, link: LinkConfig, server_cfg: TcpConfig, data: &[u8]) -> SimDuration {
+    let mut tb = bed(seed, link, TcpConfig::default(), server_cfg, data);
+    let start = tb.world.now();
+    loop {
+        tb.world.run_for(SimDuration::from_millis(1));
+        let c = tb.world.protocol::<TcpStack>(tb.a, tb.cid).unwrap();
+        if c.socket(tb.h).send_complete()
+            || tb.world.now().saturating_since(start) > SimDuration::from_secs(20)
+        {
+            break tb.world.now().saturating_since(start);
+        }
+    }
+}
+
+#[test]
+fn tiny_receive_window_throttles_the_sender() {
+    // On a 5 ms-propagation path (RTT ≈ 10 ms), a 1000-byte advertised
+    // window allows one segment per RTT — the receive window, not cwnd,
+    // is the limiter, and the transfer takes ~30 RTTs instead of the few
+    // slow-start RTTs an unthrottled transfer needs.
+    let link = LinkConfig::fast_ethernet().propagation(SimDuration::from_millis(5));
+    let data = vec![9u8; 30_000];
+    let throttled = transfer_time(
+        1,
+        link,
+        TcpConfig {
+            recv_window: 1000,
+            ..TcpConfig::default()
+        },
+        &data,
+    );
+    let unthrottled = transfer_time(2, link, TcpConfig::default(), &data);
+    assert!(
+        throttled > unthrottled * 2,
+        "window-limited transfer ({throttled}) must be much slower than \
+         unthrottled ({unthrottled})"
+    );
+    // ~30 segments, one RTT (10 ms) each.
+    assert!(
+        throttled >= SimDuration::from_millis(250),
+        "1 segment per 10 ms RTT: {throttled}"
+    );
+}
+
+/// Drops the Nth..Mth TCP data segments (first transmissions only pass).
+struct SegmentDropper {
+    seen: u64,
+    drop_range: std::ops::Range<u64>,
+}
+
+impl Hook for SegmentDropper {
+    fn name(&self) -> &str {
+        "segment-dropper"
+    }
+
+    fn on_outbound(&mut self, _ctx: &mut Context<'_>, frame: Frame) -> Verdict {
+        if let Some(tcp) = frame.tcp() {
+            if !tcp.payload().is_empty() {
+                self.seen += 1;
+                if self.drop_range.contains(&self.seen) {
+                    return Verdict::Consume;
+                }
+            }
+        }
+        Verdict::Accept(frame)
+    }
+}
+
+#[test]
+fn fast_retransmit_recovers_single_loss_quickly() {
+    let data = vec![7u8; 60_000];
+    let mut tb = bed(4, LinkConfig::fast_ethernet(), TcpConfig::default(), TcpConfig::default(), &data);
+    // Drop exactly the 12th data segment (by then the window is wide
+    // enough for 3 dup acks to arrive).
+    tb.world.add_hook(
+        tb.a,
+        Box::new(SegmentDropper {
+            seen: 0,
+            drop_range: 12..13,
+        }),
+    );
+    tb.world.run_for(SimDuration::from_secs(3));
+    let server = tb.world.protocol_mut::<TcpStack>(tb.b, tb.sid).unwrap();
+    assert_eq!(
+        server.socket_mut(SocketHandle::from_index(0)).take_received(),
+        data
+    );
+    let client = tb.world.protocol::<TcpStack>(tb.a, tb.cid).unwrap();
+    let stats = client.socket(tb.h).stats();
+    assert_eq!(stats.fast_retransmits, 1, "recovered via dup acks");
+    assert_eq!(stats.timeouts, 0, "no RTO needed");
+}
+
+#[test]
+fn burst_loss_falls_back_to_rto() {
+    let data = vec![5u8; 40_000];
+    let mut tb = bed(5, LinkConfig::fast_ethernet(), TcpConfig::default(), TcpConfig::default(), &data);
+    // Drop segments 5..=12: too much loss for fast recovery alone.
+    tb.world.add_hook(
+        tb.a,
+        Box::new(SegmentDropper {
+            seen: 0,
+            drop_range: 5..13,
+        }),
+    );
+    tb.world.run_for(SimDuration::from_secs(10));
+    let server = tb.world.protocol_mut::<TcpStack>(tb.b, tb.sid).unwrap();
+    assert_eq!(
+        server.socket_mut(SocketHandle::from_index(0)).take_received(),
+        data
+    );
+    let client = tb.world.protocol::<TcpStack>(tb.a, tb.cid).unwrap();
+    assert!(client.socket(tb.h).stats().timeouts >= 1, "RTO path exercised");
+}
+
+#[test]
+fn rto_adapts_to_path_latency() {
+    // On a 20 ms-propagation link the initial 200 ms RTO must adapt
+    // upward-resistant: after samples, spurious timeouts stay at zero
+    // even though RTT (~40 ms) is a large fraction of the initial RTO.
+    let slow = LinkConfig::fast_ethernet().propagation(SimDuration::from_millis(20));
+    let data = vec![3u8; 100_000];
+    let mut tb = bed(6, slow, TcpConfig::default(), TcpConfig::default(), &data);
+    tb.world.run_for(SimDuration::from_secs(20));
+    let server = tb.world.protocol_mut::<TcpStack>(tb.b, tb.sid).unwrap();
+    assert_eq!(
+        server.socket_mut(SocketHandle::from_index(0)).take_received(),
+        data
+    );
+    let client = tb.world.protocol::<TcpStack>(tb.a, tb.cid).unwrap();
+    assert_eq!(
+        client.socket(tb.h).stats().timeouts,
+        0,
+        "an adaptive RTO never fires spuriously on a clean slow path"
+    );
+}
+
+#[test]
+fn full_close_reaches_time_wait_and_closed() {
+    let mut tb = bed(7, LinkConfig::fast_ethernet(), TcpConfig::default(), TcpConfig::default(), b"x");
+    tb.world.run_for(SimDuration::from_millis(50));
+    {
+        let client = tb.world.protocol_mut::<TcpStack>(tb.a, tb.cid).unwrap();
+        client.close(tb.h);
+        tb.world
+            .poke(tb.a, vw_netsim::HandlerRef::Protocol(tb.cid));
+    }
+    tb.world.run_for(SimDuration::from_millis(50));
+    {
+        let server = tb.world.protocol_mut::<TcpStack>(tb.b, tb.sid).unwrap();
+        server.close(SocketHandle::from_index(0));
+        tb.world
+            .poke(tb.b, vw_netsim::HandlerRef::Protocol(tb.sid));
+    }
+    tb.world.run_for(SimDuration::from_secs(2));
+    let client = tb.world.protocol::<TcpStack>(tb.a, tb.cid).unwrap();
+    // TimeWait expires into Closed after its timer.
+    assert_eq!(client.socket(tb.h).state(), TcpState::Closed);
+    let server = tb.world.protocol::<TcpStack>(tb.b, tb.sid).unwrap();
+    assert_eq!(
+        server.socket(SocketHandle::from_index(0)).state(),
+        TcpState::Closed
+    );
+}
+
+#[test]
+fn transfer_integrity_under_random_loss_many_seeds() {
+    for seed in 10..16 {
+        let data: Vec<u8> = (0..30_000u32).map(|i| (i * 31 + seed as u32) as u8).collect();
+        let mut tb = bed(
+            seed,
+            LinkConfig::fast_ethernet().errors(ErrorModel::lossy(0.08)),
+            TcpConfig::default(),
+            TcpConfig::default(),
+            &data,
+        );
+        tb.world.run_for(SimDuration::from_secs(30));
+        let server = tb.world.protocol_mut::<TcpStack>(tb.b, tb.sid).unwrap();
+        assert_eq!(
+            server.socket_mut(SocketHandle::from_index(0)).take_received(),
+            data,
+            "seed {seed}: bytes must arrive intact and in order"
+        );
+    }
+}

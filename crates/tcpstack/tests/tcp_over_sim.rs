@@ -1,0 +1,298 @@
+//! End-to-end TCP tests over the simulated LAN: handshake, bulk transfer,
+//! loss recovery, congestion-window dynamics, and interaction with the RLL
+//! hook position (pass-through hooks must not perturb TCP).
+
+use vw_netsim::{Binding, ErrorModel, LinkConfig, PassThrough, SimDuration, World};
+use vw_packet::EtherType;
+use vw_tcpstack::{CcPhase, Endpoint, SocketHandle, TcpConfig, TcpStack, TcpState};
+
+struct Testbed {
+    world: World,
+    client_node: vw_netsim::DeviceId,
+    server_node: vw_netsim::DeviceId,
+    client_id: vw_netsim::ProtocolId,
+    server_id: vw_netsim::ProtocolId,
+    handle: SocketHandle,
+}
+
+fn testbed(seed: u64, link: LinkConfig, cfg: TcpConfig, payload: &[u8]) -> Testbed {
+    let mut world = World::new(seed);
+    let a = world.add_host("client");
+    let b = world.add_host("server");
+    let sw = world.add_switch("sw0", 4);
+    world.connect(a, sw, link);
+    world.connect(b, sw, link);
+
+    let mut server = TcpStack::new(world.host_mac(b), world.host_ip(b));
+    server.listen(16384, cfg);
+    let server_id = world.add_protocol(b, Binding::EtherType(EtherType::IPV4), Box::new(server));
+
+    let mut client = TcpStack::new(world.host_mac(a), world.host_ip(a));
+    let handle = client.connect(
+        cfg,
+        24576,
+        Endpoint {
+            mac: world.host_mac(b),
+            ip: world.host_ip(b),
+            port: 16384,
+        },
+    );
+    client.send(handle, payload);
+    let client_id = world.add_protocol(a, Binding::EtherType(EtherType::IPV4), Box::new(client));
+
+    Testbed {
+        world,
+        client_node: a,
+        server_node: b,
+        client_id,
+        server_id,
+        handle,
+    }
+}
+
+fn received(tb: &mut Testbed) -> Vec<u8> {
+    let server = tb
+        .world
+        .protocol_mut::<TcpStack>(tb.server_node, tb.server_id)
+        .unwrap();
+    let mut out = Vec::new();
+    let accepted: Vec<SocketHandle> = (0..server.socket_count())
+        .map(SocketHandle::from_index)
+        .collect();
+    for h in accepted {
+        out.extend(server.socket_mut(h).take_received());
+    }
+    out
+}
+
+#[test]
+fn bulk_transfer_over_clean_lan() {
+    let data: Vec<u8> = (0..100_000u32).map(|i| (i * 7) as u8).collect();
+    let mut tb = testbed(1, LinkConfig::fast_ethernet(), TcpConfig::default(), &data);
+    tb.world.run_for(SimDuration::from_secs(2));
+    assert_eq!(received(&mut tb), data);
+    let client = tb
+        .world
+        .protocol::<TcpStack>(tb.client_node, tb.client_id)
+        .unwrap();
+    let sock = client.socket(tb.handle);
+    assert_eq!(sock.state(), TcpState::Established);
+    assert!(sock.send_complete());
+    assert_eq!(sock.stats().retransmissions, 0, "clean LAN needs no rexmits");
+}
+
+#[test]
+fn transfer_survives_10_percent_loss() {
+    let data: Vec<u8> = (0..50_000u32).map(|i| (i * 13) as u8).collect();
+    let mut tb = testbed(
+        2,
+        LinkConfig::fast_ethernet().errors(ErrorModel::lossy(0.10)),
+        TcpConfig::default(),
+        &data,
+    );
+    tb.world.run_for(SimDuration::from_secs(30));
+    assert_eq!(received(&mut tb), data, "reliable delivery despite loss");
+    let client = tb
+        .world
+        .protocol::<TcpStack>(tb.client_node, tb.client_id)
+        .unwrap();
+    assert!(
+        client.socket(tb.handle).stats().retransmissions > 0,
+        "10% loss must force retransmissions"
+    );
+}
+
+#[test]
+fn transfer_survives_bit_corruption() {
+    let data: Vec<u8> = (0..20_000u32).map(|i| (i ^ 0x5a) as u8).collect();
+    let mut tb = testbed(
+        3,
+        LinkConfig::fast_ethernet().errors(ErrorModel::bit_errors(0.00005)),
+        TcpConfig::default(),
+        &data,
+    );
+    tb.world.run_for(SimDuration::from_secs(30));
+    assert_eq!(received(&mut tb), data, "checksums + rexmit beat corruption");
+}
+
+#[test]
+fn slow_start_then_congestion_avoidance() {
+    let data = vec![0u8; 40_000];
+    let cfg = TcpConfig {
+        initial_ssthresh: 4000, // 4 MSS: CA entered quickly
+        ..TcpConfig::default()
+    };
+    let mut tb = testbed(4, LinkConfig::fast_ethernet(), cfg, &data);
+    tb.world.run_for(SimDuration::from_secs(2));
+    assert_eq!(received(&mut tb).len(), 40_000);
+    let client = tb
+        .world
+        .protocol::<TcpStack>(tb.client_node, tb.client_id)
+        .unwrap();
+    let sock = client.socket(tb.handle);
+    assert_eq!(sock.cc_phase(), CcPhase::CongestionAvoidance);
+    assert!(sock.cwnd() > 4000, "window kept growing additively");
+    assert!(
+        sock.cwnd() < 40_000,
+        "additive growth is much slower than exponential"
+    );
+}
+
+#[test]
+fn buggy_stack_ignores_ssthresh() {
+    let data = vec![0u8; 40_000];
+    let cfg = TcpConfig {
+        initial_ssthresh: 4000,
+        bug_never_enter_ca: true,
+        ..TcpConfig::default()
+    };
+    let mut tb = testbed(5, LinkConfig::fast_ethernet(), cfg, &data);
+    tb.world.run_for(SimDuration::from_secs(2));
+    let client = tb
+        .world
+        .protocol::<TcpStack>(tb.client_node, tb.client_id)
+        .unwrap();
+    // 40 data segments acked → cwnd grew by ~40 MSS: exponential growth
+    // blew straight through ssthresh.
+    assert!(client.socket(tb.handle).cwnd() > 30_000);
+}
+
+#[test]
+fn rate_limited_source_throttles_goodput() {
+    let mut tb = testbed(6, LinkConfig::fast_ethernet(), TcpConfig::default(), &[]);
+    {
+        let client = tb
+            .world
+            .protocol_mut::<TcpStack>(tb.client_node, tb.client_id)
+            .unwrap();
+        client.attach_source(tb.handle, 10_000_000, 1_000_000); // 10 Mb/s, 1 MB
+        let node = tb.client_node;
+        let id = tb.client_id;
+        tb.world
+            .poke(node, vw_netsim::HandlerRef::Protocol(id));
+    }
+    tb.world.run_for(SimDuration::from_secs(3));
+    let server = tb
+        .world
+        .protocol::<TcpStack>(tb.server_node, tb.server_id)
+        .unwrap();
+    // First (only) accepted socket holds the data.
+    let h = SocketHandle::from_index(0);
+    let sock = server.socket(h);
+    assert_eq!(sock.stats().bytes_received, 1_000_000);
+    let goodput = sock.recv_goodput_bps().expect("measurable");
+    assert!(
+        (goodput - 10_000_000.0).abs() / 10_000_000.0 < 0.15,
+        "goodput {goodput} should track the 10 Mb/s offered rate"
+    );
+}
+
+#[test]
+fn passthrough_hooks_leave_tcp_untouched() {
+    let data: Vec<u8> = (0..30_000u32).map(|i| i as u8).collect();
+    let run = |hooks: bool| {
+        let mut tb = testbed(7, LinkConfig::fast_ethernet(), TcpConfig::default(), &data);
+        if hooks {
+            tb.world.add_hook(tb.client_node, Box::new(PassThrough));
+            tb.world.add_hook(tb.server_node, Box::new(PassThrough));
+        }
+        tb.world.run_for(SimDuration::from_secs(2));
+        let client = tb
+            .world
+            .protocol::<TcpStack>(tb.client_node, tb.client_id)
+            .unwrap();
+        let stats = client.socket(tb.handle).stats();
+        (stats.segments_sent, stats.retransmissions)
+    };
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
+fn graceful_close_end_to_end() {
+    let mut tb = testbed(8, LinkConfig::fast_ethernet(), TcpConfig::default(), b"fin");
+    {
+        let node = tb.client_node;
+        let id = tb.client_id;
+        let client = tb.world.protocol_mut::<TcpStack>(node, id).unwrap();
+        client.close(tb.handle);
+        tb.world.poke(node, vw_netsim::HandlerRef::Protocol(id));
+    }
+    tb.world.run_for(SimDuration::from_secs(2));
+    assert_eq!(received(&mut tb), b"fin");
+    let server = tb
+        .world
+        .protocol::<TcpStack>(tb.server_node, tb.server_id)
+        .unwrap();
+    let h = SocketHandle::from_index(0);
+    assert_eq!(server.socket(h).state(), TcpState::CloseWait);
+    let client = tb
+        .world
+        .protocol::<TcpStack>(tb.client_node, tb.client_id)
+        .unwrap();
+    assert_eq!(client.socket(tb.handle).state(), TcpState::FinWait2);
+}
+
+#[test]
+fn two_concurrent_connections_demux_correctly() {
+    let mut world = World::new(9);
+    let a = world.add_host("client");
+    let b = world.add_host("server");
+    let sw = world.add_switch("sw0", 4);
+    world.connect(a, sw, LinkConfig::fast_ethernet());
+    world.connect(b, sw, LinkConfig::fast_ethernet());
+
+    let mut server = TcpStack::new(world.host_mac(b), world.host_ip(b));
+    server.listen(80, TcpConfig::default());
+    let sid = world.add_protocol(b, Binding::EtherType(EtherType::IPV4), Box::new(server));
+
+    let mut client = TcpStack::new(world.host_mac(a), world.host_ip(a));
+    let remote = Endpoint {
+        mac: world.host_mac(b),
+        ip: world.host_ip(b),
+        port: 80,
+    };
+    let h1 = client.connect(TcpConfig::default(), 5001, remote);
+    let h2 = client.connect(
+        TcpConfig {
+            iss: 90_000,
+            ..TcpConfig::default()
+        },
+        5002,
+        remote,
+    );
+    client.send(h1, b"first connection");
+    client.send(h2, b"second connection");
+    world.add_protocol(a, Binding::EtherType(EtherType::IPV4), Box::new(client));
+    world.run_for(SimDuration::from_secs(1));
+
+    let server = world.protocol_mut::<TcpStack>(b, sid).unwrap();
+    let accepted = server.take_accepted();
+    assert_eq!(accepted.len(), 2);
+    let mut got: Vec<Vec<u8>> = accepted
+        .into_iter()
+        .map(|h| server.socket_mut(h).take_received())
+        .collect();
+    got.sort();
+    assert_eq!(got, vec![b"first connection".to_vec(), b"second connection".to_vec()]);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let run = || {
+        let data = vec![3u8; 60_000];
+        let mut tb = testbed(
+            10,
+            LinkConfig::fast_ethernet().errors(ErrorModel::lossy(0.05)),
+            TcpConfig::default(),
+            &data,
+        );
+        tb.world.run_for(SimDuration::from_secs(10));
+        let client = tb
+            .world
+            .protocol::<TcpStack>(tb.client_node, tb.client_id)
+            .unwrap();
+        let s = client.socket(tb.handle).stats();
+        (s.segments_sent, s.retransmissions, s.timeouts)
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,92 @@
+//! The "before VirtualWire" workflow, automated: capture a packet trace of
+//! a faulted run and inspect it — then contrast with the online analysis
+//! the engines already did.
+//!
+//! The paper's introduction complains that testing Rether meant "collecting
+//! tcpdump traces and inspecting them manually or through some simple
+//! testcase specific filter programs". The simulator records an equivalent
+//! trace for free; this example dumps it tcpdump-style next to the
+//! engine-generated report, so you can see both what the FAE concluded and
+//! the raw evidence it concluded it from.
+//!
+//! ```text
+//! cargo run --example trace_dump
+//! ```
+
+use virtualwire::{compile_script, EngineConfig, Runner};
+use vw_netsim::apps::{UdpFlooder, UdpSink};
+use vw_netsim::{Binding, LinkConfig, SimDuration, TraceKind, World};
+use vw_packet::EtherType;
+
+const SCRIPT: &str = r#"
+    FILTER_TABLE
+    udp_data: (23 1 0x11), (36 2 0x6363)
+    END
+    NODE_TABLE
+    node1 02:00:00:00:00:01 192.168.1.2
+    node2 02:00:00:00:00:02 192.168.1.3
+    END
+    SCENARIO Inspect
+    Sent: (udp_data, node1, node2, SEND)
+    (TRUE) >> ENABLE_CNTR(Sent);
+    ((Sent = 2)) >> DROP(udp_data, node1, node2, SEND);
+    ((Sent = 4)) >> DUP(udp_data, node1, node2, SEND);
+    ((Sent = 6)) >> STOP;
+    END
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tables = compile_script(SCRIPT)?;
+    let mut world = World::new(3);
+    let nodes = Runner::create_hosts(&mut world, &tables);
+    let sw = world.add_switch("sw0", 4);
+    for &n in &nodes {
+        world.connect(n, sw, LinkConfig::fast_ethernet());
+    }
+    let runner = Runner::install(&mut world, tables, EngineConfig::default());
+    runner.settle(&mut world);
+    world.trace_mut().clear(); // drop the init chatter, keep the run
+
+    world.add_protocol(
+        nodes[1],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(UdpSink::new(0x6363)),
+    );
+    let flooder = UdpFlooder::new(
+        world.host_mac(nodes[1]),
+        world.host_ip(nodes[1]),
+        0x6363,
+        9000,
+        1_000_000,
+        120,
+        20 * 120,
+    );
+    world.add_protocol(nodes[0], Binding::EtherType(EtherType::IPV4), Box::new(flooder));
+    let report = runner.run(&mut world, SimDuration::from_secs(1));
+
+    println!("=== packet trace (UDP data + fault events only) ===");
+    for record in world.trace().records() {
+        let is_udp = record
+            .frame
+            .as_ref()
+            .is_some_and(|f| f.udp().is_some_and(|u| u.dst_port() == 0x6363));
+        let is_fault = matches!(record.kind, TraceKind::HookConsume | TraceKind::Note);
+        if is_udp || is_fault {
+            println!("{}", record.render());
+        }
+    }
+
+    println!("\n=== and a hexdump of the first captured datagram ===");
+    if let Some(frame) = world
+        .trace()
+        .records()
+        .iter()
+        .find_map(|r| r.frame.as_ref().filter(|f| f.udp().is_some()))
+    {
+        print!("{}", frame.hexdump());
+    }
+
+    println!("\n=== what the FAE already knew without any of that ===");
+    print!("{}", report.render());
+    Ok(())
+}

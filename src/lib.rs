@@ -1,0 +1,22 @@
+//! Umbrella crate for the VirtualWire reproduction workspace.
+//!
+//! This package exists to host the cross-crate integration tests
+//! (`tests/`) — the paper's Section 6 case studies among them — and the
+//! runnable examples (`examples/`). The library surface lives in the
+//! workspace members:
+//!
+//! * [`virtualwire`] — the fault injection/analysis engines and runner,
+//! * [`vw_fsl`] — the Fault Specification Language,
+//! * [`vw_netsim`] — the deterministic LAN simulator,
+//! * [`vw_packet`], [`vw_rll`], [`vw_tcpstack`], [`vw_rether`] — the
+//!   substrates and protocols under test.
+//!
+//! Start with `README.md`, then `cargo run --example quickstart`.
+
+pub use virtualwire;
+pub use vw_fsl;
+pub use vw_netsim;
+pub use vw_packet;
+pub use vw_rether;
+pub use vw_rll;
+pub use vw_tcpstack;

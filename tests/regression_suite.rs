@@ -1,0 +1,101 @@
+//! The unattended regression-suite workflow end-to-end (the library-level
+//! counterpart of `examples/regression_suite.rs`).
+
+use virtualwire::{EngineConfig, Runner, StopReason, Suite};
+use vw_netsim::apps::{UdpFlooder, UdpSink};
+use vw_netsim::{Binding, LinkConfig, SimDuration, World};
+use vw_packet::EtherType;
+
+const SUITE: &str = r#"
+    FILTER_TABLE
+    udp_data: (23 1 0x11), (36 2 0x6363)
+    END
+    NODE_TABLE
+    node1 02:00:00:00:00:01 192.168.1.2
+    node2 02:00:00:00:00:02 192.168.1.3
+    END
+
+    SCENARIO Green_Flow 500msec
+    Rcvd: (udp_data, node1, node2, RECV)
+    (TRUE) >> ENABLE_CNTR(Rcvd);
+    ((Rcvd = 15)) >> STOP;
+    END
+
+    SCENARIO Green_With_Fault 500msec
+    Sent: (udp_data, node1, node2, SEND)
+    Rcvd: (udp_data, node1, node2, RECV)
+    (TRUE) >> ENABLE_CNTR(Sent); ENABLE_CNTR(Rcvd);
+    ((Sent = 3)) >> DROP(udp_data, node1, node2, SEND);
+    ((Rcvd = 14)) >> STOP;
+    END
+
+    SCENARIO Red_By_Design 300msec
+    Rcvd: (udp_data, node1, node2, RECV)
+    (TRUE) >> ENABLE_CNTR(Rcvd);
+    ((Rcvd = 5)) >> FLAG_ERR "intentional"; STOP;
+    END
+"#;
+
+fn setup(tables: &vw_fsl::TableSet) -> (World, Runner) {
+    let mut world = World::new(0xBEEF);
+    let nodes = Runner::create_hosts(&mut world, tables);
+    let sw = world.add_switch("sw0", 4);
+    for &n in &nodes {
+        world.connect(n, sw, LinkConfig::fast_ethernet());
+    }
+    let runner = Runner::install(&mut world, tables.clone(), EngineConfig::default());
+    runner.settle(&mut world);
+    world.add_protocol(
+        nodes[1],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(UdpSink::new(0x6363)),
+    );
+    let flooder = UdpFlooder::new(
+        world.host_mac(nodes[1]),
+        world.host_ip(nodes[1]),
+        0x6363,
+        9000,
+        2_000_000,
+        200,
+        15 * 200,
+    );
+    world.add_protocol(nodes[0], Binding::EtherType(EtherType::IPV4), Box::new(flooder));
+    (world, runner)
+}
+
+#[test]
+fn suite_runs_all_scenarios_and_aggregates() {
+    let suite = Suite::from_source(SUITE).unwrap();
+    assert_eq!(suite.len(), 3);
+    let result = suite.run(SimDuration::from_secs(2), setup);
+    assert_eq!(result.reports.len(), 3);
+    assert_eq!(result.passed_count(), 2);
+    assert!(!result.passed(), "the red test fails the whole suite");
+
+    // Per-scenario outcomes.
+    assert!(result.reports[0].passed());
+    assert!(matches!(result.reports[0].stop, StopReason::StopAction(_)));
+    assert!(result.reports[1].passed());
+    assert_eq!(result.reports[1].counter("Sent"), Some(15));
+    assert!(!result.reports[2].passed());
+    assert_eq!(result.reports[2].errors.len(), 1);
+    assert_eq!(result.reports[2].errors[0].message, "intentional");
+
+    // The summary names every scenario and the verdict.
+    let summary = result.render();
+    assert!(summary.contains("Green_Flow"));
+    assert!(summary.contains("Red_By_Design"));
+    assert!(summary.contains("2/3 scenarios passed"));
+}
+
+#[test]
+fn suite_reports_are_independent_across_scenarios() {
+    // Each scenario gets a fresh world: counters never bleed over.
+    let suite = Suite::from_source(SUITE).unwrap();
+    let result = suite.run(SimDuration::from_secs(2), setup);
+    // Scenario 1 has no Sent counter; scenario 2 does.
+    assert_eq!(result.reports[0].counter("Sent"), None);
+    assert_eq!(result.reports[1].counter("Sent"), Some(15));
+    // The red scenario stopped at 5, not at some accumulated count.
+    assert_eq!(result.reports[2].counter("Rcvd"), Some(5));
+}

@@ -1,0 +1,157 @@
+//! Cross-crate stress: bidirectional TCP through engines, and delivery
+//! over randomized switch-tree topologies (property-based).
+
+use proptest::prelude::*;
+use virtualwire::{compile_script, EngineConfig, Runner};
+use vw_netsim::apps::{UdpEcho, UdpPinger};
+use vw_netsim::{Binding, LinkConfig, SimDuration, World};
+use vw_packet::EtherType;
+use vw_tcpstack::{Endpoint, SocketHandle, TcpConfig, TcpStack};
+
+#[test]
+fn bidirectional_tcp_through_armed_engines() {
+    // Two simultaneous connections in opposite directions, both monitored
+    // by the same engines, each with its own fault: the engines must keep
+    // the flows (and their counters) apart.
+    let script = r#"
+        FILTER_TABLE
+        fwd_data: (34 2 0x6000), (36 2 0x4000), (47 1 0x10 0x10)
+        rev_data: (34 2 0x5000), (36 2 0x3000), (47 1 0x10 0x10)
+        END
+        NODE_TABLE
+        node1 02:00:00:00:00:01 192.168.1.1
+        node2 02:00:00:00:00:02 192.168.1.2
+        END
+        SCENARIO TwoFlows
+        Fwd: (fwd_data, node1, node2, SEND)
+        Rev: (rev_data, node2, node1, SEND)
+        (TRUE) >> ENABLE_CNTR(Fwd); ENABLE_CNTR(Rev);
+        ((Fwd = 5)) >> DROP(fwd_data, node1, node2, SEND);
+        ((Rev = 7)) >> DROP(rev_data, node2, node1, SEND);
+        END
+    "#;
+    let tables = compile_script(script).unwrap();
+    let mut world = World::new(1);
+    let nodes = Runner::create_hosts(&mut world, &tables);
+    let sw = world.add_switch("sw0", 4);
+    for &n in &nodes {
+        world.connect(n, sw, LinkConfig::fast_ethernet());
+    }
+    let runner = Runner::install(&mut world, tables, EngineConfig::default());
+    runner.settle(&mut world);
+
+    let cfg = TcpConfig::default();
+    // node1: server on 0x3000, client from 0x6000 → node2:0x4000.
+    let mut stack1 = TcpStack::new(world.host_mac(nodes[0]), world.host_ip(nodes[0]));
+    stack1.listen(0x3000, cfg);
+    let fwd = stack1.connect(
+        cfg,
+        0x6000,
+        Endpoint {
+            mac: world.host_mac(nodes[1]),
+            ip: world.host_ip(nodes[1]),
+            port: 0x4000,
+        },
+    );
+    let fwd_data: Vec<u8> = (0..40_000u32).map(|i| i as u8).collect();
+    stack1.send(fwd, &fwd_data);
+    let id1 = world.add_protocol(nodes[0], Binding::EtherType(EtherType::IPV4), Box::new(stack1));
+
+    // node2: server on 0x4000, client from 0x5000 → node1:0x3000.
+    let mut stack2 = TcpStack::new(world.host_mac(nodes[1]), world.host_ip(nodes[1]));
+    stack2.listen(0x4000, cfg);
+    let rev = stack2.connect(
+        TcpConfig {
+            iss: 77_000,
+            ..cfg
+        },
+        0x5000,
+        Endpoint {
+            mac: world.host_mac(nodes[0]),
+            ip: world.host_ip(nodes[0]),
+            port: 0x3000,
+        },
+    );
+    let rev_data: Vec<u8> = (0..40_000u32).map(|i| (i * 3) as u8).collect();
+    stack2.send(rev, &rev_data);
+    let id2 = world.add_protocol(nodes[1], Binding::EtherType(EtherType::IPV4), Box::new(stack2));
+
+    let report = runner.run(&mut world, SimDuration::from_secs(10));
+    assert!(report.passed());
+
+    // Both directions delivered everything despite one injected drop each
+    // (TCP retransmits through).
+    let stack2_ref = world.protocol_mut::<TcpStack>(nodes[1], id2).unwrap();
+    let fwd_rx = stack2_ref
+        .socket_mut(SocketHandle::from_index(1)) // accepted socket
+        .take_received();
+    assert_eq!(fwd_rx, fwd_data);
+    let stack1_ref = world.protocol_mut::<TcpStack>(nodes[0], id1).unwrap();
+    let rev_rx = stack1_ref
+        .socket_mut(SocketHandle::from_index(1))
+        .take_received();
+    assert_eq!(rev_rx, rev_data);
+
+    // Each engine saw its own fault exactly once.
+    assert_eq!(runner.engine(&world, "node1").unwrap().stats().drops, 1);
+    assert_eq!(runner.engine(&world, "node2").unwrap().stats().drops, 1);
+    // And the flows retransmitted across the scripted drops.
+    let s1 = world.protocol::<TcpStack>(nodes[0], id1).unwrap();
+    assert!(s1.socket(fwd).stats().retransmissions >= 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    /// Random switch trees: attach hosts to a random tree of switches and
+    /// verify a UDP ping completes between every pair of leaf hosts.
+    #[test]
+    fn ping_works_across_random_switch_trees(
+        seed in 0u64..10_000,
+        n_switches in 1usize..5,
+        n_hosts in 2usize..6,
+        parents in proptest::collection::vec(any::<u32>(), 8),
+    ) {
+        let mut world = World::new(seed);
+        let switches: Vec<_> = (0..n_switches)
+            .map(|i| world.add_switch(&format!("sw{i}"), 16))
+            .collect();
+        // Tree: switch i>0 connects to a random earlier switch.
+        for i in 1..n_switches {
+            let parent = switches[parents[i % parents.len()] as usize % i];
+            world.connect(switches[i], parent, LinkConfig::fast_ethernet());
+        }
+        let hosts: Vec<_> = (0..n_hosts)
+            .map(|i| {
+                let h = world.add_host(&format!("h{i}"));
+                let sw = switches[parents[(i + 3) % parents.len()] as usize % n_switches];
+                world.connect(h, sw, LinkConfig::fast_ethernet());
+                h
+            })
+            .collect();
+        // Echo responders everywhere; one pinger per (ordered) pair.
+        for &h in &hosts {
+            world.add_protocol(h, Binding::EtherType(EtherType::IPV4), Box::new(UdpEcho::new(7)));
+        }
+        let mut pingers = Vec::new();
+        for (i, &src) in hosts.iter().enumerate() {
+            let dst = hosts[(i + 1) % n_hosts];
+            let pinger = UdpPinger::new(
+                world.host_mac(dst),
+                world.host_ip(dst),
+                7,
+                (9000 + i) as u16,
+                SimDuration::from_millis(1),
+                32,
+                3,
+            );
+            let id = world.add_protocol(src, Binding::EtherType(EtherType::IPV4), Box::new(pinger));
+            pingers.push((src, id));
+        }
+        world.run_for(SimDuration::from_millis(100));
+        for (host, id) in pingers {
+            let pinger = world.protocol::<UdpPinger>(host, id).unwrap();
+            prop_assert_eq!(pinger.rtts().len(), 3, "all probes answered");
+            prop_assert_eq!(pinger.lost(), 0);
+        }
+    }
+}
