@@ -37,7 +37,11 @@ fn goodput_at(offered_mbps: u64, loss: f64, window: u32, rto_ms: u64, prop_us: u
     for h in [a, b] {
         world.add_hook(h, Box::new(RllHook::new(cfg)));
     }
-    let sink = world.add_protocol(b, Binding::EtherType(EtherType::IPV4), Box::new(UdpSink::new(9)));
+    let sink = world.add_protocol(
+        b,
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(UdpSink::new(9)),
+    );
     let flooder = UdpFlooder::new(
         world.host_mac(b),
         world.host_ip(b),

@@ -7,7 +7,8 @@ use std::collections::HashMap;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use virtualwire::classify;
+use virtualwire::{classify, Classifier, ClassifierMode, ClassifierScratch};
+use vw_bench::classifier_cmp;
 use vw_bench::scriptgen::sweep_script;
 use vw_packet::{EthernetBuilder, MacAddr, UdpBuilder};
 use vw_rll::window::{ReceiverWindow, SenderWindow};
@@ -40,6 +41,39 @@ fn bench_classify(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("miss", n_filters), &n_filters, |b, _| {
             b.iter(|| classify(black_box(&tables), &vars, black_box(&miss)))
         });
+    }
+    group.finish();
+}
+
+/// Indexed vs linear classification on the same tables, 1–200 filters.
+/// The linear times grow with the table; the indexed times should not
+/// (the probe frame hashes straight to its one candidate).
+fn bench_classifier_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classifier_modes");
+    let matching = classifier_cmp::matching_frame();
+    let vars = HashMap::new();
+    for n_filters in [1usize, 10, 50, 100, 200] {
+        let tables = virtualwire::compile_script(&sweep_script(n_filters, 0, 0x6363)).unwrap();
+        for mode in [ClassifierMode::Linear, ClassifierMode::Indexed] {
+            let classifier = Classifier::build(mode, &tables);
+            let mut scratch = ClassifierScratch::default();
+            let label = match mode {
+                ClassifierMode::Linear => "linear",
+                ClassifierMode::Indexed => "indexed",
+            };
+            group.bench_with_input(BenchmarkId::new(label, n_filters), &n_filters, |b, _| {
+                b.iter(|| {
+                    classifier
+                        .classify(
+                            black_box(&tables),
+                            &vars,
+                            black_box(&matching),
+                            &mut scratch,
+                        )
+                        .unwrap()
+                })
+            });
+        }
     }
     group.finish();
 }
@@ -100,6 +134,6 @@ fn bench_rll_window(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_classify, bench_fsl_frontend, bench_rll_window
+    targets = bench_classify, bench_classifier_modes, bench_fsl_frontend, bench_rll_window
 }
 criterion_main!(benches);

@@ -112,7 +112,11 @@ pub fn measure_point(config: Fig7Config, offered_mbps: f64, duration: SimDuratio
     };
     let mut server = TcpStack::new(world.host_mac(nodes[1]), world.host_ip(nodes[1]));
     server.listen(0x4000, tcp_cfg);
-    let server_id = world.add_protocol(nodes[1], Binding::EtherType(EtherType::IPV4), Box::new(server));
+    let server_id = world.add_protocol(
+        nodes[1],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(server),
+    );
     let mut client = TcpStack::new(world.host_mac(nodes[0]), world.host_ip(nodes[0]));
     let handle = client.connect(
         tcp_cfg,
@@ -125,7 +129,11 @@ pub fn measure_point(config: Fig7Config, offered_mbps: f64, duration: SimDuratio
     );
     let rate_bps = (offered_mbps * 1e6) as u64;
     client.attach_source(handle, rate_bps, u64::MAX / 4); // unbounded for the run
-    world.add_protocol(nodes[0], Binding::EtherType(EtherType::IPV4), Box::new(client));
+    world.add_protocol(
+        nodes[0],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(client),
+    );
 
     let start = world.now();
     world.run_for(duration);
@@ -135,7 +143,12 @@ pub fn measure_point(config: Fig7Config, offered_mbps: f64, duration: SimDuratio
         .protocol::<TcpStack>(nodes[1], server_id)
         .expect("server stack");
     let received: u64 = (0..server.socket_count())
-        .map(|i| server.socket(SocketHandle::from_index(i)).stats().bytes_received)
+        .map(|i| {
+            server
+                .socket(SocketHandle::from_index(i))
+                .stats()
+                .bytes_received
+        })
         .sum();
     received as f64 * 8.0 / elapsed / 1e6
 }
@@ -191,7 +204,11 @@ mod tests {
     #[test]
     fn high_load_degradation_is_within_ten_percent() {
         let base = measure_point(Fig7Config::Baseline, 100.0, SimDuration::from_millis(300));
-        let rll = measure_point(Fig7Config::VirtualWireRll, 100.0, SimDuration::from_millis(300));
+        let rll = measure_point(
+            Fig7Config::VirtualWireRll,
+            100.0,
+            SimDuration::from_millis(300),
+        );
         assert!(base > 80.0, "baseline should near-saturate: {base:.1}");
         assert!(rll < base, "RLL overhead must cost something");
         assert!(

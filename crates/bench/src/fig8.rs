@@ -8,7 +8,7 @@
 //! a linear scan, the overhead grows linearly with the rule count; even
 //! case (iii) stays around 7%.
 
-use virtualwire::{compile_script, CostModel, EngineConfig, Runner};
+use virtualwire::{compile_script, ClassifierMode, CostModel, EngineConfig, Runner};
 use vw_netsim::apps::{UdpEcho, UdpPinger};
 use vw_netsim::{Binding, LinkConfig, SimDuration, World};
 use vw_packet::EtherType;
@@ -88,7 +88,11 @@ fn measure_rtt(world: &mut World, nodes: &[vw_netsim::DeviceId], probes: u64) ->
         PROBE_PAYLOAD,
         probes,
     );
-    let pid = world.add_protocol(nodes[0], Binding::EtherType(EtherType::IPV4), Box::new(pinger));
+    let pid = world.add_protocol(
+        nodes[0],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(pinger),
+    );
     world.run_for(SimDuration::from_millis(probes * 2));
     let pinger = world.protocol::<UdpPinger>(nodes[0], pid).expect("pinger");
     let mean = pinger.mean_rtt().expect("probes completed");
@@ -110,8 +114,12 @@ pub fn measure_point(config: Fig8Config, n_filters: usize, probes: u64) -> f64 {
         _ => 25,
     };
     let tables = compile_script(&sweep_script(n_filters, actions, ECHO_PORT)).unwrap();
+    // Figure 8 reproduces the paper's *linear-scan* classification cost:
+    // the calibrated per-rule charge only accumulates linearly if every
+    // rule is actually visited, so this experiment pins the Linear tier.
     let cfg = EngineConfig {
         cost: CostModel::calibrated(),
+        classifier: ClassifierMode::Linear,
         ..EngineConfig::default()
     };
     let runner = match config {

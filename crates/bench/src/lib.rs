@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod classifier_cmp;
 pub mod fig7;
 pub mod fig8;
 pub mod scriptgen;

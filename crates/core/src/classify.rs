@@ -1,15 +1,28 @@
 //! Packet classification against the filter and node tables.
 //!
-//! Classification is a linear scan in table order — "the priority of the
-//! filter rules is in descending order of occurrence. If a match is found
-//! with one rule then there is no need to match the subsequent rules"
-//! (Section 6.1). The scan cost is what makes the paper's Figure 8 latency
-//! curves grow linearly with the number of packet definitions; the engine
-//! charges simulated CPU time per rule visited for exactly that reason.
+//! Two classifier tiers share identical matching semantics:
+//!
+//! * [`ClassifierMode::Linear`] is the paper-faithful linear scan in table
+//!   order — "the priority of the filter rules is in descending order of
+//!   occurrence. If a match is found with one rule then there is no need
+//!   to match the subsequent rules" (Section 6.1). The scan cost is what
+//!   makes the paper's Figure 8 latency curves grow linearly with the
+//!   number of packet definitions; the engine charges simulated CPU time
+//!   per rule visited for exactly that reason, and the Figure 8 experiment
+//!   pins this mode.
+//! * [`ClassifierMode::Indexed`] (the default elsewhere) compiles the
+//!   filter table into a dispatch index: filters sharing a discriminant
+//!   key `(offset, len, mask)` are bucketed, and a hash lookup on the
+//!   frame's masked bytes at that key yields the candidate filters.
+//!   Filters whose every tuple is a runtime `VAR` pattern cannot be keyed
+//!   and fall back to an ordered *residual* scan. Candidates from all
+//!   buckets are merged with the residuals in ascending filter-id order
+//!   and fully verified, so first-match-wins priority is preserved
+//!   exactly; only the number of rules *visited* changes.
 
 use std::collections::HashMap;
 
-use vw_fsl::{FilterId, NodeId, PatternValue, TableSet};
+use vw_fsl::{CompiledFilter, FilterId, NodeId, PatternValue, TableSet};
 use vw_packet::Frame;
 
 /// The outcome of classifying one frame.
@@ -56,6 +69,234 @@ pub fn classify(
     Err(scanned)
 }
 
+/// Which classification strategy an engine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClassifierMode {
+    /// The paper's linear scan. Figure 8 and the calibrated
+    /// [`CostModel`](crate::CostModel) depend on its per-rule cost.
+    Linear,
+    /// Discriminant-bucketed dispatch index with an ordered residual scan
+    /// for unindexable filters. Same verdicts, sublinear rule visits.
+    #[default]
+    Indexed,
+}
+
+/// A classifier compiled for one [`TableSet`], in either mode.
+#[derive(Debug, Clone)]
+pub enum Classifier {
+    /// Scan the whole table in priority order.
+    Linear,
+    /// Dispatch through a prebuilt index.
+    Indexed(ClassifierIndex),
+}
+
+impl Classifier {
+    /// Builds a classifier for `tables` in the requested mode.
+    pub fn build(mode: ClassifierMode, tables: &TableSet) -> Self {
+        match mode {
+            ClassifierMode::Linear => Classifier::Linear,
+            ClassifierMode::Indexed => Classifier::Indexed(ClassifierIndex::build(tables)),
+        }
+    }
+
+    /// Classifies one frame; identical verdicts in both modes.
+    ///
+    /// `scratch` holds reusable buffers and, after the call, the
+    /// per-classification scan statistics. On a miss the error carries the
+    /// number of rules visited, exactly like [`classify`].
+    pub fn classify(
+        &self,
+        tables: &TableSet,
+        vars: &HashMap<String, u64>,
+        frame: &Frame,
+        scratch: &mut ClassifierScratch,
+    ) -> Result<Classification, u32> {
+        match self {
+            Classifier::Linear => {
+                let result = classify(tables, vars, frame);
+                let scanned = match &result {
+                    Ok(c) => c.rules_scanned,
+                    Err(scanned) => *scanned,
+                };
+                scratch.last = ScanStats {
+                    rules_scanned: scanned,
+                    matched_via_index: false,
+                    residual_visited: scanned,
+                };
+                result
+            }
+            Classifier::Indexed(index) => index.classify(tables, vars, frame, scratch),
+        }
+    }
+}
+
+/// One discriminant key group: all filters whose discriminant tuple reads
+/// the same `(offset, len, mask)` window, keyed by their masked literal.
+#[derive(Debug, Clone)]
+struct Bucket {
+    offset: u32,
+    len: u32,
+    mask: Option<u64>,
+    /// Masked literal value → filter ids, ascending.
+    candidates: HashMap<u64, Vec<u16>>,
+}
+
+/// The compiled dispatch index behind [`ClassifierMode::Indexed`].
+#[derive(Debug, Clone, Default)]
+pub struct ClassifierIndex {
+    buckets: Vec<Bucket>,
+    /// Filters that cannot be keyed (every tuple is a `VAR` pattern, or
+    /// the filter has no tuples), in priority order.
+    residual: Vec<u16>,
+}
+
+impl ClassifierIndex {
+    /// Compiles the filter table into the dispatch index, using the
+    /// compiler-emitted discriminant metadata. A filter whose metadata is
+    /// missing or does not reference an in-range literal tuple degrades to
+    /// the residual scan — slower, never wrong.
+    pub fn build(tables: &TableSet) -> Self {
+        let mut index = ClassifierIndex::default();
+        for (i, filter) in tables.filters.iter().enumerate() {
+            let discriminant = filter
+                .discriminant
+                .or_else(|| CompiledFilter::compute_discriminant(&filter.tuples));
+            let Some(tuple) = discriminant
+                .and_then(|d| filter.tuples.get(d as usize))
+                .filter(|t| matches!(t.pattern, PatternValue::Literal(_)))
+            else {
+                index.residual.push(i as u16);
+                continue;
+            };
+            let PatternValue::Literal(literal) = tuple.pattern else {
+                unreachable!("filtered to literals above");
+            };
+            let key_value = literal & tuple.mask.unwrap_or(u64::MAX);
+            let bucket =
+                match index.buckets.iter_mut().find(|b| {
+                    b.offset == tuple.offset && b.len == tuple.len && b.mask == tuple.mask
+                }) {
+                    Some(bucket) => bucket,
+                    None => {
+                        index.buckets.push(Bucket {
+                            offset: tuple.offset,
+                            len: tuple.len,
+                            mask: tuple.mask,
+                            candidates: HashMap::new(),
+                        });
+                        index.buckets.last_mut().expect("just pushed")
+                    }
+                };
+            // Filters are visited in ascending id order, so each candidate
+            // list stays sorted by construction.
+            bucket
+                .candidates
+                .entry(key_value)
+                .or_default()
+                .push(i as u16);
+        }
+        index
+    }
+
+    /// Number of distinct discriminant key groups.
+    pub fn key_groups(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Number of filters that can only be matched by the residual scan.
+    pub fn residual_len(&self) -> usize {
+        self.residual.len()
+    }
+
+    fn classify(
+        &self,
+        tables: &TableSet,
+        vars: &HashMap<String, u64>,
+        frame: &Frame,
+        scratch: &mut ClassifierScratch,
+    ) -> Result<Classification, u32> {
+        // Gather candidates: tagged `(filter_id << 1) | from_index`, so a
+        // plain sort restores priority order while remembering the source
+        // (a filter appears in exactly one source, so ids never collide).
+        scratch.candidates.clear();
+        for bucket in &self.buckets {
+            let Some(bytes) = frame.read_at(bucket.offset as usize, bucket.len as usize) else {
+                continue;
+            };
+            let mut actual = 0u64;
+            for b in bytes {
+                actual = actual << 8 | u64::from(*b);
+            }
+            let key = actual & bucket.mask.unwrap_or(u64::MAX);
+            if let Some(ids) = bucket.candidates.get(&key) {
+                scratch
+                    .candidates
+                    .extend(ids.iter().map(|&id| u32::from(id) << 1 | 1));
+            }
+        }
+        scratch
+            .candidates
+            .extend(self.residual.iter().map(|&id| u32::from(id) << 1));
+        scratch.candidates.sort_unstable();
+
+        let mut scanned = 0u32;
+        let mut residual_visited = 0u32;
+        for &tagged in &scratch.candidates {
+            let via_index = tagged & 1 == 1;
+            let i = (tagged >> 1) as usize;
+            scanned += 1;
+            residual_visited += u32::from(!via_index);
+            let filter = &tables.filters[i];
+            if filter
+                .tuples
+                .iter()
+                .all(|tuple| tuple_matches(tuple, vars, frame))
+            {
+                scratch.last = ScanStats {
+                    rules_scanned: scanned,
+                    matched_via_index: via_index,
+                    residual_visited,
+                };
+                return Ok(Classification {
+                    filter: FilterId(i as u16),
+                    from: lookup_node(tables, frame, true),
+                    to: lookup_node(tables, frame, false),
+                    rules_scanned: scanned,
+                });
+            }
+        }
+        scratch.last = ScanStats {
+            rules_scanned: scanned,
+            matched_via_index: false,
+            residual_visited,
+        };
+        Err(scanned)
+    }
+}
+
+/// Per-classification scan accounting, filled in by
+/// [`Classifier::classify`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Filter rules visited (candidates verified, in Indexed mode).
+    pub rules_scanned: u32,
+    /// Whether the match was found through an index bucket (always `false`
+    /// in Linear mode and on a miss).
+    pub matched_via_index: bool,
+    /// How many of the visited rules came from the residual scan (in
+    /// Linear mode, every visited rule).
+    pub residual_visited: u32,
+}
+
+/// Reusable classification buffers — one per engine, so the hot path
+/// allocates nothing per packet.
+#[derive(Debug, Clone, Default)]
+pub struct ClassifierScratch {
+    candidates: Vec<u32>,
+    /// Scan statistics of the most recent classification.
+    pub last: ScanStats,
+}
+
 fn lookup_node(tables: &TableSet, frame: &Frame, src: bool) -> Option<NodeId> {
     let mac = if src { frame.src() } else { frame.dst() };
     tables
@@ -65,11 +306,7 @@ fn lookup_node(tables: &TableSet, frame: &Frame, src: bool) -> Option<NodeId> {
         .map(|i| NodeId(i as u16))
 }
 
-fn tuple_matches(
-    tuple: &vw_fsl::FilterTuple,
-    vars: &HashMap<String, u64>,
-    frame: &Frame,
-) -> bool {
+fn tuple_matches(tuple: &vw_fsl::FilterTuple, vars: &HashMap<String, u64>, frame: &Frame) -> bool {
     let Some(bytes) = frame.read_at(tuple.offset as usize, tuple.len as usize) else {
         return false;
     };
@@ -148,7 +385,10 @@ mod tests {
         let vars = HashMap::new();
         let c = classify(&t, &vars, &data_frame(7)).unwrap();
         assert_eq!(c.filter, t.filter_by_name("TCP_data").unwrap());
-        assert_eq!(c.rules_scanned, 2, "synack scanned first, then data matched");
+        assert_eq!(
+            c.rules_scanned, 2,
+            "synack scanned first, then data matched"
+        );
     }
 
     #[test]

@@ -38,12 +38,12 @@ use std::collections::HashMap;
 
 use vw_fsl::{
     ActionId, CompiledActionKind, CompiledCounterKind, CompiledOperand, CondId, CounterId, Dir,
-    NodeId, TableSet, TermId,
+    FilterId, NodeId, TableSet, TermId,
 };
 use vw_netsim::{Context, Hook, SimDuration, SimTime, TraceKind, Verdict};
 use vw_packet::{EtherType, Frame, MacAddr};
 
-use crate::classify::{classify, Classification};
+use crate::classify::{Classification, Classifier, ClassifierMode, ClassifierScratch};
 use crate::report::FlaggedError;
 use crate::wire::{self, ControlMsg};
 
@@ -81,6 +81,11 @@ pub struct EngineConfig {
     /// flags an engine error instead of looping forever (a script like
     /// `(C = 1) >> INCR_CNTR(C, ...)` cycles could otherwise hang a run).
     pub cascade_budget: u32,
+    /// Which classifier tier to run. Defaults to
+    /// [`ClassifierMode::Indexed`]; experiments reproducing the paper's
+    /// linear-scan cost curves (Figure 8) pin
+    /// [`ClassifierMode::Linear`].
+    pub classifier: ClassifierMode,
 }
 
 impl Default for EngineConfig {
@@ -88,6 +93,7 @@ impl Default for EngineConfig {
         EngineConfig {
             cost: CostModel::default(),
             cascade_budget: 10_000,
+            classifier: ClassifierMode::default(),
         }
     }
 }
@@ -117,6 +123,17 @@ pub struct EngineStats {
     pub modifies: u64,
     /// Frames blackholed because this node was `FAIL`ed.
     pub blackholed: u64,
+    /// Filter-table rules visited across all classifications (candidates
+    /// verified, under the indexed classifier).
+    pub rules_scanned: u64,
+    /// Classifications whose match came through the dispatch index.
+    pub index_hits: u64,
+    /// Residual-scan rule visits (unindexable filters; under the linear
+    /// classifier, every rule visit counts here).
+    pub residual_scans: u64,
+    /// Deepest evaluation cascade observed (worklist steps triggered by a
+    /// single counter mutation).
+    pub max_cascade_depth: u32,
 }
 
 const TIMER_DELAY_BASE: u64 = 1 << 32;
@@ -158,6 +175,21 @@ pub struct Engine {
     /// timeouts key off this.
     last_match: SimTime,
 
+    /// Compiled classifier for the installed tables.
+    classifier: Classifier,
+    /// Reusable classification buffers (no per-packet allocation).
+    scratch: ClassifierScratch,
+    /// Install-time dispatch: `(filter, dir)` → counters that can match a
+    /// packet so classified *at this node* — replaces the per-packet scan
+    /// of the whole counter table.
+    counter_dispatch: HashMap<(FilterId, Dir), Vec<CounterId>>,
+    /// Reusable evaluation-cascade worklist.
+    cascade_worklist: Vec<CounterId>,
+    /// Reusable buffer for the counters a packet bumps.
+    scratch_bump: Vec<CounterId>,
+    /// Reusable buffer for conditions that fired on a control update.
+    scratch_fired: Vec<CondId>,
+
     stats: EngineStats,
 }
 
@@ -196,6 +228,12 @@ impl Engine {
             errors: Vec::new(),
             stopped: None,
             last_match: SimTime::ZERO,
+            classifier: Classifier::Linear,
+            scratch: ClassifierScratch::default(),
+            counter_dispatch: HashMap::new(),
+            cascade_worklist: Vec::new(),
+            scratch_bump: Vec::new(),
+            scratch_fired: Vec::new(),
             stats: EngineStats::default(),
         }
     }
@@ -206,6 +244,8 @@ impl Engine {
         let mut engine = Engine::new(cfg);
         engine.is_control = true;
         engine.me = Some(me);
+        engine.classifier = Classifier::build(cfg.classifier, &tables);
+        engine.counter_dispatch = build_counter_dispatch(&tables, me);
         engine.tables = Some(tables);
         engine
     }
@@ -266,6 +306,8 @@ impl Engine {
         let ncounters = tables.counters.len();
         let nterms = tables.terms.len();
         let nconds = tables.conditions.len();
+        self.classifier = Classifier::build(self.cfg.classifier, &tables);
+        self.counter_dispatch = build_counter_dispatch(&tables, me);
         self.tables = Some(tables);
         self.me = Some(me);
         self.counter_values = vec![0; ncounters];
@@ -286,7 +328,8 @@ impl Engine {
                 self.term_status[i] = self.eval_term(&tables, TermId(i as u16));
             }
         }
-        let mut fired = Vec::new();
+        let mut fired = std::mem::take(&mut self.scratch_fired);
+        fired.clear();
         for (i, cond) in tables.conditions.iter().enumerate() {
             if cond.eval_nodes.contains(&me) {
                 let status = cond.expr.eval(&|t| self.term_status[t.index()]);
@@ -296,13 +339,15 @@ impl Engine {
                 }
             }
         }
-        self.tables = Some(tables);
-        for cond in fired {
-            let changed = self.fire_condition(ctx, cond);
-            for counter in changed {
-                self.cascade_from_counter(ctx, counter);
-            }
+        let mut worklist = std::mem::take(&mut self.cascade_worklist);
+        worklist.clear();
+        for &cond in &fired {
+            self.fire_condition(ctx, &tables, cond, &mut worklist);
+            self.run_cascade(ctx, &tables, &mut worklist);
         }
+        self.scratch_fired = fired;
+        self.cascade_worklist = worklist;
+        self.tables = Some(tables);
     }
 
     // ------------------------------------------------------------------
@@ -318,8 +363,7 @@ impl Engine {
 
     fn eval_term(&self, tables: &TableSet, term: TermId) -> bool {
         let t = &tables.terms[term.index()];
-        t.op
-            .apply(self.operand_value(t.lhs), self.operand_value(t.rhs))
+        t.op.apply(self.operand_value(t.lhs), self.operand_value(t.rhs))
     }
 
     /// Applies a counter mutation and runs the resulting evaluation
@@ -330,15 +374,31 @@ impl Engine {
             return;
         }
         self.counter_values[counter.index()] = value;
-        self.cascade_from_counter(ctx, counter);
+        let tables = self.tables.take().expect("initialized");
+        let mut worklist = std::mem::take(&mut self.cascade_worklist);
+        worklist.clear();
+        worklist.push(counter);
+        self.run_cascade(ctx, &tables, &mut worklist);
+        self.cascade_worklist = worklist;
+        self.tables = Some(tables);
     }
 
-    fn cascade_from_counter(&mut self, ctx: &mut Context<'_>, counter: CounterId) {
+    /// Drains the cascade worklist: for each mutated counter, notifies
+    /// remote subscribers, re-evaluates locally hosted terms, propagates
+    /// status changes, and fires edge-triggered conditions — whose own
+    /// counter mutations re-enter the worklist. Bounded by the cascade
+    /// budget. The worklist buffer is reused across packets; this path
+    /// performs no per-invocation allocation.
+    fn run_cascade(
+        &mut self,
+        ctx: &mut Context<'_>,
+        tables: &TableSet,
+        worklist: &mut Vec<CounterId>,
+    ) {
         let me = self.me.expect("initialized");
-        let mut tables = self.tables.take().expect("initialized");
         let mut budget = self.cfg.cascade_budget;
-        let mut counters = vec![counter];
-        while let Some(cid) = counters.pop() {
+        let mut depth = 0u32;
+        while let Some(cid) = worklist.pop() {
             if budget == 0 {
                 self.errors.push(FlaggedError {
                     node: me,
@@ -347,9 +407,11 @@ impl Engine {
                     message: "evaluation cascade exceeded its budget (cyclic rules?)".into(),
                     time: ctx.now(),
                 });
+                worklist.clear();
                 break;
             }
             budget -= 1;
+            depth += 1;
             let info = &tables.counters[cid.index()];
             // Forward the authoritative value to remote term evaluators.
             if info.home == me {
@@ -365,30 +427,25 @@ impl Engine {
                 }
             }
             // Re-evaluate locally hosted terms over this counter.
-            let affected: Vec<TermId> = info.affected_terms.clone();
-            for term in affected {
-                if tables.terms[term.index()].eval_node != me {
+            for &term in &info.affected_terms {
+                let t = &tables.terms[term.index()];
+                if t.eval_node != me {
                     continue;
                 }
-                let status = {
-                    let t = &tables.terms[term.index()];
-                    t.op.apply(self.operand_value(t.lhs), self.operand_value(t.rhs))
-                };
+                let status =
+                    t.op.apply(self.operand_value(t.lhs), self.operand_value(t.rhs));
                 if status == self.term_status[term.index()] {
                     continue;
                 }
                 self.term_status[term.index()] = status;
                 // Propagate the term status to interested parties.
-                for cond in tables.terms[term.index()].conditions.clone() {
-                    for eval_node in tables.conditions[cond.index()].eval_nodes.clone() {
+                for &cond in &t.conditions {
+                    for &eval_node in &tables.conditions[cond.index()].eval_nodes {
                         if eval_node == me {
-                            if let Some(fired) = self.reevaluate_condition(&tables, cond) {
-                                // Fire edge triggers; counter mutations they
-                                // perform are pushed back into the cascade.
-                                self.tables = Some(tables);
-                                let changed = self.fire_condition(ctx, fired);
-                                tables = self.tables.take().expect("restored");
-                                counters.extend(changed);
+                            if let Some(fired) = self.reevaluate_condition(tables, cond) {
+                                // Fire edge triggers; counter mutations
+                                // they perform re-enter the worklist.
+                                self.fire_condition(ctx, tables, fired, worklist);
                             }
                         } else {
                             let msg = ControlMsg::TermStatus { term, status };
@@ -401,7 +458,7 @@ impl Engine {
                 }
             }
         }
-        self.tables = Some(tables);
+        self.stats.max_cascade_depth = self.stats.max_cascade_depth.max(depth);
     }
 
     /// Re-evaluates one condition; returns it if it transitioned to true.
@@ -414,59 +471,60 @@ impl Engine {
         (status && !previous).then_some(cond)
     }
 
-    /// Fires the local edge-triggered actions of a condition; returns the
-    /// counters it mutated (to continue the cascade).
-    fn fire_condition(&mut self, ctx: &mut Context<'_>, cond: CondId) -> Vec<CounterId> {
+    /// Fires the local edge-triggered actions of a condition; counters it
+    /// mutates are pushed onto the cascade worklist.
+    fn fire_condition(
+        &mut self,
+        ctx: &mut Context<'_>,
+        tables: &TableSet,
+        cond: CondId,
+        worklist: &mut Vec<CounterId>,
+    ) {
         let me = self.me.expect("initialized");
-        let tables = self.tables.take().expect("initialized");
-        let mut changed = Vec::new();
-        let triggers: Vec<(NodeId, ActionId)> = tables.conditions[cond.index()].triggers.clone();
-        for (node, action) in triggers {
+        for &(node, action) in &tables.conditions[cond.index()].triggers {
             if node != me {
                 continue;
             }
             ctx.charge(SimDuration::from_nanos(self.cfg.cost.per_action_ns));
-            let kind = tables.actions[action.index()].kind.clone();
-            match kind {
-                CompiledActionKind::Assign { counter, value }
+            match &tables.actions[action.index()].kind {
+                &CompiledActionKind::Assign { counter, value }
                     if self.counter_values[counter.index()] != value =>
                 {
                     self.counter_values[counter.index()] = value;
-                    changed.push(counter);
+                    worklist.push(counter);
                 }
-                CompiledActionKind::Enable { counter } => {
+                &CompiledActionKind::Enable { counter } => {
                     self.counter_enabled[counter.index()] = true;
                 }
-                CompiledActionKind::Disable { counter } => {
+                &CompiledActionKind::Disable { counter } => {
                     self.counter_enabled[counter.index()] = false;
                 }
-                CompiledActionKind::Incr { counter, value } => {
+                &CompiledActionKind::Incr { counter, value } => {
                     self.counter_values[counter.index()] =
                         self.counter_values[counter.index()].saturating_add(value);
-                    changed.push(counter);
+                    worklist.push(counter);
                 }
-                CompiledActionKind::Decr { counter, value } => {
+                &CompiledActionKind::Decr { counter, value } => {
                     self.counter_values[counter.index()] =
                         self.counter_values[counter.index()].saturating_sub(value);
-                    changed.push(counter);
+                    worklist.push(counter);
                 }
-                CompiledActionKind::Reset { counter }
+                &CompiledActionKind::Reset { counter }
                     if self.counter_values[counter.index()] != 0 =>
                 {
                     self.counter_values[counter.index()] = 0;
-                    changed.push(counter);
+                    worklist.push(counter);
                 }
-                CompiledActionKind::SetCurTime { counter } => {
-                    self.counter_values[counter.index()] = ctx.now().as_nanos() as i64;
-                    changed.push(counter);
+                &CompiledActionKind::SetCurTime { counter } => {
+                    self.counter_values[counter.index()] = now_ns(ctx);
+                    worklist.push(counter);
                 }
-                CompiledActionKind::ElapsedTime { counter } => {
+                &CompiledActionKind::ElapsedTime { counter } => {
                     let stored = self.counter_values[counter.index()];
-                    self.counter_values[counter.index()] =
-                        (ctx.now().as_nanos() as i64).saturating_sub(stored);
-                    changed.push(counter);
+                    self.counter_values[counter.index()] = now_ns(ctx).saturating_sub(stored);
+                    worklist.push(counter);
                 }
-                CompiledActionKind::Fail { node } => {
+                &CompiledActionKind::Fail { node } => {
                     debug_assert_eq!(node, me, "compiler places FAIL at the victim");
                     self.blackholed = true;
                     ctx.trace_note(format!(
@@ -491,9 +549,9 @@ impl Engine {
                     ctx.request_stop(reason);
                 }
                 CompiledActionKind::FlagError { message } => {
-                    let message = message.unwrap_or_else(|| {
-                        format!("FLAG_ERR fired (condition {})", cond.index())
-                    });
+                    let message = message
+                        .clone()
+                        .unwrap_or_else(|| format!("FLAG_ERR fired (condition {})", cond.index()));
                     let error = FlaggedError {
                         node: me,
                         node_name: tables.nodes[me.index()].name.clone(),
@@ -520,8 +578,6 @@ impl Engine {
                 _ => {}
             }
         }
-        self.tables = Some(tables);
-        changed
     }
 
     // ------------------------------------------------------------------
@@ -562,22 +618,25 @@ impl Engine {
                 self.term_status[term.index()] = status;
                 let me = self.me.expect("initialized");
                 let tables = self.tables.take().expect("initialized");
-                let conds = tables.terms[term.index()].conditions.clone();
-                let mut fired = Vec::new();
-                for cond in conds {
+                let mut fired = std::mem::take(&mut self.scratch_fired);
+                fired.clear();
+                for i in 0..tables.terms[term.index()].conditions.len() {
+                    let cond = tables.terms[term.index()].conditions[i];
                     if tables.conditions[cond.index()].eval_nodes.contains(&me) {
                         if let Some(f) = self.reevaluate_condition(&tables, cond) {
                             fired.push(f);
                         }
                     }
                 }
-                self.tables = Some(tables);
-                for cond in fired {
-                    let changed = self.fire_condition(ctx, cond);
-                    for counter in changed {
-                        self.cascade_from_counter(ctx, counter);
-                    }
+                let mut worklist = std::mem::take(&mut self.cascade_worklist);
+                worklist.clear();
+                for &cond in &fired {
+                    self.fire_condition(ctx, &tables, cond, &mut worklist);
+                    self.run_cascade(ctx, &tables, &mut worklist);
                 }
+                self.scratch_fired = fired;
+                self.cascade_worklist = worklist;
+                self.tables = Some(tables);
             }
             ControlMsg::FlagError {
                 node,
@@ -633,60 +692,75 @@ impl Engine {
     // Packet path
     // ------------------------------------------------------------------
 
-    fn process_packet(&mut self, ctx: &mut Context<'_>, mut frame: Frame, dir: Dir) -> Verdict {
-        let Some(me) = self.me else {
+    fn process_packet(&mut self, ctx: &mut Context<'_>, frame: Frame, dir: Dir) -> Verdict {
+        if self.me.is_none() {
             return Verdict::Accept(frame);
-        };
-        let tables = self.tables.as_ref().expect("initialized with me");
+        }
+        let tables = self.tables.take().expect("initialized with me");
+        let verdict = self.process_packet_inner(ctx, &tables, frame, dir);
+        self.tables = Some(tables);
+        verdict
+    }
+
+    fn process_packet_inner(
+        &mut self,
+        ctx: &mut Context<'_>,
+        tables: &TableSet,
+        frame: Frame,
+        dir: Dir,
+    ) -> Verdict {
         self.stats.classified += 1;
-        let classification = match classify(tables, &self.vars, &frame) {
-            Ok(c) => {
-                ctx.charge(SimDuration::from_nanos(
-                    self.cfg.cost.per_filter_ns * u64::from(c.rules_scanned),
-                ));
-                c
-            }
-            Err(scanned) => {
-                ctx.charge(SimDuration::from_nanos(
-                    self.cfg.cost.per_filter_ns * u64::from(scanned),
-                ));
-                return Verdict::Accept(frame);
-            }
+        let result = self
+            .classifier
+            .classify(tables, &self.vars, &frame, &mut self.scratch);
+        let scan = self.scratch.last;
+        self.stats.rules_scanned += u64::from(scan.rules_scanned);
+        self.stats.residual_scans += u64::from(scan.residual_visited);
+        ctx.charge(SimDuration::from_nanos(
+            self.cfg.cost.per_filter_ns * u64::from(scan.rules_scanned),
+        ));
+        let classification = match result {
+            Ok(c) => c,
+            Err(_) => return Verdict::Accept(frame),
         };
+        if scan.matched_via_index {
+            self.stats.index_hits += 1;
+        }
         self.stats.matched += 1;
         self.last_match = ctx.now();
 
         // ---- counter updates (Figure 4(b): update_counter) ----------
-        let to_bump: Vec<CounterId> = tables
-            .counters
-            .iter()
-            .enumerate()
-            .filter(|(i, c)| {
-                self.counter_enabled[*i]
-                    && c.home == me
-                    && match c.kind {
-                        CompiledCounterKind::Packet {
-                            filter,
-                            from,
-                            to,
-                            dir: cdir,
-                        } => {
-                            filter == classification.filter
-                                && cdir == dir
-                                && classification.from == Some(from)
-                                && classification.to == Some(to)
-                        }
-                        CompiledCounterKind::Local => false,
-                    }
-            })
-            .map(|(i, _)| CounterId(i as u16))
-            .collect();
-        for counter in to_bump {
+        // The install-time dispatch map narrows the candidates to the
+        // counters keyed by this packet's (filter, dir); only the
+        // enabled/endpoint checks remain per packet.
+        let mut bump = std::mem::take(&mut self.scratch_bump);
+        bump.clear();
+        if let Some(candidates) = self.counter_dispatch.get(&(classification.filter, dir)) {
+            for &counter in candidates {
+                let CompiledCounterKind::Packet { from, to, .. } =
+                    tables.counters[counter.index()].kind
+                else {
+                    continue;
+                };
+                if self.counter_enabled[counter.index()]
+                    && classification.from == Some(from)
+                    && classification.to == Some(to)
+                {
+                    bump.push(counter);
+                }
+            }
+        }
+        let mut worklist = std::mem::take(&mut self.cascade_worklist);
+        for &counter in &bump {
             self.stats.counter_increments += 1;
             ctx.charge(SimDuration::from_nanos(self.cfg.cost.per_action_ns));
-            let value = self.counter_values[counter.index()] + 1;
-            self.set_counter(ctx, counter, value);
+            self.counter_values[counter.index()] += 1;
+            worklist.clear();
+            worklist.push(counter);
+            self.run_cascade(ctx, tables, &mut worklist);
         }
+        self.cascade_worklist = worklist;
+        self.scratch_bump = bump;
 
         // A FAIL may have fired during the cascade triggered by this very
         // packet; it still consumes the packet.
@@ -696,18 +770,18 @@ impl Engine {
         }
 
         // ---- gated faults --------------------------------------------
-        self.apply_gates(ctx, &mut frame, dir, &classification)
+        self.apply_gates(ctx, tables, frame, dir, &classification)
     }
 
     fn apply_gates(
         &mut self,
         ctx: &mut Context<'_>,
-        frame: &mut Frame,
+        tables: &TableSet,
+        mut frame: Frame,
         dir: Dir,
         classification: &Classification,
     ) -> Verdict {
         let me = self.me.expect("initialized");
-        let tables = self.tables.take().expect("initialized");
         let mut duplicate = false;
         for (ci, cond) in tables.conditions.iter().enumerate() {
             if !self.cond_status[ci] {
@@ -762,11 +836,10 @@ impl Engine {
                     continue;
                 }
                 ctx.charge(SimDuration::from_nanos(self.cfg.cost.per_action_ns));
-                match kind.clone() {
+                match kind {
                     CompiledActionKind::Drop { .. } => {
                         self.stats.drops += 1;
-                        ctx.trace_frame(TraceKind::HookConsume, frame, "virtualwire DROP");
-                        self.tables = Some(tables);
+                        ctx.trace_frame(TraceKind::HookConsume, &frame, "virtualwire DROP");
                         return Verdict::Consume;
                     }
                     CompiledActionKind::Dup { .. } => {
@@ -790,53 +863,77 @@ impl Engine {
                                     }
                                 }
                             }
-                            vw_fsl::ModifyPattern::Set { offset, len, value } => {
+                            &vw_fsl::ModifyPattern::Set { offset, len, value } => {
                                 let bytes = value.to_be_bytes();
                                 let n = (len as usize).min(8);
                                 frame.set_bytes(offset as usize, &bytes[8 - n..]);
                             }
                         }
                     }
-                    CompiledActionKind::Delay { duration_ns, .. } => {
+                    &CompiledActionKind::Delay { duration_ns, .. } => {
                         self.stats.delays += 1;
                         // The paper's delay granularity is one jiffy.
-                        let delay =
-                            SimDuration::from_nanos(duration_ns).quantize_to_jiffies();
+                        let delay = SimDuration::from_nanos(duration_ns).quantize_to_jiffies();
                         self.next_delay_token += 1;
                         let token = TIMER_DELAY_BASE + self.next_delay_token;
-                        self.held.insert(token, (frame.clone(), dir));
+                        self.held.insert(token, (frame, dir));
                         ctx.set_timer(delay, token);
-                        self.tables = Some(tables);
                         return Verdict::Replace(Vec::new());
                     }
                     CompiledActionKind::Reorder { count, order, .. } => {
                         self.stats.reorders += 1;
                         let buffer = self.reorder_bufs.entry(*action).or_default();
-                        buffer.push((frame.clone(), dir));
-                        if buffer.len() >= count as usize {
+                        buffer.push((frame, dir));
+                        if buffer.len() >= *count as usize {
                             let batch = std::mem::take(buffer);
                             let released: Vec<Frame> = order
                                 .iter()
                                 .filter_map(|&i| batch.get(i as usize))
                                 .map(|(f, _)| f.clone())
                                 .collect();
-                            self.tables = Some(tables);
                             return Verdict::Replace(released);
                         }
-                        self.tables = Some(tables);
                         return Verdict::Replace(Vec::new());
                     }
                     _ => {}
                 }
             }
         }
-        self.tables = Some(tables);
         if duplicate {
-            Verdict::Replace(vec![frame.clone(), frame.clone()])
+            Verdict::Replace(vec![frame.clone(), frame])
         } else {
-            Verdict::Accept(frame.clone())
+            Verdict::Accept(frame)
         }
     }
+}
+
+/// Converts the simulated clock into the engine's signed counter domain
+/// without wrapping; times past `i64::MAX` nanoseconds saturate.
+fn now_ns(ctx: &Context<'_>) -> i64 {
+    i64::try_from(ctx.now().as_nanos()).unwrap_or(i64::MAX)
+}
+
+/// Builds the install-time counter dispatch for `me`: every packet counter
+/// homed here, keyed by its `(filter, dir)` tuple. Lets the packet path
+/// touch only the counters that can possibly match instead of scanning the
+/// whole counter table per frame.
+fn build_counter_dispatch(
+    tables: &TableSet,
+    me: NodeId,
+) -> HashMap<(FilterId, Dir), Vec<CounterId>> {
+    let mut dispatch: HashMap<(FilterId, Dir), Vec<CounterId>> = HashMap::new();
+    for (i, c) in tables.counters.iter().enumerate() {
+        if c.home != me {
+            continue;
+        }
+        if let CompiledCounterKind::Packet { filter, dir, .. } = c.kind {
+            dispatch
+                .entry((filter, dir))
+                .or_default()
+                .push(CounterId(i as u16));
+        }
+    }
+    dispatch
 }
 
 impl Hook for Engine {

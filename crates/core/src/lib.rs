@@ -87,7 +87,10 @@ pub mod wire;
 use std::error::Error;
 use std::fmt;
 
-pub use classify::{classify, Classification};
+pub use classify::{
+    classify, Classification, Classifier, ClassifierIndex, ClassifierMode, ClassifierScratch,
+    ScanStats,
+};
 pub use engine::{CostModel, Engine, EngineConfig, EngineStats};
 pub use report::{FlaggedError, Report, StopReason};
 pub use runner::Runner;

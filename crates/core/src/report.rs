@@ -5,6 +5,8 @@ use std::fmt;
 use vw_fsl::{CondId, NodeId};
 use vw_netsim::{SimDuration, SimTime};
 
+use crate::engine::EngineStats;
+
 /// One protocol violation flagged by a `FLAG_ERR` action (or by the engine
 /// itself, e.g. on a runaway rule cascade).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,6 +68,9 @@ pub struct Report {
     pub counters: Vec<(String, String, i64)>,
     /// How long the run took in simulated time.
     pub duration: SimDuration,
+    /// Per-node engine hot-path counters, in node-table order:
+    /// `(node_name, stats)`.
+    pub stats: Vec<(String, EngineStats)>,
 }
 
 impl Report {
@@ -100,7 +105,42 @@ impl Report {
         for (node, counter, value) in &self.counters {
             out.push_str(&format!("counter {counter} @ {node} = {value}\n"));
         }
+        for (node, s) in &self.stats {
+            out.push_str(&format!(
+                "engine {node}: classified {} matched {} rules-scanned {} \
+                 index-hits {} residual {} max-cascade {}\n",
+                s.classified,
+                s.matched,
+                s.rules_scanned,
+                s.index_hits,
+                s.residual_scans,
+                s.max_cascade_depth
+            ));
+        }
         out
+    }
+
+    /// Sums the per-node engine counters into one aggregate.
+    pub fn total_stats(&self) -> EngineStats {
+        let mut total = EngineStats::default();
+        for (_, s) in &self.stats {
+            total.classified += s.classified;
+            total.matched += s.matched;
+            total.counter_increments += s.counter_increments;
+            total.control_sent += s.control_sent;
+            total.control_received += s.control_received;
+            total.drops += s.drops;
+            total.dups += s.dups;
+            total.delays += s.delays;
+            total.reorders += s.reorders;
+            total.modifies += s.modifies;
+            total.blackholed += s.blackholed;
+            total.rules_scanned += s.rules_scanned;
+            total.index_hits += s.index_hits;
+            total.residual_scans += s.residual_scans;
+            total.max_cascade_depth = total.max_cascade_depth.max(s.max_cascade_depth);
+        }
+        total
     }
 }
 
@@ -115,6 +155,18 @@ mod tests {
             errors,
             counters: vec![("node1".into(), "CWND".into(), 5)],
             duration: SimDuration::from_millis(10),
+            stats: vec![(
+                "node1".into(),
+                EngineStats {
+                    classified: 7,
+                    matched: 5,
+                    rules_scanned: 21,
+                    index_hits: 4,
+                    residual_scans: 3,
+                    max_cascade_depth: 2,
+                    ..EngineStats::default()
+                },
+            )],
         }
     }
 
@@ -141,6 +193,18 @@ mod tests {
         let text = r.render();
         assert!(text.contains("PASS"));
         assert!(text.contains("CWND @ node1 = 5"));
+        assert!(text.contains("engine node1: classified 7 matched 5"));
+    }
+
+    #[test]
+    fn stats_aggregation() {
+        let r = report(vec![], StopReason::StopAction("ok".into()));
+        let total = r.total_stats();
+        assert_eq!(total.classified, 7);
+        assert_eq!(total.rules_scanned, 21);
+        assert_eq!(total.index_hits, 4);
+        assert_eq!(total.residual_scans, 3);
+        assert_eq!(total.max_cascade_depth, 2);
     }
 
     #[test]

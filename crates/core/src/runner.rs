@@ -224,12 +224,23 @@ impl Runner {
             }
         }
 
+        let stats = self
+            .engines
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (device, hook))| {
+                let engine = world.hook::<Engine>(*device, *hook)?;
+                Some((self.tables.nodes[i].name.clone(), engine.stats()))
+            })
+            .collect();
+
         Report {
             scenario: self.tables.scenario.clone(),
             stop,
             errors,
             counters,
             duration,
+            stats,
         }
     }
 }

@@ -185,7 +185,11 @@ impl<'a> Reader<'a> {
     }
 
     fn opt_u64(&mut self) -> Result<Option<u64>, ParseError> {
-        Ok(if self.bool()? { Some(self.u64()?) } else { None })
+        Ok(if self.bool()? {
+            Some(self.u64()?)
+        } else {
+            None
+        })
     }
 }
 
@@ -325,6 +329,13 @@ fn encode_tables(w: &mut Writer, t: &TableSet) {
     w.u16(t.filters.len() as u16);
     for f in &t.filters {
         w.string(&f.name);
+        match f.discriminant {
+            Some(d) => {
+                w.u8(1);
+                w.u16(d);
+            }
+            None => w.u8(0),
+        }
         w.u16(f.tuples.len() as u16);
         for tuple in &f.tuples {
             w.u32(tuple.offset);
@@ -422,6 +433,11 @@ fn decode_tables(r: &mut Reader<'_>) -> Result<TableSet, ParseError> {
     let mut filters = Vec::with_capacity(nfilters as usize);
     for _ in 0..nfilters {
         let name = r.string()?;
+        let discriminant = match r.u8()? {
+            0 => None,
+            1 => Some(r.u16()?),
+            _ => return Err(ParseError::new("bad discriminant tag")),
+        };
         let ntuples = r.u16()?;
         let mut tuples = Vec::with_capacity(ntuples as usize);
         for _ in 0..ntuples {
@@ -440,7 +456,21 @@ fn decode_tables(r: &mut Reader<'_>) -> Result<TableSet, ParseError> {
                 pattern,
             });
         }
-        filters.push(CompiledFilter { name, tuples });
+        // A forged discriminant must never reach the classifier's index
+        // builder: it has to reference an in-range literal tuple.
+        if let Some(d) = discriminant {
+            let valid = tuples
+                .get(d as usize)
+                .is_some_and(|t| matches!(t.pattern, PatternValue::Literal(_)));
+            if !valid {
+                return Err(ParseError::new("bad filter discriminant"));
+            }
+        }
+        filters.push(CompiledFilter {
+            name,
+            tuples,
+            discriminant,
+        });
     }
     let nnodes = r.u16()?;
     let mut nodes = Vec::with_capacity(nnodes as usize);

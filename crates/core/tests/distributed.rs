@@ -86,7 +86,12 @@ fn tables_distribute_over_the_control_plane() {
     assert_eq!(runner.engine(&world, "node1").unwrap().init_acks().len(), 2);
     // Control frames really crossed the wire.
     assert!(
-        runner.engine(&world, "node2").unwrap().stats().control_received >= 1,
+        runner
+            .engine(&world, "node2")
+            .unwrap()
+            .stats()
+            .control_received
+            >= 1,
         "node2 received its Init"
     );
 }
@@ -148,7 +153,11 @@ fn remote_counter_comparison_terms() {
         200,
         50 * 200,
     );
-    world.add_protocol(nodes[2], Binding::EtherType(EtherType::IPV4), Box::new(flooder));
+    world.add_protocol(
+        nodes[2],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(flooder),
+    );
     let report = runner.run(&mut world, SimDuration::from_secs(5));
     assert!(
         matches!(report.stop, virtualwire::StopReason::StopAction(_)),

@@ -17,7 +17,16 @@ const PREAMBLE: &str = r#"
     END
 "#;
 
-fn run_scenario(seed: u64, scenario: &str, count: u64) -> (World, Runner, vw_netsim::ProtocolId, Vec<vw_netsim::DeviceId>) {
+fn run_scenario(
+    seed: u64,
+    scenario: &str,
+    count: u64,
+) -> (
+    World,
+    Runner,
+    vw_netsim::ProtocolId,
+    Vec<vw_netsim::DeviceId>,
+) {
     let script = format!("{PREAMBLE}{scenario}");
     let tables = compile_script(&script).unwrap_or_else(|e| panic!("{e}"));
     let mut world = World::new(seed);
@@ -42,7 +51,11 @@ fn run_scenario(seed: u64, scenario: &str, count: u64) -> (World, Runner, vw_net
         200,
         count * 200,
     );
-    world.add_protocol(nodes[0], Binding::EtherType(EtherType::IPV4), Box::new(flooder));
+    world.add_protocol(
+        nodes[0],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(flooder),
+    );
     (world, runner, sink, nodes)
 }
 
@@ -109,7 +122,11 @@ fn cascade_budget_is_enforced() {
         200,
         600,
     );
-    world.add_protocol(nodes[0], Binding::EtherType(EtherType::IPV4), Box::new(flooder));
+    world.add_protocol(
+        nodes[0],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(flooder),
+    );
     let report = runner.run(&mut world, SimDuration::from_millis(100));
     assert!(
         report

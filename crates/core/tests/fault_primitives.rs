@@ -112,7 +112,11 @@ fn drop_at_receiver_side() {
     assert_eq!(report.counter("Rcvd"), Some(10));
     assert_eq!(sink_frames(bed), 9, "first datagram dropped at node2");
     assert_eq!(
-        bed.runner.engine(&bed.world, "node2").unwrap().stats().drops,
+        bed.runner
+            .engine(&bed.world, "node2")
+            .unwrap()
+            .stats()
+            .drops,
         1
     );
 }
@@ -162,7 +166,11 @@ fn delay_holds_for_quantized_jiffies() {
     // the sink's identification order is not available, so check the
     // engine counted the delay and the run took ≥ 30 ms.
     assert_eq!(
-        bed.runner.engine(&bed.world, "node1").unwrap().stats().delays,
+        bed.runner
+            .engine(&bed.world, "node1")
+            .unwrap()
+            .stats()
+            .delays,
         1
     );
     let trace = bed.world.trace();
@@ -239,7 +247,10 @@ fn reorder_releases_in_specified_permutation() {
         world.inject_from_stack(nodes[0], frame);
     }
     let _ = runner.run(&mut world, SimDuration::from_millis(200));
-    let got = &world.protocol::<IdentOrder>(nodes[1], order).unwrap().idents;
+    let got = &world
+        .protocol::<IdentOrder>(nodes[1], order)
+        .unwrap()
+        .idents;
     // Two batches of three, each released reversed.
     assert_eq!(*got, vec![3, 2, 1, 6, 5, 4]);
 }
@@ -265,7 +276,11 @@ fn modify_set_pattern_rewrites_bytes() {
     assert!(report.passed());
     assert_eq!(sink_frames(bed), 4, "corrupted datagram fails its checksum");
     assert_eq!(
-        bed.runner.engine(&bed.world, "node1").unwrap().stats().modifies,
+        bed.runner
+            .engine(&bed.world, "node1")
+            .unwrap()
+            .stats()
+            .modifies,
         1
     );
 }
@@ -451,7 +466,10 @@ fn inactivity_timeout_fires_when_traffic_stops() {
         200,
     );
     let report = bed.runner.run(&mut bed.world, SimDuration::from_secs(5));
-    assert!(matches!(report.stop, virtualwire::StopReason::InactivityTimeout));
+    assert!(matches!(
+        report.stop,
+        virtualwire::StopReason::InactivityTimeout
+    ));
     assert!(!report.passed(), "inactivity is the failure path");
     assert_eq!(report.counter("Sent"), Some(5));
 }
@@ -490,7 +508,11 @@ fn engines_remain_transparent_for_unmatched_traffic() {
         64,
         20,
     );
-    let pid = world.add_protocol(nodes[0], Binding::EtherType(EtherType::IPV4), Box::new(pinger));
+    let pid = world.add_protocol(
+        nodes[0],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(pinger),
+    );
     let _ = runner.run(&mut world, SimDuration::from_millis(100));
     let pinger = world.protocol::<UdpPinger>(nodes[0], pid).unwrap();
     assert_eq!(pinger.rtts().len(), 20, "no echo packet was harmed");

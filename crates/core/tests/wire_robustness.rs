@@ -3,13 +3,130 @@
 //! including fuzzed mutations of valid encodings.
 
 use proptest::prelude::*;
-use virtualwire::wire::{decode, encode, ControlMsg};
+use virtualwire::wire::{build_frame, decode, encode, parse_frame, ControlMsg};
 use vw_fsl::{CondId, CounterId, NodeId, TermId};
+use vw_packet::{EtherType, EthernetBuilder, MacAddr};
+
+fn sample_messages(seed: u16) -> Vec<ControlMsg> {
+    vec![
+        ControlMsg::InitAck { node: NodeId(seed) },
+        ControlMsg::CounterUpdate {
+            counter: CounterId(seed),
+            value: i64::from(seed) * -7,
+        },
+        ControlMsg::TermStatus {
+            term: TermId(seed),
+            status: seed % 2 == 0,
+        },
+        ControlMsg::FlagError {
+            node: NodeId(seed),
+            condition: CondId(seed),
+            message: "x".repeat(usize::from(seed % 97)),
+        },
+        ControlMsg::Stop {
+            node: NodeId(seed),
+            reason: "stop reason".into(),
+        },
+    ]
+}
+
+/// Every strict prefix of a valid encoding is an error — the decoder
+/// never reads past the bytes it was given and never panics on
+/// truncation, whatever the message variant.
+#[test]
+fn truncation_of_every_variant_errors() {
+    for msg in sample_messages(11) {
+        let bytes = encode(&msg);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode(&bytes[..cut]).is_err(),
+                "truncated {msg:?} at {cut}/{} must error",
+                bytes.len()
+            );
+        }
+    }
+}
+
+/// Length fields that promise more bytes than the payload holds
+/// (an "oversized" interior claim) must error, not over-read.
+#[test]
+fn oversized_interior_length_errors() {
+    // TAG_STOP(6), node=0, then a string length claiming 0xFFFF bytes
+    // with only three present.
+    let lying_stop = [6u8, 0, 0, 0xFF, 0xFF, b'a', b'b', b'c'];
+    assert!(decode(&lying_stop).is_err());
+    // TAG_FLAG_ERROR(5), node, condition, huge message length, no bytes.
+    let lying_flag = [5u8, 0, 1, 0, 2, 0x7F, 0xFF];
+    assert!(decode(&lying_flag).is_err());
+    // TAG_INIT(1) with a scenario-name length far past the end.
+    let lying_init = [1u8, 0, 0, 0xFF, 0xFE];
+    assert!(decode(&lying_init).is_err());
+}
+
+/// A `0x88B5` frame whose payload is empty is an error, and a frame
+/// carrying any other EtherType is rejected before payload inspection.
+#[test]
+fn control_frame_edge_cases() {
+    let src = MacAddr::new([2, 0, 0, 0, 0, 1]);
+    let dst = MacAddr::new([2, 0, 0, 0, 0, 2]);
+    let empty = EthernetBuilder::new()
+        .src(src)
+        .dst(dst)
+        .ethertype(EtherType::VW_CONTROL)
+        .build();
+    assert!(parse_frame(&empty).is_err());
+
+    let wrong_ethertype = EthernetBuilder::new()
+        .src(src)
+        .dst(dst)
+        .ethertype(EtherType(0x1234))
+        .payload_owned(encode(&ControlMsg::InitAck { node: NodeId(0) }))
+        .build();
+    assert!(parse_frame(&wrong_ethertype).is_err());
+
+    // A well-formed control frame still round-trips.
+    let msg = ControlMsg::Stop {
+        node: NodeId(3),
+        reason: "done".into(),
+    };
+    let frame = build_frame(src, dst, &msg);
+    assert_eq!(parse_frame(&frame).unwrap(), msg);
+}
 
 proptest! {
     #[test]
     fn decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
         let _ = decode(&bytes); // Ok or Err, never a panic
+    }
+
+    /// Garbage wrapped in a 0x88B5 control frame: `parse_frame` must
+    /// return Ok or Err, never panic or over-read.
+    #[test]
+    fn garbage_control_frames_never_panic(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let frame = vw_packet::EthernetBuilder::new()
+            .src(MacAddr::new([2, 0, 0, 0, 0, 1]))
+            .dst(MacAddr::new([2, 0, 0, 0, 0, 2]))
+            .ethertype(EtherType::VW_CONTROL)
+            .payload_owned(bytes)
+            .build();
+        let _ = parse_frame(&frame);
+    }
+
+    /// Appending trailing garbage to a valid encoding never changes the
+    /// decoded message (the codec is length-prefixed throughout) and
+    /// never panics.
+    #[test]
+    fn trailing_garbage_is_ignored(
+        seed in any::<u16>(),
+        tail in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        for msg in sample_messages(seed) {
+            let mut bytes = encode(&msg);
+            bytes.extend_from_slice(&tail);
+            prop_assert_eq!(decode(&bytes).unwrap(), msg);
+        }
     }
 
     #[test]

@@ -135,10 +135,7 @@ fn analyze_scenario(
         }
         match &decl.kind {
             CounterKind::PacketEvent {
-                pkt_type,
-                from,
-                to,
-                ..
+                pkt_type, from, to, ..
             } => {
                 if !filters.contains(pkt_type.as_str()) {
                     errors.push(FslError::general(format!(
@@ -189,7 +186,9 @@ fn analyze_scenario(
             check_counter(counter, errors);
         }
         if rule.actions.is_empty() {
-            errors.push(FslError::general(format!("{scen}: rule {i} has no actions")));
+            errors.push(FslError::general(format!(
+                "{scen}: rule {i} has no actions"
+            )));
         }
         for action in &rule.actions {
             if let Some(counter) = action.target_counter() {
@@ -279,7 +278,9 @@ mod tests {
             END"
         );
         let es = errs(&src);
-        assert!(es.iter().any(|e| e.contains("undefined packet type `nopkt`")));
+        assert!(es
+            .iter()
+            .any(|e| e.contains("undefined packet type `nopkt`")));
         assert!(es.iter().any(|e| e.contains("undefined node `nowhere`")));
         assert!(es.iter().any(|e| e.contains("undefined counter `Ghost`")));
         assert!(es.iter().any(|e| e.contains("undefined node `zombie`")));
@@ -356,7 +357,9 @@ mod tests {
             ((C = 1)) >> STOP;
             END
         "#;
-        assert!(errs(src).iter().any(|e| e.contains("undeclared VAR `Mystery`")));
+        assert!(errs(src)
+            .iter()
+            .any(|e| e.contains("undeclared VAR `Mystery`")));
     }
 
     #[test]

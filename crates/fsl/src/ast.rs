@@ -81,7 +81,7 @@ pub struct Scenario {
 }
 
 /// Which packet direction a counter or fault observes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Dir {
     /// Outbound at the acting node.
     Send,

@@ -81,6 +81,23 @@ pub struct CompiledFilter {
     pub name: String,
     /// Match tuples (all must match).
     pub tuples: Vec<FilterTuple>,
+    /// Index-construction metadata: the tuple an indexed classifier can
+    /// key this filter by — the first tuple with a compile-time literal
+    /// pattern. `None` when every tuple is a runtime `VAR` pattern, in
+    /// which case the filter can only be matched by scanning.
+    pub discriminant: Option<u16>,
+}
+
+impl CompiledFilter {
+    /// Computes the discriminant for a tuple list: the first tuple whose
+    /// pattern is a literal (usable as an index key without runtime
+    /// variable bindings).
+    pub fn compute_discriminant(tuples: &[FilterTuple]) -> Option<u16> {
+        tuples
+            .iter()
+            .position(|t| matches!(t.pattern, PatternValue::Literal(_)))
+            .map(|i| i as u16)
+    }
 }
 
 /// Node-table entry.
@@ -425,6 +442,7 @@ fn compile_scenario(program: &Program, scenario: &Scenario) -> TableSet {
         .iter()
         .map(|f| CompiledFilter {
             name: f.name.clone(),
+            discriminant: CompiledFilter::compute_discriminant(&f.tuples),
             tuples: f.tuples.clone(),
         })
         .collect();
@@ -494,8 +512,7 @@ fn compile_scenario(program: &Program, scenario: &Scenario) -> TableSet {
 
     // ---- terms, conditions, actions --------------------------------
     let mut terms: Vec<CompiledTerm> = Vec::new();
-    let mut term_dedup: HashMap<(CompiledOperand, RelOp, CompiledOperand), TermId> =
-        HashMap::new();
+    let mut term_dedup: HashMap<(CompiledOperand, RelOp, CompiledOperand), TermId> = HashMap::new();
     let mut conditions: Vec<CompiledCondition> = Vec::new();
     let mut actions: Vec<CompiledAction> = Vec::new();
 
@@ -523,7 +540,14 @@ fn compile_scenario(program: &Program, scenario: &Scenario) -> TableSet {
         let mut gates = Vec::new();
         for action in &rule.actions {
             let action_id = ActionId(actions.len() as u16);
-            let (node, kind) = compile_action(action, &filter_ids, &node_ids, &counter_ids, &counters, fallback_home);
+            let (node, kind) = compile_action(
+                action,
+                &filter_ids,
+                &node_ids,
+                &counter_ids,
+                &counters,
+                fallback_home,
+            );
             actions.push(CompiledAction { node, kind });
             if action.is_packet_fault() {
                 gates.push((node, action_id));
@@ -552,8 +576,7 @@ fn compile_scenario(program: &Program, scenario: &Scenario) -> TableSet {
                 if !counter.affected_terms.contains(&TermId(ti as u16)) {
                     counter.affected_terms.push(TermId(ti as u16));
                 }
-                if term.eval_node != counter.home
-                    && !counter.subscribers.contains(&term.eval_node)
+                if term.eval_node != counter.home && !counter.subscribers.contains(&term.eval_node)
                 {
                     counter.subscribers.push(term.eval_node);
                 }
@@ -611,12 +634,40 @@ fn compile_cond(
             CondNode::Term(tid)
         }
         CondExpr::And(a, b) => CondNode::And(
-            Box::new(compile_cond(a, counter_ids, counters, terms, dedup, cond_id)),
-            Box::new(compile_cond(b, counter_ids, counters, terms, dedup, cond_id)),
+            Box::new(compile_cond(
+                a,
+                counter_ids,
+                counters,
+                terms,
+                dedup,
+                cond_id,
+            )),
+            Box::new(compile_cond(
+                b,
+                counter_ids,
+                counters,
+                terms,
+                dedup,
+                cond_id,
+            )),
         ),
         CondExpr::Or(a, b) => CondNode::Or(
-            Box::new(compile_cond(a, counter_ids, counters, terms, dedup, cond_id)),
-            Box::new(compile_cond(b, counter_ids, counters, terms, dedup, cond_id)),
+            Box::new(compile_cond(
+                a,
+                counter_ids,
+                counters,
+                terms,
+                dedup,
+                cond_id,
+            )),
+            Box::new(compile_cond(
+                b,
+                counter_ids,
+                counters,
+                terms,
+                dedup,
+                cond_id,
+            )),
         ),
         CondExpr::Not(a) => CondNode::Not(Box::new(compile_cond(
             a,
@@ -629,10 +680,7 @@ fn compile_cond(
     }
 }
 
-fn compile_operand(
-    operand: &Operand,
-    counter_ids: &HashMap<&str, CounterId>,
-) -> CompiledOperand {
+fn compile_operand(operand: &Operand, counter_ids: &HashMap<&str, CounterId>) -> CompiledOperand {
     match operand {
         Operand::Counter(name) => CompiledOperand::Counter(counter_ids[name.as_str()]),
         Operand::Const(v) => CompiledOperand::Const(*v),
@@ -884,9 +932,7 @@ mod tests {
         let gt = t
             .terms
             .iter()
-            .find(|term| {
-                term.op == RelOp::Gt && term.lhs == CompiledOperand::Counter(rx)
-            })
+            .find(|term| term.op == RelOp::Gt && term.lhs == CompiledOperand::Counter(rx))
             .unwrap();
         assert_eq!(gt.conditions, vec![CondId(1)]);
     }

@@ -167,7 +167,6 @@ impl<'a> Lexer<'a> {
         }
     }
 
-
     /// `true` when a full `hh:hh:hh:hh:hh:hh` MAC literal starts at `pos`
     /// (and is not followed by more address-like characters). A mere
     /// `xx:` prefix is NOT enough — `aA: (...)` is an identifier and a
@@ -460,10 +459,7 @@ mod tests {
     fn ip_addresses() {
         assert_eq!(
             kinds("192.168.1.1"),
-            vec![
-                TokenKind::Ip(Ipv4Addr::new(192, 168, 1, 1)),
-                TokenKind::Eof
-            ]
+            vec![TokenKind::Ip(Ipv4Addr::new(192, 168, 1, 1)), TokenKind::Eof]
         );
         assert!(lex("1.2.3").is_err());
         assert!(lex("1.2.3.444").is_err());
@@ -471,10 +467,17 @@ mod tests {
 
     #[test]
     fn mac_addresses() {
-        for text in ["ab:cd:ef:01:23:45", "00:46:61:af:fe:23", "4f:00:11:22:33:44"] {
+        for text in [
+            "ab:cd:ef:01:23:45",
+            "00:46:61:af:fe:23",
+            "4f:00:11:22:33:44",
+        ] {
             assert_eq!(
                 kinds(text),
-                vec![TokenKind::Mac(text.parse::<MacAddr>().unwrap()), TokenKind::Eof],
+                vec![
+                    TokenKind::Mac(text.parse::<MacAddr>().unwrap()),
+                    TokenKind::Eof
+                ],
                 "lexing {text}"
             );
         }

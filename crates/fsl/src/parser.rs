@@ -60,7 +60,9 @@ impl Parser {
     }
 
     fn bump(&mut self) -> TokenKind {
-        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -638,10 +640,7 @@ impl Parser {
                 Action::FlagError { message }
             }
             other => {
-                return Err(FslError::at(
-                    span,
-                    format!("unknown action `{other}`"),
-                ));
+                return Err(FslError::at(span, format!("unknown action `{other}`")));
             }
         };
         if parens {
@@ -792,7 +791,13 @@ mod tests {
         assert!(
             matches!(&actions[1], Action::Reorder { count: 3, order, .. } if order == &[2, 0, 1])
         );
-        assert!(matches!(actions[3], Action::Modify { pattern: ModifyPattern::Random, .. }));
+        assert!(matches!(
+            actions[3],
+            Action::Modify {
+                pattern: ModifyPattern::Random,
+                ..
+            }
+        ));
         assert!(matches!(
             &actions[4],
             Action::Modify {

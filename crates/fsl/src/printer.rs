@@ -184,7 +184,10 @@ fn print_action(action: &Action) -> String {
                     format!("({offset} {len} 0x{value:x})")
                 }
             };
-            format!("MODIFY({pkt}, {from}, {to}, {}, {pattern})", print_dir(*dir))
+            format!(
+                "MODIFY({pkt}, {from}, {to}, {}, {pattern})",
+                print_dir(*dir)
+            )
         }
         Action::Fail { node } => format!("FAIL({node})"),
         Action::Stop => "STOP".to_string(),
@@ -255,8 +258,23 @@ mod tests {
     fn ident() -> impl Strategy<Value = String> {
         "[A-Za-z][A-Za-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
             ![
-                "VAR", "FILTER_TABLE", "NODE_TABLE", "SCENARIO", "END", "SEND", "RECV", "TRUE",
-                "FALSE", "RANDOM", "STOP", "DROP", "DELAY", "REORDER", "DUP", "MODIFY", "FAIL",
+                "VAR",
+                "FILTER_TABLE",
+                "NODE_TABLE",
+                "SCENARIO",
+                "END",
+                "SEND",
+                "RECV",
+                "TRUE",
+                "FALSE",
+                "RANDOM",
+                "STOP",
+                "DROP",
+                "DELAY",
+                "REORDER",
+                "DUP",
+                "MODIFY",
+                "FAIL",
             ]
             .contains(&s.as_str())
         })

@@ -115,7 +115,10 @@ fn scenario_scale_many_counters_and_rules() {
         src.push_str(&format!("C{i}: (p, a, b, RECV)\n"));
     }
     for i in 0..60 {
-        src.push_str(&format!("((C{i} = {i})) >> INCR_CNTR(C{}, 1);\n", (i + 1) % 60));
+        src.push_str(&format!(
+            "((C{i} = {i})) >> INCR_CNTR(C{}, 1);\n",
+            (i + 1) % 60
+        ));
     }
     src.push_str("END");
     let tables = compile(&parse(&src).unwrap()).unwrap().remove(0);

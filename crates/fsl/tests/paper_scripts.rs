@@ -158,7 +158,9 @@ fn figure_5_script_parses_analyzes_compiles() {
     assert_eq!(packet, 4);
     // The SYNACK counter counts RECV at node1.
     match &s.counters[0].kind {
-        CounterKind::PacketEvent { pkt_type, to, dir, .. } => {
+        CounterKind::PacketEvent {
+            pkt_type, to, dir, ..
+        } => {
             assert_eq!(pkt_type, "TCP_synack");
             assert_eq!(to, "node1");
             assert_eq!(*dir, Dir::Recv);
@@ -182,7 +184,11 @@ fn figure_6_script_parses_analyzes_compiles() {
     analyze(&p).unwrap_or_else(|es| panic!("{es:?}"));
     let s = &p.scenarios[0];
     assert_eq!(s.name, "Test_Single_Node_Failure");
-    assert_eq!(s.timeout_ns, Some(1_000_000_000), "the 1sec inactivity timeout");
+    assert_eq!(
+        s.timeout_ns,
+        Some(1_000_000_000),
+        "the 1sec inactivity timeout"
+    );
     assert_eq!(s.counters.len(), 5);
     assert_eq!(s.rules.len(), 6);
     let tables = compile(&p).unwrap().remove(0);
@@ -207,8 +213,8 @@ fn paper_scripts_survive_print_parse_round_trip() {
     for (name, src) in [("fig2", FIGURE_2), ("fig5", FIGURE_5), ("fig6", FIGURE_6)] {
         let ast = parse(src).unwrap();
         let printed = print(&ast);
-        let reparsed = parse(&printed)
-            .unwrap_or_else(|e| panic!("{name}: reparse failed: {e}\n{printed}"));
+        let reparsed =
+            parse(&printed).unwrap_or_else(|e| panic!("{name}: reparse failed: {e}\n{printed}"));
         assert_eq!(ast, reparsed, "{name}: print∘parse must be identity");
     }
 }

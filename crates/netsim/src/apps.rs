@@ -103,7 +103,10 @@ impl UdpPinger {
         payload_len: usize,
         count: u64,
     ) -> Self {
-        assert!(payload_len >= 8, "probe payload carries an 8-byte sequence number");
+        assert!(
+            payload_len >= 8,
+            "probe payload carries an 8-byte sequence number"
+        );
         UdpPinger {
             dst_mac,
             dst_ip,
@@ -383,7 +386,11 @@ mod tests {
     fn ping_pong_measures_rtt() {
         let mut world = World::new(1);
         let (a, b) = echo_pair(&mut world);
-        world.add_protocol(b, Binding::EtherType(EtherType::IPV4), Box::new(UdpEcho::new(7)));
+        world.add_protocol(
+            b,
+            Binding::EtherType(EtherType::IPV4),
+            Box::new(UdpEcho::new(7)),
+        );
         let pinger = UdpPinger::new(
             world.host_mac(b),
             world.host_ip(b),
@@ -409,7 +416,11 @@ mod tests {
     fn flooder_delivers_to_sink() {
         let mut world = World::new(2);
         let (a, b) = echo_pair(&mut world);
-        world.add_protocol(b, Binding::EtherType(EtherType::IPV4), Box::new(UdpSink::new(9)));
+        world.add_protocol(
+            b,
+            Binding::EtherType(EtherType::IPV4),
+            Box::new(UdpSink::new(9)),
+        );
         let flooder = UdpFlooder::new(
             world.host_mac(b),
             world.host_ip(b),
@@ -438,7 +449,11 @@ mod tests {
     fn sink_ignores_wrong_port_and_corruption() {
         let mut world = World::new(3);
         let (a, b) = echo_pair(&mut world);
-        world.add_protocol(b, Binding::EtherType(EtherType::IPV4), Box::new(UdpSink::new(9)));
+        world.add_protocol(
+            b,
+            Binding::EtherType(EtherType::IPV4),
+            Box::new(UdpSink::new(9)),
+        );
         let flooder = UdpFlooder::new(
             world.host_mac(b),
             world.host_ip(b),
@@ -466,7 +481,11 @@ mod tests {
             b,
             LinkConfig::fast_ethernet().errors(crate::error_model::ErrorModel::lossy(1.0)),
         );
-        world.add_protocol(b, Binding::EtherType(EtherType::IPV4), Box::new(UdpEcho::new(7)));
+        world.add_protocol(
+            b,
+            Binding::EtherType(EtherType::IPV4),
+            Box::new(UdpEcho::new(7)),
+        );
         let pinger = UdpPinger::new(
             world.host_mac(b),
             world.host_ip(b),

@@ -211,7 +211,10 @@ mod tests {
                 LinkOutcome::Lost => panic!("loss disabled"),
             }
         }
-        assert!(corrupted > 100, "BER 0.01 should corrupt most 114-byte frames");
+        assert!(
+            corrupted > 100,
+            "BER 0.01 should corrupt most 114-byte frames"
+        );
     }
 
     #[test]

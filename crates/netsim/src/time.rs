@@ -269,13 +269,18 @@ mod tests {
 
     #[test]
     fn saturating_ops() {
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
         assert_eq!(
             SimTime::ZERO.saturating_since(SimTime::from_nanos(5)),
             SimDuration::ZERO
         );
         assert_eq!(
-            SimDuration(u64::MAX).saturating_add(SimDuration::from_nanos(1)).as_nanos(),
+            SimDuration(u64::MAX)
+                .saturating_add(SimDuration::from_nanos(1))
+                .as_nanos(),
             u64::MAX
         );
     }
@@ -285,7 +290,10 @@ mod tests {
         assert_eq!(SimDuration::from_secs(1).as_nanos(), 1_000_000_000);
         assert_eq!(SimDuration::from_millis(1).as_nanos(), 1_000_000);
         assert_eq!(SimDuration::from_micros(1).as_nanos(), 1_000);
-        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_millis(500)
+        );
         assert_eq!(SimDuration::from_secs(3).as_millis(), 3000);
     }
 

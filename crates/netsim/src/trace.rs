@@ -254,10 +254,7 @@ mod tests {
             );
         }
         assert_eq!(sink.len(), 5);
-        assert!(sink
-            .records()
-            .windows(2)
-            .all(|w| w[0].time <= w[1].time));
+        assert!(sink.records().windows(2).all(|w| w[0].time <= w[1].time));
     }
 
     #[test]
@@ -278,9 +275,21 @@ mod tests {
     fn toggling_enabled() {
         let mut sink = TraceSink::new();
         sink.set_enabled(false);
-        sink.record(SimTime::ZERO, DeviceId::from_index(0), TraceKind::Note, None, "x");
+        sink.record(
+            SimTime::ZERO,
+            DeviceId::from_index(0),
+            TraceKind::Note,
+            None,
+            "x",
+        );
         sink.set_enabled(true);
-        sink.record(SimTime::ZERO, DeviceId::from_index(0), TraceKind::Note, None, "y");
+        sink.record(
+            SimTime::ZERO,
+            DeviceId::from_index(0),
+            TraceKind::Note,
+            None,
+            "y",
+        );
         assert_eq!(sink.len(), 1);
         assert_eq!(sink.records()[0].note, "y");
     }
@@ -311,8 +320,14 @@ mod tests {
             Some(&frame(1)),
             "",
         );
-        assert_eq!(sink.count_sent(MacAddr::from_index(1), EtherType::RETHER), 3);
-        assert_eq!(sink.count_sent(MacAddr::from_index(2), EtherType::RETHER), 1);
+        assert_eq!(
+            sink.count_sent(MacAddr::from_index(1), EtherType::RETHER),
+            3
+        );
+        assert_eq!(
+            sink.count_sent(MacAddr::from_index(2), EtherType::RETHER),
+            1
+        );
         assert_eq!(sink.count_sent(MacAddr::from_index(1), EtherType::IPV4), 0);
     }
 
@@ -326,7 +341,13 @@ mod tests {
             Some(&frame(1)),
             "unlucky",
         );
-        sink.record(SimTime::ZERO, DeviceId::from_index(2), TraceKind::Note, None, "hello");
+        sink.record(
+            SimTime::ZERO,
+            DeviceId::from_index(2),
+            TraceKind::Note,
+            None,
+            "hello",
+        );
         let text = sink.render();
         assert_eq!(text.lines().count(), 2);
         assert!(text.contains("link-loss"));
@@ -337,8 +358,20 @@ mod tests {
     #[test]
     fn queries_by_kind_and_device() {
         let mut sink = TraceSink::new();
-        sink.record(SimTime::ZERO, DeviceId::from_index(0), TraceKind::HostSend, Some(&frame(1)), "");
-        sink.record(SimTime::ZERO, DeviceId::from_index(1), TraceKind::QueueDrop, Some(&frame(1)), "");
+        sink.record(
+            SimTime::ZERO,
+            DeviceId::from_index(0),
+            TraceKind::HostSend,
+            Some(&frame(1)),
+            "",
+        );
+        sink.record(
+            SimTime::ZERO,
+            DeviceId::from_index(1),
+            TraceKind::QueueDrop,
+            Some(&frame(1)),
+            "",
+        );
         assert_eq!(sink.of_kind(TraceKind::QueueDrop).count(), 1);
         assert_eq!(sink.at_device(DeviceId::from_index(0)).count(), 1);
         sink.clear();

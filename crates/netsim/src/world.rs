@@ -277,7 +277,8 @@ impl World {
     /// Schedules a fresh `on_start` callback for a handler at the current
     /// time — the way external drivers nudge an installed handler.
     pub fn poke(&mut self, node: DeviceId, handler: HandlerRef) {
-        self.queue.push(self.now, EventKind::Start { node, handler });
+        self.queue
+            .push(self.now, EventKind::Start { node, handler });
     }
 
     // ------------------------------------------------------------------
@@ -695,8 +696,10 @@ impl World {
             port.busy = true;
             port.in_flight = Some(frame);
         }
-        self.queue
-            .push(self.now.saturating_add(ser), EventKind::TxComplete { port: at });
+        self.queue.push(
+            self.now.saturating_add(ser),
+            EventKind::TxComplete { port: at },
+        );
     }
 
     // ------------------------------------------------------------------
@@ -730,7 +733,13 @@ impl World {
         };
         self.put_hook(node, idx, hook);
         self.apply_effects(node, CtxOrigin::Hook(idx), effects);
-        self.continue_verdict(node, verdict, charged, &name, ChainDir::Outbound { next: idx + 1 });
+        self.continue_verdict(
+            node,
+            verdict,
+            charged,
+            &name,
+            ChainDir::Outbound { next: idx + 1 },
+        );
     }
 
     fn inbound_step(&mut self, node: DeviceId, next: usize, frame: Frame) {
@@ -758,7 +767,13 @@ impl World {
         };
         self.put_hook(node, idx, hook);
         self.apply_effects(node, CtxOrigin::Hook(idx), effects);
-        self.continue_verdict(node, verdict, charged, &name, ChainDir::Inbound { next: idx });
+        self.continue_verdict(
+            node,
+            verdict,
+            charged,
+            &name,
+            ChainDir::Inbound { next: idx },
+        );
     }
 
     fn continue_verdict(
@@ -828,7 +843,8 @@ impl World {
                 continue;
             };
             let effects = {
-                let mut ctx = self.make_ctx_for(node, CtxOrigin::Protocol, HandlerRef::Protocol(id));
+                let mut ctx =
+                    self.make_ctx_for(node, CtxOrigin::Protocol, HandlerRef::Protocol(id));
                 proto.on_frame(&mut ctx, frame.clone());
                 std::mem::take(&mut ctx.effects)
             };
@@ -972,7 +988,8 @@ impl World {
                     self.cancelled_timers.insert(id);
                 }
                 Effect::Trace { kind, frame, note } => {
-                    self.trace.record(self.now, node, kind, frame.as_ref(), note);
+                    self.trace
+                        .record(self.now, node, kind, frame.as_ref(), note);
                 }
                 Effect::RequestStop { reason } => {
                     self.request_stop(reason);
@@ -1071,11 +1088,13 @@ impl World {
 
     /// Injects a frame as if it had just arrived on `node`'s wire.
     pub fn inject_from_wire(&mut self, node: DeviceId, frame: Frame) {
-        self.queue
-            .push(self.now, EventKind::Arrive {
+        self.queue.push(
+            self.now,
+            EventKind::Arrive {
                 to: PortRef::new(node, 0),
                 frame,
-            });
+            },
+        );
     }
 
     /// Number of events currently pending in the queue.

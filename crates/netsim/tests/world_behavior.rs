@@ -165,7 +165,11 @@ fn switch_learns_and_stops_flooding() {
     world.run_for(SimDuration::from_millis(1));
 
     // c never receives any frame at the protocol level...
-    assert!(world.protocol::<Recorder>(c, rec_c).unwrap().frames.is_empty());
+    assert!(world
+        .protocol::<Recorder>(c, rec_c)
+        .unwrap()
+        .frames
+        .is_empty());
     // ...and its NIC filtered at least the flooded copy.
     let filtered = world
         .trace()
@@ -189,8 +193,14 @@ fn broadcast_reaches_every_host() {
     let rec_c = world.add_protocol(c, Binding::All, Box::new(Recorder::default()));
     world.inject_from_stack(a, test_frame(world.host_mac(a), MacAddr::BROADCAST));
     world.run_for(SimDuration::from_millis(1));
-    assert_eq!(world.protocol::<Recorder>(b, rec_b).unwrap().frames.len(), 1);
-    assert_eq!(world.protocol::<Recorder>(c, rec_c).unwrap().frames.len(), 1);
+    assert_eq!(
+        world.protocol::<Recorder>(b, rec_b).unwrap().frames.len(),
+        1
+    );
+    assert_eq!(
+        world.protocol::<Recorder>(c, rec_c).unwrap().frames.len(),
+        1
+    );
 }
 
 #[test]
@@ -244,7 +254,11 @@ fn charge_delays_delivery() {
         if with_charge {
             world.add_hook(b, Box::new(Charger { cost }));
         }
-        world.add_protocol(b, Binding::EtherType(EtherType::IPV4), Box::new(UdpEcho::new(7)));
+        world.add_protocol(
+            b,
+            Binding::EtherType(EtherType::IPV4),
+            Box::new(UdpEcho::new(7)),
+        );
         let pinger = UdpPinger::new(
             world.host_mac(b),
             world.host_ip(b),
@@ -277,7 +291,11 @@ fn delay_hook_holds_and_releases() {
     let rec = world.add_protocol(b, Binding::All, Box::new(Recorder::default()));
     world.inject_from_stack(a, test_frame(world.host_mac(a), world.host_mac(b)));
     world.run_for(SimDuration::from_millis(2));
-    assert!(world.protocol::<Recorder>(b, rec).unwrap().frames.is_empty());
+    assert!(world
+        .protocol::<Recorder>(b, rec)
+        .unwrap()
+        .frames
+        .is_empty());
     world.run_for(SimDuration::from_millis(10));
     assert_eq!(world.protocol::<Recorder>(b, rec).unwrap().frames.len(), 1);
 }
@@ -291,7 +309,11 @@ fn passthrough_hooks_do_not_change_behavior() {
             world.add_hook(a, Box::new(PassThrough));
             world.add_hook(b, Box::new(PassThrough));
         }
-        world.add_protocol(b, Binding::EtherType(EtherType::IPV4), Box::new(UdpEcho::new(7)));
+        world.add_protocol(
+            b,
+            Binding::EtherType(EtherType::IPV4),
+            Box::new(UdpEcho::new(7)),
+        );
         let pinger = UdpPinger::new(
             world.host_mac(b),
             world.host_ip(b),
@@ -315,7 +337,11 @@ fn queue_overflow_drops_and_counts() {
     let b = world.add_host("b");
     // Slow link so the queue fills.
     world.connect(a, b, LinkConfig::fast_ethernet().rate(1_000_000));
-    world.add_protocol(b, Binding::EtherType(EtherType::IPV4), Box::new(UdpSink::new(9)));
+    world.add_protocol(
+        b,
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(UdpSink::new(9)),
+    );
     let flooder = UdpFlooder::new(
         world.host_mac(b),
         world.host_ip(b),
@@ -337,8 +363,16 @@ fn lossy_link_loses_roughly_the_configured_fraction() {
     let mut world = World::new(10);
     let a = world.add_host("a");
     let b = world.add_host("b");
-    world.connect(a, b, LinkConfig::fast_ethernet().errors(ErrorModel::lossy(0.25)));
-    world.add_protocol(b, Binding::EtherType(EtherType::IPV4), Box::new(UdpSink::new(9)));
+    world.connect(
+        a,
+        b,
+        LinkConfig::fast_ethernet().errors(ErrorModel::lossy(0.25)),
+    );
+    world.add_protocol(
+        b,
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(UdpSink::new(9)),
+    );
     let flooder = UdpFlooder::new(
         world.host_mac(b),
         world.host_ip(b),
@@ -370,7 +404,11 @@ fn corrupting_link_breaks_checksums() {
         b,
         LinkConfig::fast_ethernet().errors(ErrorModel::bit_errors(0.0002)),
     );
-    world.add_protocol(b, Binding::EtherType(EtherType::IPV4), Box::new(UdpSink::new(9)));
+    world.add_protocol(
+        b,
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(UdpSink::new(9)),
+    );
     let flooder = UdpFlooder::new(
         world.host_mac(b),
         world.host_ip(b),
@@ -383,7 +421,10 @@ fn corrupting_link_breaks_checksums() {
     world.add_protocol(a, Binding::EtherType(EtherType::IPV4), Box::new(flooder));
     world.run_for(SimDuration::from_secs(1));
     let corrupt = world.trace().of_kind(TraceKind::LinkCorrupt).count();
-    assert!(corrupt > 100, "expected many corruption events, got {corrupt}");
+    assert!(
+        corrupt > 100,
+        "expected many corruption events, got {corrupt}"
+    );
     let sink = world
         .protocol::<UdpSink>(b, vw_netsim::ProtocolId::from_index(0))
         .unwrap();
@@ -400,7 +441,11 @@ fn failed_host_is_deaf_and_mute() {
     world.set_host_failed(b, true);
     world.inject_from_stack(a, test_frame(world.host_mac(a), world.host_mac(b)));
     world.run_for(SimDuration::from_millis(1));
-    assert!(world.protocol::<Recorder>(b, rec).unwrap().frames.is_empty());
+    assert!(world
+        .protocol::<Recorder>(b, rec)
+        .unwrap()
+        .frames
+        .is_empty());
     world.set_host_failed(b, false);
     world.inject_from_stack(a, test_frame(world.host_mac(a), world.host_mac(b)));
     world.run_for(SimDuration::from_millis(1));
@@ -411,7 +456,11 @@ fn failed_host_is_deaf_and_mute() {
 fn stop_request_halts_the_run() {
     let mut world = World::new(13);
     let (a, b) = two_hosts_via_switch(&mut world);
-    world.add_protocol(b, Binding::EtherType(EtherType::IPV4), Box::new(UdpEcho::new(7)));
+    world.add_protocol(
+        b,
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(UdpEcho::new(7)),
+    );
     let pinger = UdpPinger::new(
         world.host_mac(b),
         world.host_ip(b),
@@ -435,7 +484,11 @@ fn identical_seeds_produce_identical_traces() {
     let run = |seed: u64| {
         let mut world = World::new(seed);
         let (a, b) = two_hosts_via_switch(&mut world);
-        world.add_protocol(b, Binding::EtherType(EtherType::IPV4), Box::new(UdpEcho::new(7)));
+        world.add_protocol(
+            b,
+            Binding::EtherType(EtherType::IPV4),
+            Box::new(UdpEcho::new(7)),
+        );
         let pinger = UdpPinger::new(
             world.host_mac(b),
             world.host_ip(b),
@@ -458,7 +511,11 @@ fn identical_seeds_produce_identical_traces() {
 fn unicast_udp_frame_builds_and_arrives_via_inject_from_wire() {
     let mut world = World::new(14);
     let a = world.add_host("a");
-    let rec = world.add_protocol(a, Binding::EtherType(EtherType::IPV4), Box::new(Recorder::default()));
+    let rec = world.add_protocol(
+        a,
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(Recorder::default()),
+    );
     let frame = UdpBuilder::new()
         .src_mac(MacAddr::from_index(77))
         .dst_mac(world.host_mac(a))

@@ -60,7 +60,7 @@ pub use error::ParseError;
 pub use ethernet::{EthernetBuilder, EthernetHeader, ETHERNET_HEADER_LEN};
 pub use ethertype::EtherType;
 pub use frame::Frame;
-pub use ipv4::{Ipv4Builder, Ipv4Header, IpProtocol, IPV4_HEADER_LEN};
+pub use ipv4::{IpProtocol, Ipv4Builder, Ipv4Header, IPV4_HEADER_LEN};
 pub use mac::MacAddr;
 pub use tcp::{TcpBuilder, TcpFlags, TcpHeader, TCP_HEADER_LEN};
 pub use udp::{UdpBuilder, UdpHeader, UDP_HEADER_LEN};

@@ -123,10 +123,7 @@ impl RetherNode {
     /// Panics if `mac` is not a member of `cfg.ring` or the ring is empty.
     pub fn new(cfg: RetherConfig, mac: MacAddr) -> Self {
         assert!(!cfg.ring.is_empty(), "ring must not be empty");
-        assert!(
-            cfg.ring.contains(&mac),
-            "this node must be a ring member"
-        );
+        assert!(cfg.ring.contains(&mac), "this node must be a ring member");
         let ring = cfg.ring.clone();
         RetherNode {
             cfg,
@@ -251,9 +248,7 @@ impl RetherNode {
             self.stats.stale_tokens_dropped += 1;
             return;
         }
-        if token.generation == self.generation
-            && !matches!(self.state, TokenState::Idle)
-        {
+        if token.generation == self.generation && !matches!(self.state, TokenState::Idle) {
             // Duplicate token of the current generation while we already
             // hold (or just passed) one: kill it.
             self.stats.stale_tokens_dropped += 1;

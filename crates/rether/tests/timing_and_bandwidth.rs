@@ -2,7 +2,9 @@
 //! reservation's effect on per-cycle delivery, and fairness between RT and
 //! best-effort traffic sharing the ring.
 
-use vw_netsim::{Binding, Context, DeviceId, HookId, LinkConfig, Protocol, SimDuration, SimTime, World};
+use vw_netsim::{
+    Binding, Context, DeviceId, HookId, LinkConfig, Protocol, SimDuration, SimTime, World,
+};
 use vw_packet::{EtherType, Frame, UdpBuilder};
 use vw_rether::{RetherConfig, RetherNode};
 
@@ -33,7 +35,9 @@ struct Ring {
 fn ring(seed: u64, n: u32, cfg_fn: impl Fn(usize, RetherConfig) -> RetherConfig) -> Ring {
     let mut world = World::new(seed);
     let hub = world.add_hub("bus", n as usize + 1);
-    let nodes: Vec<DeviceId> = (1..=n).map(|i| world.add_host(&format!("node{i}"))).collect();
+    let nodes: Vec<DeviceId> = (1..=n)
+        .map(|i| world.add_host(&format!("node{i}")))
+        .collect();
     let macs: Vec<_> = nodes.iter().map(|&id| world.host_mac(id)).collect();
     let mut hooks = Vec::new();
     for (i, &node) in nodes.iter().enumerate() {
@@ -41,7 +45,11 @@ fn ring(seed: u64, n: u32, cfg_fn: impl Fn(usize, RetherConfig) -> RetherConfig)
         let cfg = cfg_fn(i, RetherConfig::new(macs.clone()));
         hooks.push(world.add_hook(node, Box::new(RetherNode::new(cfg, macs[i]))));
     }
-    Ring { world, nodes, hooks }
+    Ring {
+        world,
+        nodes,
+        hooks,
+    }
 }
 
 fn udp_burst(world: &mut World, from: DeviceId, to: DeviceId, port: u16, frames: u32, len: usize) {
@@ -99,13 +107,19 @@ fn reservation_lets_a_backlog_drain_in_fewer_cycles() {
                 .unwrap()
                 .reserve_rt(reserve);
         }
-        let log = r
-            .world
-            .add_protocol(r.nodes[1], Binding::EtherType(EtherType::IPV4), Box::new(ArrivalLog::default()));
+        let log = r.world.add_protocol(
+            r.nodes[1],
+            Binding::EtherType(EtherType::IPV4),
+            Box::new(ArrivalLog::default()),
+        );
         let (n0, n1) = (r.nodes[0], r.nodes[1]);
         udp_burst(&mut r.world, n0, n1, 7, 20, 1000);
         r.world.run_for(SimDuration::from_secs(2));
-        let arrivals = &r.world.protocol::<ArrivalLog>(r.nodes[1], log).unwrap().arrivals;
+        let arrivals = &r
+            .world
+            .protocol::<ArrivalLog>(r.nodes[1], log)
+            .unwrap()
+            .arrivals;
         assert_eq!(arrivals.len(), 20, "everything must drain eventually");
         arrivals.iter().map(|(_, t)| *t).max().unwrap()
     };
@@ -143,19 +157,26 @@ fn queue_cap_drops_excess_besteffort_frames() {
 #[test]
 fn two_senders_share_the_ring_without_starvation() {
     let mut r = ring(4, 3, |_, cfg| cfg);
-    let log = r
-        .world
-        .add_protocol(r.nodes[2], Binding::EtherType(EtherType::IPV4), Box::new(ArrivalLog::default()));
+    let log = r.world.add_protocol(
+        r.nodes[2],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(ArrivalLog::default()),
+    );
     let (n0, n1, n2) = (r.nodes[0], r.nodes[1], r.nodes[2]);
     // Steady streams from node1 and node2 toward node3 on distinct ports.
     for round in 0..10 {
         udp_burst(&mut r.world, n0, n2, 100, 4, 800);
         udp_burst(&mut r.world, n1, n2, 200, 4, 800);
-        r.world.run_for(SimDuration::from_millis(20 * (round + 1) / (round + 1)));
+        r.world
+            .run_for(SimDuration::from_millis(20 * (round + 1) / (round + 1)));
         r.world.run_for(SimDuration::from_millis(20));
     }
     r.world.run_for(SimDuration::from_secs(1));
-    let arrivals = &r.world.protocol::<ArrivalLog>(r.nodes[2], log).unwrap().arrivals;
+    let arrivals = &r
+        .world
+        .protocol::<ArrivalLog>(r.nodes[2], log)
+        .unwrap()
+        .arrivals;
     let from_a = arrivals.iter().filter(|(p, _)| *p == 100).count();
     let from_b = arrivals.iter().filter(|(p, _)| *p == 200).count();
     assert_eq!(from_a, 40, "sender A fully served");

@@ -55,7 +55,10 @@ fn token_circulates_fairly() {
     assert!(counts.iter().all(|&c| c > 50), "token starved: {counts:?}");
     let min = counts.iter().min().unwrap();
     let max = counts.iter().max().unwrap();
-    assert!(max - min <= 1, "rotation must be fair round-robin: {counts:?}");
+    assert!(
+        max - min <= 1,
+        "rotation must be fair round-robin: {counts:?}"
+    );
     // No failures ⇒ no retransmissions, reconstructions, or regenerations.
     for i in 0..4 {
         let s = stats(&ring, i);
@@ -100,9 +103,11 @@ fn data_waits_for_the_token() {
     let mut ring = build_ring(3, 4);
     let src = ring.nodes[1];
     let dst = ring.nodes[3];
-    let counter = ring
-        .world
-        .add_protocol(dst, Binding::EtherType(EtherType::IPV4), Box::new(UdpCounter::default()));
+    let counter = ring.world.add_protocol(
+        dst,
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(UdpCounter::default()),
+    );
     // Queue data while node1 does NOT hold the token (the token starts at
     // node0 and the injection happens at t=0).
     let frame = UdpBuilder::new()
@@ -124,13 +129,19 @@ fn data_waits_for_the_token() {
         .queued();
     assert_eq!(queued, 1, "data must wait for the token");
     assert_eq!(
-        ring.world.protocol::<UdpCounter>(dst, counter).unwrap().frames,
+        ring.world
+            .protocol::<UdpCounter>(dst, counter)
+            .unwrap()
+            .frames,
         0
     );
     // After a rotation it flows.
     ring.world.run_for(SimDuration::from_millis(50));
     assert_eq!(
-        ring.world.protocol::<UdpCounter>(dst, counter).unwrap().frames,
+        ring.world
+            .protocol::<UdpCounter>(dst, counter)
+            .unwrap()
+            .frames,
         1
     );
 }
@@ -162,11 +173,20 @@ fn single_node_failure_detected_after_exactly_three_sends() {
         assert_eq!(view.ring().len(), 3, "node{} ring view", i + 1);
     }
     // And the token still circulates among survivors.
-    let counts_before: Vec<u64> = [0usize, 1, 3].iter().map(|&i| stats(&ring, i).tokens_received).collect();
+    let counts_before: Vec<u64> = [0usize, 1, 3]
+        .iter()
+        .map(|&i| stats(&ring, i).tokens_received)
+        .collect();
     ring.world.run_for(SimDuration::from_millis(300));
-    let counts_after: Vec<u64> = [0usize, 1, 3].iter().map(|&i| stats(&ring, i).tokens_received).collect();
+    let counts_after: Vec<u64> = [0usize, 1, 3]
+        .iter()
+        .map(|&i| stats(&ring, i).tokens_received)
+        .collect();
     for (b, a) in counts_before.iter().zip(&counts_after) {
-        assert!(a > b, "survivors keep rotating: {counts_before:?} -> {counts_after:?}");
+        assert!(
+            a > b,
+            "survivors keep rotating: {counts_before:?} -> {counts_after:?}"
+        );
     }
 }
 
@@ -198,7 +218,10 @@ fn lost_token_is_regenerated() {
     ring.world.set_host_failed(ring.nodes[0], true);
     ring.world.set_host_failed(ring.nodes[1], true);
     ring.world.run_for(SimDuration::from_secs(4));
-    let regens: u64 = [2usize, 3].iter().map(|&i| stats(&ring, i).regenerations).sum();
+    let regens: u64 = [2usize, 3]
+        .iter()
+        .map(|&i| stats(&ring, i).regenerations)
+        .sum();
     assert!(regens >= 1, "someone must regenerate the token");
     // Survivors circulate again.
     let a = stats(&ring, 2).tokens_received;
@@ -276,7 +299,10 @@ fn rt_reservation_increases_per_hold_budget() {
     }
     ring.world.run_for(SimDuration::from_secs(1));
     let s = stats(&ring, 0);
-    assert_eq!(s.data_frames_released, 40, "reservation lets everything out");
+    assert_eq!(
+        s.data_frames_released, 40,
+        "reservation lets everything out"
+    );
     assert_eq!(s.queue_drops, 0);
     assert_eq!(s.reconstructions, 0, "the ring must survive the burst");
 }
@@ -286,7 +312,9 @@ fn deterministic_rotation() {
     let run = |seed| {
         let mut ring = build_ring(seed, 4);
         ring.world.run_for(SimDuration::from_secs(1));
-        (0..4).map(|i| stats(&ring, i).tokens_received).collect::<Vec<_>>()
+        (0..4)
+            .map(|i| stats(&ring, i).tokens_received)
+            .collect::<Vec<_>>()
     };
     assert_eq!(run(42), run(42));
 }

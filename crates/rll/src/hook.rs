@@ -5,8 +5,8 @@ use std::collections::HashMap;
 use vw_netsim::{Context, Hook, SimDuration, TimerId, Verdict};
 use vw_packet::{Frame, MacAddr};
 
-use crate::wire::{self, RllOpcode};
 use crate::window::{ReceiverWindow, RecvAction, SendAction, SenderWindow};
+use crate::wire::{self, RllOpcode};
 
 /// Configuration for a [`RllHook`].
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -204,8 +204,14 @@ mod tests {
     #[test]
     fn offers_fill_window_then_backlog() {
         let mut s = SenderWindow::new(2);
-        assert!(matches!(s.offer(frame(0)), SendAction::Transmit { seq: 0, .. }));
-        assert!(matches!(s.offer(frame(1)), SendAction::Transmit { seq: 1, .. }));
+        assert!(matches!(
+            s.offer(frame(0)),
+            SendAction::Transmit { seq: 0, .. }
+        ));
+        assert!(matches!(
+            s.offer(frame(1)),
+            SendAction::Transmit { seq: 1, .. }
+        ));
         assert_eq!(s.offer(frame(2)), SendAction::Nothing);
         assert_eq!(s.in_flight_len(), 2);
         assert_eq!(s.backlog_len(), 1);
@@ -243,7 +249,10 @@ mod tests {
         s.offer(frame(1));
         s.offer(frame(2));
         let rt = s.on_timeout();
-        assert_eq!(rt.iter().map(|(q, _)| *q).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            rt.iter().map(|(q, _)| *q).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
         assert_eq!(s.retries(), 1);
         s.on_timeout();
         assert_eq!(s.retries(), 2);
@@ -261,7 +270,10 @@ mod tests {
         assert_eq!(s.reset(), 3);
         assert!(s.is_idle());
         // Sequence numbering continues from where it was.
-        assert!(matches!(s.offer(frame(3)), SendAction::Transmit { seq: 2, .. }));
+        assert!(matches!(
+            s.offer(frame(3)),
+            SendAction::Transmit { seq: 2, .. }
+        ));
     }
 
     #[test]
@@ -307,7 +319,7 @@ mod tests {
                 }
                 // Channel: deliver or lose the head-of-line data frame.
                 if let Some((seq, _frame)) = wire.pop_front() {
-                    if rng.random_range(0..100) >= loss_pct {
+                    if rng.random_range(0..100u32) >= loss_pct {
                         match receiver.on_data(seq) {
                             RecvAction::Deliver { ack } => {
                                 delivered.push(seq as u8);
@@ -319,7 +331,7 @@ mod tests {
                 }
                 // Ack channel: also lossy.
                 if let Some(ack) = acks.pop_front() {
-                    if rng.random_range(0..100) >= loss_pct {
+                    if rng.random_range(0..100u32) >= loss_pct {
                         for (seq, f) in sender.on_ack(ack) {
                             wire.push_back((seq, f));
                         }

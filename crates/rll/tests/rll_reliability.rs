@@ -208,8 +208,15 @@ fn stats_account_for_duplicates() {
     }
     world.run_for(SimDuration::from_secs(5));
     let tags = &world.protocol::<TagRecorder>(b, rec).unwrap().tags;
-    assert_eq!(*tags, (0..20).collect::<Vec<u8>>(), "no dup ever delivered up");
+    assert_eq!(
+        *tags,
+        (0..20).collect::<Vec<u8>>(),
+        "no dup ever delivered up"
+    );
     let stats = world.hook::<RllHook>(b, hb).unwrap().stats();
-    assert!(stats.discarded > 0, "ack loss must cause discarded duplicates");
+    assert!(
+        stats.discarded > 0,
+        "ack loss must cause discarded duplicates"
+    );
     assert_eq!(stats.delivered, 20);
 }

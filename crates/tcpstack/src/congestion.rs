@@ -332,7 +332,8 @@ mod tests {
 
     #[test]
     fn rto_initial_and_backoff() {
-        let mut rto = RtoEstimator::new(SimDuration::from_millis(200), SimDuration::from_millis(50));
+        let mut rto =
+            RtoEstimator::new(SimDuration::from_millis(200), SimDuration::from_millis(50));
         assert_eq!(rto.rto(), SimDuration::from_millis(200));
         rto.on_timeout();
         assert_eq!(rto.rto(), SimDuration::from_millis(400));
@@ -344,7 +345,8 @@ mod tests {
 
     #[test]
     fn rto_tracks_samples() {
-        let mut rto = RtoEstimator::new(SimDuration::from_millis(200), SimDuration::from_millis(10));
+        let mut rto =
+            RtoEstimator::new(SimDuration::from_millis(200), SimDuration::from_millis(10));
         rto.sample(SimDuration::from_millis(20));
         // First sample: SRTT = 20ms, RTTVAR = 10ms, RTO = 20 + 40 = 60ms.
         assert_eq!(rto.srtt(), Some(SimDuration::from_millis(20)));

@@ -171,12 +171,7 @@ impl TcpSocket {
     /// Creates a client socket and queues the initial SYN.
     pub fn connect(cfg: TcpConfig, local: Endpoint, remote: Endpoint) -> Self {
         let mut sock = Self::new(cfg, local, remote, TcpState::SynSent);
-        sock.emit(
-            sock.iss,
-            sock.rcv_nxt,
-            TcpFlags::SYN,
-            &[],
-        );
+        sock.emit(sock.iss, sock.rcv_nxt, TcpFlags::SYN, &[]);
         sock
     }
 
@@ -185,12 +180,7 @@ impl TcpSocket {
     pub fn accept(cfg: TcpConfig, local: Endpoint, remote: Endpoint, peer_seq: u32) -> Self {
         let mut sock = Self::new(cfg, local, remote, TcpState::SynRcvd);
         sock.rcv_nxt = peer_seq.wrapping_add(1);
-        sock.emit(
-            sock.iss,
-            sock.rcv_nxt,
-            TcpFlags::SYN | TcpFlags::ACK,
-            &[],
-        );
+        sock.emit(sock.iss, sock.rcv_nxt, TcpFlags::SYN | TcpFlags::ACK, &[]);
         sock
     }
 
@@ -392,13 +382,7 @@ impl TcpSocket {
                 if len == 0 {
                     break;
                 }
-                let payload: Vec<u8> = self
-                    .send_buf
-                    .iter()
-                    .skip(sent)
-                    .take(len)
-                    .copied()
-                    .collect();
+                let payload: Vec<u8> = self.send_buf.iter().skip(sent).take(len).copied().collect();
                 let seq = self.snd_nxt;
                 self.emit(seq, self.rcv_nxt, TcpFlags::ACK | TcpFlags::PSH, &payload);
                 self.stats.data_segments_sent += 1;
@@ -669,7 +653,12 @@ impl TcpSocket {
             .take(len)
             .copied()
             .collect();
-        self.emit(self.snd_una, self.rcv_nxt, TcpFlags::ACK | TcpFlags::PSH, &payload);
+        self.emit(
+            self.snd_una,
+            self.rcv_nxt,
+            TcpFlags::ACK | TcpFlags::PSH,
+            &payload,
+        );
     }
 }
 

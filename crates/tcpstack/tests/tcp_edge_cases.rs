@@ -14,7 +14,13 @@ struct Bed {
     h: SocketHandle,
 }
 
-fn bed(seed: u64, link: LinkConfig, client_cfg: TcpConfig, server_cfg: TcpConfig, data: &[u8]) -> Bed {
+fn bed(
+    seed: u64,
+    link: LinkConfig,
+    client_cfg: TcpConfig,
+    server_cfg: TcpConfig,
+    data: &[u8],
+) -> Bed {
     let mut world = World::new(seed);
     let a = world.add_host("client");
     let b = world.add_host("server");
@@ -115,7 +121,13 @@ impl Hook for SegmentDropper {
 #[test]
 fn fast_retransmit_recovers_single_loss_quickly() {
     let data = vec![7u8; 60_000];
-    let mut tb = bed(4, LinkConfig::fast_ethernet(), TcpConfig::default(), TcpConfig::default(), &data);
+    let mut tb = bed(
+        4,
+        LinkConfig::fast_ethernet(),
+        TcpConfig::default(),
+        TcpConfig::default(),
+        &data,
+    );
     // Drop exactly the 12th data segment (by then the window is wide
     // enough for 3 dup acks to arrive).
     tb.world.add_hook(
@@ -128,7 +140,9 @@ fn fast_retransmit_recovers_single_loss_quickly() {
     tb.world.run_for(SimDuration::from_secs(3));
     let server = tb.world.protocol_mut::<TcpStack>(tb.b, tb.sid).unwrap();
     assert_eq!(
-        server.socket_mut(SocketHandle::from_index(0)).take_received(),
+        server
+            .socket_mut(SocketHandle::from_index(0))
+            .take_received(),
         data
     );
     let client = tb.world.protocol::<TcpStack>(tb.a, tb.cid).unwrap();
@@ -140,7 +154,13 @@ fn fast_retransmit_recovers_single_loss_quickly() {
 #[test]
 fn burst_loss_falls_back_to_rto() {
     let data = vec![5u8; 40_000];
-    let mut tb = bed(5, LinkConfig::fast_ethernet(), TcpConfig::default(), TcpConfig::default(), &data);
+    let mut tb = bed(
+        5,
+        LinkConfig::fast_ethernet(),
+        TcpConfig::default(),
+        TcpConfig::default(),
+        &data,
+    );
     // Drop segments 5..=12: too much loss for fast recovery alone.
     tb.world.add_hook(
         tb.a,
@@ -152,11 +172,16 @@ fn burst_loss_falls_back_to_rto() {
     tb.world.run_for(SimDuration::from_secs(10));
     let server = tb.world.protocol_mut::<TcpStack>(tb.b, tb.sid).unwrap();
     assert_eq!(
-        server.socket_mut(SocketHandle::from_index(0)).take_received(),
+        server
+            .socket_mut(SocketHandle::from_index(0))
+            .take_received(),
         data
     );
     let client = tb.world.protocol::<TcpStack>(tb.a, tb.cid).unwrap();
-    assert!(client.socket(tb.h).stats().timeouts >= 1, "RTO path exercised");
+    assert!(
+        client.socket(tb.h).stats().timeouts >= 1,
+        "RTO path exercised"
+    );
 }
 
 #[test]
@@ -170,7 +195,9 @@ fn rto_adapts_to_path_latency() {
     tb.world.run_for(SimDuration::from_secs(20));
     let server = tb.world.protocol_mut::<TcpStack>(tb.b, tb.sid).unwrap();
     assert_eq!(
-        server.socket_mut(SocketHandle::from_index(0)).take_received(),
+        server
+            .socket_mut(SocketHandle::from_index(0))
+            .take_received(),
         data
     );
     let client = tb.world.protocol::<TcpStack>(tb.a, tb.cid).unwrap();
@@ -183,20 +210,24 @@ fn rto_adapts_to_path_latency() {
 
 #[test]
 fn full_close_reaches_time_wait_and_closed() {
-    let mut tb = bed(7, LinkConfig::fast_ethernet(), TcpConfig::default(), TcpConfig::default(), b"x");
+    let mut tb = bed(
+        7,
+        LinkConfig::fast_ethernet(),
+        TcpConfig::default(),
+        TcpConfig::default(),
+        b"x",
+    );
     tb.world.run_for(SimDuration::from_millis(50));
     {
         let client = tb.world.protocol_mut::<TcpStack>(tb.a, tb.cid).unwrap();
         client.close(tb.h);
-        tb.world
-            .poke(tb.a, vw_netsim::HandlerRef::Protocol(tb.cid));
+        tb.world.poke(tb.a, vw_netsim::HandlerRef::Protocol(tb.cid));
     }
     tb.world.run_for(SimDuration::from_millis(50));
     {
         let server = tb.world.protocol_mut::<TcpStack>(tb.b, tb.sid).unwrap();
         server.close(SocketHandle::from_index(0));
-        tb.world
-            .poke(tb.b, vw_netsim::HandlerRef::Protocol(tb.sid));
+        tb.world.poke(tb.b, vw_netsim::HandlerRef::Protocol(tb.sid));
     }
     tb.world.run_for(SimDuration::from_secs(2));
     let client = tb.world.protocol::<TcpStack>(tb.a, tb.cid).unwrap();
@@ -212,7 +243,9 @@ fn full_close_reaches_time_wait_and_closed() {
 #[test]
 fn transfer_integrity_under_random_loss_many_seeds() {
     for seed in 10..16 {
-        let data: Vec<u8> = (0..30_000u32).map(|i| (i * 31 + seed as u32) as u8).collect();
+        let data: Vec<u8> = (0..30_000u32)
+            .map(|i| (i * 31 + seed as u32) as u8)
+            .collect();
         let mut tb = bed(
             seed,
             LinkConfig::fast_ethernet().errors(ErrorModel::lossy(0.08)),
@@ -223,7 +256,9 @@ fn transfer_integrity_under_random_loss_many_seeds() {
         tb.world.run_for(SimDuration::from_secs(30));
         let server = tb.world.protocol_mut::<TcpStack>(tb.b, tb.sid).unwrap();
         assert_eq!(
-            server.socket_mut(SocketHandle::from_index(0)).take_received(),
+            server
+                .socket_mut(SocketHandle::from_index(0))
+                .take_received(),
             data,
             "seed {seed}: bytes must arrive intact and in order"
         );

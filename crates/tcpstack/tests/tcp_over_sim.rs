@@ -78,7 +78,11 @@ fn bulk_transfer_over_clean_lan() {
     let sock = client.socket(tb.handle);
     assert_eq!(sock.state(), TcpState::Established);
     assert!(sock.send_complete());
-    assert_eq!(sock.stats().retransmissions, 0, "clean LAN needs no rexmits");
+    assert_eq!(
+        sock.stats().retransmissions,
+        0,
+        "clean LAN needs no rexmits"
+    );
 }
 
 #[test]
@@ -112,7 +116,11 @@ fn transfer_survives_bit_corruption() {
         &data,
     );
     tb.world.run_for(SimDuration::from_secs(30));
-    assert_eq!(received(&mut tb), data, "checksums + rexmit beat corruption");
+    assert_eq!(
+        received(&mut tb),
+        data,
+        "checksums + rexmit beat corruption"
+    );
 }
 
 #[test]
@@ -168,8 +176,7 @@ fn rate_limited_source_throttles_goodput() {
         client.attach_source(tb.handle, 10_000_000, 1_000_000); // 10 Mb/s, 1 MB
         let node = tb.client_node;
         let id = tb.client_id;
-        tb.world
-            .poke(node, vw_netsim::HandlerRef::Protocol(id));
+        tb.world.poke(node, vw_netsim::HandlerRef::Protocol(id));
     }
     tb.world.run_for(SimDuration::from_secs(3));
     let server = tb
@@ -273,7 +280,10 @@ fn two_concurrent_connections_demux_correctly() {
         .map(|h| server.socket_mut(h).take_received())
         .collect();
     got.sort();
-    assert_eq!(got, vec![b"first connection".to_vec(), b"second connection".to_vec()]);
+    assert_eq!(
+        got,
+        vec![b"first connection".to_vec(), b"second connection".to_vec()]
+    );
 }
 
 #[test]

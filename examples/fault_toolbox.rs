@@ -54,7 +54,11 @@ fn run_one(name: &str, rules: &str) -> Result<(), Box<dyn std::error::Error>> {
         200,
         20 * 200,
     );
-    world.add_protocol(nodes[0], Binding::EtherType(EtherType::IPV4), Box::new(flooder));
+    world.add_protocol(
+        nodes[0],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(flooder),
+    );
     let report = runner.run(&mut world, SimDuration::from_secs(2));
     let s = runner.engine(&world, "node1").unwrap().stats();
     let delivered = world.protocol::<UdpSink>(nodes[1], sink).unwrap().frames();
@@ -77,7 +81,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Drop_Window",
         "((Sent > 5) && (Sent <= 10)) >> DROP(udp_data, node1, node2, SEND);",
     )?;
-    run_one("Dup_Every_Fifth", "((Sent = 5)) >> DUP(udp_data, node1, node2, SEND);")?;
+    run_one(
+        "Dup_Every_Fifth",
+        "((Sent = 5)) >> DUP(udp_data, node1, node2, SEND);",
+    )?;
     run_one(
         "Delay_Batch",
         "((Sent <= 3)) >> DELAY(udp_data, node1, node2, SEND, 40msec);",
@@ -94,7 +101,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Rewrite_Bytes",
         "((Sent = 1)) >> MODIFY(udp_data, node1, node2, SEND, (42 2 0xBEEF));",
     )?;
-    run_one("Flag_On_Tenth", "((Sent = 10)) >> FLAG_ERR \"ten datagrams seen\";")?;
+    run_one(
+        "Flag_On_Tenth",
+        "((Sent = 10)) >> FLAG_ERR \"ten datagrams seen\";",
+    )?;
     println!(
         "\n(MODIFY leaves checksums to the user, as the paper specifies — the \
          checksum-verifying sink discards corrupted datagrams.)"

@@ -68,7 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         200,       // 200-byte datagrams
         1_000_000,
     );
-    world.add_protocol(nodes[0], Binding::EtherType(EtherType::IPV4), Box::new(flooder));
+    world.add_protocol(
+        nodes[0],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(flooder),
+    );
 
     // 5. Run and report.
     let report = runner.run(&mut world, SimDuration::from_secs(2));

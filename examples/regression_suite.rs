@@ -96,7 +96,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             200,
             30 * 200,
         );
-        world.add_protocol(nodes[0], Binding::EtherType(EtherType::IPV4), Box::new(flooder));
+        world.add_protocol(
+            nodes[0],
+            Binding::EtherType(EtherType::IPV4),
+            Box::new(flooder),
+        );
         (world, runner)
     });
 

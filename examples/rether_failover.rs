@@ -59,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tcp_cfg = TcpConfig::default();
     let mut server = TcpStack::new(world.host_mac(nodes[3]), world.host_ip(nodes[3]));
     server.listen(0x4000, tcp_cfg);
-    world.add_protocol(nodes[3], Binding::EtherType(EtherType::IPV4), Box::new(server));
+    world.add_protocol(
+        nodes[3],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(server),
+    );
     let mut client = TcpStack::new(world.host_mac(nodes[0]), world.host_ip(nodes[0]));
     let handle = client.connect(
         tcp_cfg,
@@ -71,16 +75,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     );
     client.attach_source(handle, 2_000_000, 10_000_000);
-    world.add_protocol(nodes[0], Binding::EtherType(EtherType::IPV4), Box::new(client));
+    world.add_protocol(
+        nodes[0],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(client),
+    );
 
     let report = runner.run(&mut world, SimDuration::from_secs(60));
     print!("{}", report.render());
 
     println!();
     for (i, name) in ["node1", "node2", "node3", "node4"].iter().enumerate() {
-        let rether = world
-            .hook::<RetherNode>(nodes[i], rether_hooks[i])
-            .unwrap();
+        let rether = world.hook::<RetherNode>(nodes[i], rether_hooks[i]).unwrap();
         let engine = runner.engine(&world, name).unwrap();
         println!(
             "{name}: ring_view={} tokens_rx={} token_rexmit={} reconstructions={} {}",
@@ -88,7 +94,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             rether.stats().tokens_received,
             rether.stats().token_retransmissions,
             rether.stats().reconstructions,
-            if engine.is_blackholed() { "[CRASHED by FAIL]" } else { "" }
+            if engine.is_blackholed() {
+                "[CRASHED by FAIL]"
+            } else {
+                ""
+            }
         );
     }
     println!(

@@ -45,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let mut server = TcpStack::new(world.host_mac(nodes[1]), world.host_ip(nodes[1]));
     server.listen(0x4000, tcp_cfg);
-    world.add_protocol(nodes[1], Binding::EtherType(EtherType::IPV4), Box::new(server));
+    world.add_protocol(
+        nodes[1],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(server),
+    );
 
     let mut client = TcpStack::new(world.host_mac(nodes[0]), world.host_ip(nodes[0]));
     let handle = client.connect(
@@ -58,8 +62,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     );
     client.send(handle, &vec![0x42u8; 80_000]);
-    let client_id =
-        world.add_protocol(nodes[0], Binding::EtherType(EtherType::IPV4), Box::new(client));
+    let client_id = world.add_protocol(
+        nodes[0],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(client),
+    );
 
     let report = runner.run(&mut world, SimDuration::from_secs(10));
     print!("{}", report.render());

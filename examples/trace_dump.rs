@@ -61,7 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         120,
         20 * 120,
     );
-    world.add_protocol(nodes[0], Binding::EtherType(EtherType::IPV4), Box::new(flooder));
+    world.add_protocol(
+        nodes[0],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(flooder),
+    );
     let report = runner.run(&mut world, SimDuration::from_secs(1));
 
     println!("=== packet trace (UDP data + fault events only) ===");

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, lint, format. No network access required —
+# all third-party dependencies are vendored under vendor/ as path deps.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q --workspace --no-fail-fast
+
+echo "==> cargo clippy"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "CI OK"

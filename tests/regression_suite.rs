@@ -59,7 +59,11 @@ fn setup(tables: &vw_fsl::TableSet) -> (World, Runner) {
         200,
         15 * 200,
     );
-    world.add_protocol(nodes[0], Binding::EtherType(EtherType::IPV4), Box::new(flooder));
+    world.add_protocol(
+        nodes[0],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(flooder),
+    );
     (world, runner)
 }
 

@@ -58,7 +58,11 @@ fn testbed(seed: u64, token_send_limit: u32) -> Testbed {
     let tcp_cfg = TcpConfig::default();
     let mut server = TcpStack::new(world.host_mac(nodes[3]), world.host_ip(nodes[3]));
     server.listen(0x4000, tcp_cfg);
-    world.add_protocol(nodes[3], Binding::EtherType(EtherType::IPV4), Box::new(server));
+    world.add_protocol(
+        nodes[3],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(server),
+    );
     let mut client = TcpStack::new(world.host_mac(nodes[0]), world.host_ip(nodes[0]));
     let handle = client.connect(
         tcp_cfg,
@@ -70,7 +74,11 @@ fn testbed(seed: u64, token_send_limit: u32) -> Testbed {
         },
     );
     client.attach_source(handle, 2_000_000, 10_000_000);
-    let client_id = world.add_protocol(nodes[0], Binding::EtherType(EtherType::IPV4), Box::new(client));
+    let client_id = world.add_protocol(
+        nodes[0],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(client),
+    );
 
     Testbed {
         world,
@@ -98,7 +106,11 @@ fn single_node_failure_is_detected_and_the_ring_recovers() {
     assert_eq!(report.counter("TokensFrom2"), Some(3));
 
     // node3 really was crashed by the remote FAIL action.
-    assert!(tb.runner.engine(&tb.world, "node3").unwrap().is_blackholed());
+    assert!(tb
+        .runner
+        .engine(&tb.world, "node3")
+        .unwrap()
+        .is_blackholed());
 
     // Survivors reconstructed the ring without node3.
     for i in [0usize, 1, 3] {
@@ -119,7 +131,11 @@ fn single_node_failure_is_detected_and_the_ring_recovers() {
         .hook::<RetherNode>(tb.nodes[1], tb.rether_hooks[1])
         .unwrap();
     assert_eq!(node2.stats().reconstructions, 1);
-    assert_eq!(node2.stats().token_retransmissions, 2, "3 sends = 1 + 2 retries");
+    assert_eq!(
+        node2.stats().token_retransmissions,
+        2,
+        "3 sends = 1 + 2 retries"
+    );
 
     // More than 100 real-time TCP data packets were delivered before the
     // fault was even armed.

@@ -47,7 +47,11 @@ fn testbed(seed: u64, buggy: bool) -> Testbed {
     };
     let mut server = TcpStack::new(world.host_mac(nodes[1]), world.host_ip(nodes[1]));
     server.listen(0x4000, tcp_cfg);
-    world.add_protocol(nodes[1], Binding::EtherType(EtherType::IPV4), Box::new(server));
+    world.add_protocol(
+        nodes[1],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(server),
+    );
 
     let mut client = TcpStack::new(world.host_mac(nodes[0]), world.host_ip(nodes[0]));
     let handle = client.connect(
@@ -60,7 +64,11 @@ fn testbed(seed: u64, buggy: bool) -> Testbed {
         },
     );
     client.send(handle, &vec![0x42u8; 80_000]); // 80 segments of work
-    let client_id = world.add_protocol(nodes[0], Binding::EtherType(EtherType::IPV4), Box::new(client));
+    let client_id = world.add_protocol(
+        nodes[0],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(client),
+    );
 
     Testbed {
         world,
@@ -171,7 +179,11 @@ fn without_the_fault_the_scenario_script_detects_the_mismatch() {
     let cfg = TcpConfig::default();
     let mut server = TcpStack::new(world.host_mac(nodes[1]), world.host_ip(nodes[1]));
     server.listen(0x4000, cfg);
-    world.add_protocol(nodes[1], Binding::EtherType(EtherType::IPV4), Box::new(server));
+    world.add_protocol(
+        nodes[1],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(server),
+    );
     let mut client = TcpStack::new(world.host_mac(nodes[0]), world.host_ip(nodes[0]));
     let h = client.connect(
         cfg,
@@ -183,9 +195,17 @@ fn without_the_fault_the_scenario_script_detects_the_mismatch() {
         },
     );
     client.send(h, &vec![1u8; 80_000]);
-    let cid = world.add_protocol(nodes[0], Binding::EtherType(EtherType::IPV4), Box::new(client));
+    let cid = world.add_protocol(
+        nodes[0],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(client),
+    );
     let report = runner.run(&mut world, SimDuration::from_secs(10));
-    assert_eq!(report.counter("SYNACK"), Some(1), "no retransmission needed");
+    assert_eq!(
+        report.counter("SYNACK"),
+        Some(1),
+        "no retransmission needed"
+    );
     let client = world.protocol::<TcpStack>(nodes[0], cid).unwrap();
     assert_eq!(client.socket(h).stats().timeouts, 0);
     assert_eq!(client.socket(h).cc_phase(), CcPhase::SlowStart);

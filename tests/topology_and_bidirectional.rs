@@ -55,16 +55,17 @@ fn bidirectional_tcp_through_armed_engines() {
     );
     let fwd_data: Vec<u8> = (0..40_000u32).map(|i| i as u8).collect();
     stack1.send(fwd, &fwd_data);
-    let id1 = world.add_protocol(nodes[0], Binding::EtherType(EtherType::IPV4), Box::new(stack1));
+    let id1 = world.add_protocol(
+        nodes[0],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(stack1),
+    );
 
     // node2: server on 0x4000, client from 0x5000 → node1:0x3000.
     let mut stack2 = TcpStack::new(world.host_mac(nodes[1]), world.host_ip(nodes[1]));
     stack2.listen(0x4000, cfg);
     let rev = stack2.connect(
-        TcpConfig {
-            iss: 77_000,
-            ..cfg
-        },
+        TcpConfig { iss: 77_000, ..cfg },
         0x5000,
         Endpoint {
             mac: world.host_mac(nodes[0]),
@@ -74,7 +75,11 @@ fn bidirectional_tcp_through_armed_engines() {
     );
     let rev_data: Vec<u8> = (0..40_000u32).map(|i| (i * 3) as u8).collect();
     stack2.send(rev, &rev_data);
-    let id2 = world.add_protocol(nodes[1], Binding::EtherType(EtherType::IPV4), Box::new(stack2));
+    let id2 = world.add_protocol(
+        nodes[1],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(stack2),
+    );
 
     let report = runner.run(&mut world, SimDuration::from_secs(10));
     assert!(report.passed());

@@ -1,0 +1,232 @@
+//! Offline stand-in for the parts of `criterion` 0.8 this workspace uses.
+//!
+//! The build container has no registry access, so this crate provides a
+//! compatible wall-clock micro-benchmark runner: `Criterion` with
+//! `sample_size` / `measurement_time` / `warm_up_time`, `bench_function`,
+//! `benchmark_group` + `bench_with_input`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros (both forms).
+//!
+//! No statistical analysis, plots, or baseline comparison: each benchmark
+//! warms up, then collects `sample_size` timed samples and prints the
+//! median, minimum, and mean time per iteration.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver and configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the total time budget for the timed samples.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up time before sampling starts.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one benchmark under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, id, |b| f(b));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Hook called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named set of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.label);
+        run_one(self.criterion, &full, |b| f(b, input));
+        self
+    }
+
+    /// Runs one unparameterized benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &full, |b| f(b));
+        self
+    }
+
+    /// Ends the group (a no-op here; analysis is per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function label plus a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; `iter` times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the iteration count chosen by the runner.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Runs warm-up, picks an iteration count, collects samples, prints stats.
+fn run_one<F: FnMut(&mut Bencher)>(config: &Criterion, id: &str, mut f: F) {
+    // Warm-up: also discovers roughly how long one iteration takes.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    let mut batch = 1u64;
+    while warm_start.elapsed() < config.warm_up_time {
+        let mut b = Bencher {
+            iters: batch,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        warm_iters += batch;
+        batch = (batch * 2).min(1 << 20);
+    }
+    let per_iter_est = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+
+    // Size each sample so all samples fit the measurement budget.
+    let budget_per_sample =
+        config.measurement_time.as_nanos() / config.sample_size.max(1) as u128;
+    let iters = (budget_per_sample / per_iter_est.max(1)).clamp(1, 1 << 32) as u64;
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let min = samples_ns[0];
+    let median = samples_ns[samples_ns.len() / 2];
+    let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    println!(
+        "{id:<48} median {} (min {}, mean {}, {} samples x {iters} iters)",
+        fmt_ns(median),
+        fmt_ns(min),
+        fmt_ns(mean),
+        samples_ns.len(),
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, fn, ...)` or
+/// the long form with `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

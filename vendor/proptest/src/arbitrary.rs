@@ -1,0 +1,91 @@
+//! `any::<T>()` — default strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::{TestCaseError, TestRng};
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy covering the whole domain.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (full domain for primitives).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-domain strategy for one primitive type.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyPrimitive<T>(std::marker::PhantomData<fn() -> T>);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, TestCaseError> {
+                Ok(rng.next_u64() as $t)
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyPrimitive<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<bool, TestCaseError> {
+        Ok(rng.next_u64() & 1 == 1)
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrimitive<bool>;
+
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive(std::marker::PhantomData)
+    }
+}
+
+impl Strategy for AnyPrimitive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<f64, TestCaseError> {
+        Ok(rng.unit_f64())
+    }
+}
+
+impl Arbitrary for f64 {
+    type Strategy = AnyPrimitive<f64>;
+
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive(std::marker::PhantomData)
+    }
+}
+
+impl Strategy for AnyPrimitive<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<f32, TestCaseError> {
+        Ok(rng.unit_f64() as f32)
+    }
+}
+
+impl Arbitrary for f32 {
+    type Strategy = AnyPrimitive<f32>;
+
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive(std::marker::PhantomData)
+    }
+}

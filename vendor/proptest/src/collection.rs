@@ -1,0 +1,51 @@
+//! `collection::vec` — variable- and fixed-length vector strategies.
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::{TestCaseError, TestRng};
+
+/// Sizes accepted by [`vec`]: a fixed `usize` or a `Range<usize>`.
+pub trait SizeRange {
+    /// Draws a length from the size specification.
+    fn sample_len(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample_len(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "cannot sample empty size range");
+        let span = (self.end - self.start) as u64;
+        self.start + rng.below(span) as usize
+    }
+}
+
+/// A strategy producing `Vec`s of `element` values with a size drawn
+/// from `size` for each case.
+pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S, Z> {
+    element: S,
+    size: Z,
+}
+
+impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<Vec<S::Value>, TestCaseError> {
+        let len = self.size.sample_len(rng);
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.element.generate(rng)?);
+        }
+        Ok(out)
+    }
+}

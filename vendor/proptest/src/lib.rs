@@ -1,0 +1,177 @@
+//! Offline stand-in for the parts of `proptest` this workspace uses.
+//!
+//! The build container has no registry access, so this crate reimplements
+//! a compatible subset: the `proptest!` / `prop_compose!` macros, the
+//! strategy combinators the tests call (`any`, integer/float ranges,
+//! `collection::vec`, regex-lite string literals, `prop_filter`,
+//! `prop_map`, `prop_flat_map`, `Just`), and the `prop_assert*` family.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports the exact generated inputs
+//!   (they are `Debug`-formatted before the body runs) instead of a
+//!   minimized counterexample.
+//! * **Deterministic seeding.** Cases derive from a hash of the test's
+//!   `file!()`/name plus the case index, so failures reproduce exactly
+//!   and `proptest-regressions` files are not consulted.
+//! * **Regex strategies** support the subset the workspace uses: literal
+//!   characters, `[a-z0-9_]`-style classes (with ranges and negation-free
+//!   members), and `{m,n}` / `{n}` / `?` / `*` / `+` repetition.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything a `use proptest::prelude::*;` test expects in scope.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, proptest,
+    };
+}
+
+/// Runs each `fn name(arg in strategy, ...) { body }` item as a `#[test]`
+/// over `config.cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run_cases(
+                &__config,
+                concat!(file!(), "::", stringify!($name)),
+                |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, __rng)?;)+
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                                $body
+                                #[allow(unreachable_code)]
+                                Ok(())
+                            },
+                        ),
+                    )
+                    .unwrap_or_else(|payload| {
+                        Err($crate::test_runner::TestCaseError::fail(
+                            $crate::test_runner::panic_message(payload),
+                        ))
+                    });
+                    Ok((__inputs, __outcome))
+                },
+            );
+        }
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+}
+
+/// `prop_compose! { fn name(params)(args in strategies) -> T { body } }`
+/// defines `fn name(params) -> impl Strategy<Value = T>`.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident
+        ($($param:ident: $pty:ty),* $(,)?)
+        ($($arg:ident in $strat:expr),+ $(,)?)
+        -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($param: $pty),*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::FnStrategy::new(
+                move |__rng: &mut $crate::test_runner::TestRng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, __rng)?;)+
+                    Ok($body)
+                },
+            )
+        }
+    };
+}
+
+/// Fails the current case (with formatted context) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case when the operands are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__lhs, __rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__lhs == *__rhs,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), __lhs, __rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (__lhs, __rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__lhs == *__rhs,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+), __lhs, __rhs
+        );
+    }};
+}
+
+/// Fails the current case when the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__lhs, __rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__lhs != *__rhs,
+            "assertion failed: `{}` != `{}`\n  both: {:?}",
+            stringify!($lhs), stringify!($rhs), __lhs
+        );
+    }};
+}
+
+/// Rejects (skips) the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

@@ -1,0 +1,249 @@
+//! The [`Strategy`] trait and the combinators this workspace uses.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::{TestCaseError, TestRng};
+
+/// How many times a filter may reject before the case is abandoned.
+const FILTER_RETRIES: u32 = 256;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest there is no value tree or shrinking: `generate`
+/// samples one concrete value (or rejects, for filtered strategies).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Samples one value. `Err(Reject)` skips the case.
+    fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, TestCaseError>;
+
+    /// Keeps only values satisfying `pred`, retrying a bounded number of
+    /// times before rejecting the case.
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Transforms generated values with `map`.
+    fn prop_map<F, T>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, map }
+    }
+
+    /// Feeds generated values into a second, value-dependent strategy.
+    fn prop_flat_map<F, S>(self, flat: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> S,
+        S: Strategy,
+    {
+        FlatMap { inner: self, flat }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<T, TestCaseError> {
+        self.0.generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, TestCaseError> {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> Result<T, TestCaseError> {
+        Ok(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<S::Value, TestCaseError> {
+        for _ in 0..FILTER_RETRIES {
+            let value = self.inner.generate(rng)?;
+            if (self.pred)(&value) {
+                return Ok(value);
+            }
+        }
+        Err(TestCaseError::reject(self.reason))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<T, TestCaseError> {
+        Ok((self.map)(self.inner.generate(rng)?))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    flat: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> S2,
+    S2: Strategy,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<S2::Value, TestCaseError> {
+        (self.flat)(self.inner.generate(rng)?).generate(rng)
+    }
+}
+
+/// A strategy built from a sampling closure (used by `prop_compose!`).
+pub struct FnStrategy<F, T> {
+    f: F,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<F, T> FnStrategy<F, T>
+where
+    F: Fn(&mut TestRng) -> Result<T, TestCaseError>,
+{
+    /// Wraps a sampling closure.
+    pub fn new(f: F) -> Self {
+        FnStrategy {
+            f,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<F, T> Strategy for FnStrategy<F, T>
+where
+    F: Fn(&mut TestRng) -> Result<T, TestCaseError>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<T, TestCaseError> {
+        (self.f)(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, TestCaseError> {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                Ok((self.start as i128 + rng.below(span) as i128) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, TestCaseError> {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u64;
+                if span == u64::MAX {
+                    return Ok(rng.next_u64() as $t);
+                }
+                Ok((start as i128 + rng.below(span + 1) as i128) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<f64, TestCaseError> {
+        assert!(self.start < self.end, "cannot sample empty range");
+        Ok(self.start + rng.unit_f64() * (self.end - self.start))
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<f32, TestCaseError> {
+        assert!(self.start < self.end, "cannot sample empty range");
+        Ok(self.start + (rng.unit_f64() as f32) * (self.end - self.start))
+    }
+}
+
+/// String literals act as regex-lite strategies (`"[a-z]{1,8}"`).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<String, TestCaseError> {
+        crate::string::sample_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<String, TestCaseError> {
+        crate::string::sample_pattern(self, rng)
+    }
+}

@@ -1,0 +1,193 @@
+//! Regex-lite string sampling for string-literal strategies.
+//!
+//! Supports the subset this workspace's tests use: literal characters,
+//! `\`-escapes, character classes like `[A-Za-z0-9_]` (members and
+//! `a-z` ranges), and repetition via `{n}`, `{m,n}`, `?`, `*`, `+`
+//! (unbounded repeats are capped at 16).
+
+use crate::test_runner::{TestCaseError, TestRng};
+
+/// Cap for `*` / `+` so samples stay small.
+const UNBOUNDED_CAP: u32 = 16;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A single literal character.
+    Literal(char),
+    /// A character class: the flattened set of member characters.
+    Class(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// Samples one string matching `pattern`.
+pub fn sample_pattern(pattern: &str, rng: &mut TestRng) -> Result<String, TestCaseError> {
+    let pieces = parse(pattern)
+        .map_err(|e| TestCaseError::fail(format!("bad string pattern {pattern:?}: {e}")))?;
+    let mut out = String::new();
+    for piece in &pieces {
+        let count = if piece.min == piece.max {
+            piece.min
+        } else {
+            piece.min + rng.below(u64::from(piece.max - piece.min) + 1) as u32
+        };
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(set) => {
+                    out.push(set[rng.below(set.len() as u64) as usize]);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse(pattern: &str) -> Result<Vec<Piece>, String> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0usize;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1)?;
+                i = next;
+                Atom::Class(set)
+            }
+            '\\' => {
+                let c = *chars.get(i + 1).ok_or("dangling escape")?;
+                i += 2;
+                Atom::Literal(unescape(c))
+            }
+            c @ ('?' | '*' | '+' | '{' | '}' | ']') => {
+                return Err(format!("unexpected `{c}`"));
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max, next) = parse_repeat(&chars, i)?;
+        i = next;
+        pieces.push(Piece { atom, min, max });
+    }
+    Ok(pieces)
+}
+
+/// Parses the body of a `[...]` class starting just after `[`;
+/// returns the member set and the index just past `]`.
+fn parse_class(chars: &[char], mut i: usize) -> Result<(Vec<char>, usize), String> {
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' {
+            i += 1;
+            unescape(*chars.get(i).ok_or("dangling escape in class")?)
+        } else {
+            chars[i]
+        };
+        // `a-z` range (a trailing `-` is a literal member).
+        if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']') {
+            let hi = chars[i + 2];
+            if (c as u32) > (hi as u32) {
+                return Err(format!("inverted range `{c}-{hi}`"));
+            }
+            for code in (c as u32)..=(hi as u32) {
+                set.push(char::from_u32(code).ok_or("bad range codepoint")?);
+            }
+            i += 3;
+        } else {
+            set.push(c);
+            i += 1;
+        }
+    }
+    if i >= chars.len() {
+        return Err("unterminated class".into());
+    }
+    if set.is_empty() {
+        return Err("empty class".into());
+    }
+    Ok((set, i + 1))
+}
+
+/// Parses an optional repetition operator at `i`; returns `(min, max, next)`.
+fn parse_repeat(chars: &[char], i: usize) -> Result<(u32, u32, usize), String> {
+    match chars.get(i) {
+        Some('?') => Ok((0, 1, i + 1)),
+        Some('*') => Ok((0, UNBOUNDED_CAP, i + 1)),
+        Some('+') => Ok((1, UNBOUNDED_CAP, i + 1)),
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .ok_or("unterminated `{`")?
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse().map_err(|_| "bad repeat min")?,
+                    hi.parse().map_err(|_| "bad repeat max")?,
+                ),
+                None => {
+                    let n: u32 = body.parse().map_err(|_| "bad repeat count")?;
+                    (n, n)
+                }
+            };
+            if min > max {
+                return Err("inverted repeat bounds".into());
+            }
+            Ok((min, max, close + 1))
+        }
+        _ => Ok((1, 1, i)),
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sample_pattern;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn identifier_pattern() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = sample_pattern("[A-Za-z][A-Za-z0-9_]{0,8}", &mut rng).unwrap();
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            let mut it = s.chars();
+            assert!(it.next().unwrap().is_ascii_alphabetic());
+            assert!(it.all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_pattern() {
+        let mut rng = TestRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let s = sample_pattern("[ -~]{0,80}", &mut rng).unwrap();
+            assert!(s.len() <= 80);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_and_repeats() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let s = sample_pattern("ab{3}c?", &mut rng).unwrap();
+        assert!(s.starts_with("abbb"));
+        assert!(s == "abbb" || s == "abbbc");
+    }
+}

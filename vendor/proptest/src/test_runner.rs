@@ -1,0 +1,184 @@
+//! Case execution: deterministic RNG, config, and the case loop.
+
+use std::any::Any;
+
+/// Deterministic xoshiro256++ generator driving strategy sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// Builds a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        TestRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        if bound.is_power_of_two() {
+            return self.next_u64() & (bound - 1);
+        }
+        let zone = u64::MAX - (u64::MAX % bound) - 1;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per test.
+    pub cases: u32,
+    /// Maximum rejected cases (filters/assumptions) before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case's inputs were rejected (`prop_assume!` / `prop_filter`).
+    Reject(String),
+    /// The case failed an assertion or panicked.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// Extracts a readable message from a caught panic payload.
+pub fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "test case panicked".to_string()
+    }
+}
+
+/// Stable 64-bit FNV-1a hash of the test identity, used as the seed base.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1_0000_01B3);
+    }
+    hash
+}
+
+/// One generated case: `Ok((inputs_debug, body_outcome))`, or `Err` if
+/// generation itself rejected the inputs.
+type CaseResult = Result<(String, Result<(), TestCaseError>), TestCaseError>;
+
+/// Drives `config.cases` deterministic cases through `case`, panicking
+/// with the failing inputs on the first failure (no shrinking).
+pub fn run_cases(config: &ProptestConfig, name: &str, mut case: impl FnMut(&mut TestRng) -> CaseResult) {
+    let base = fnv1a(name.as_bytes());
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut stream = 0u64;
+    while passed < config.cases {
+        if rejected > config.max_global_rejects {
+            panic!(
+                "proptest [{name}]: too many rejected inputs \
+                 ({rejected} rejects for {passed}/{} passes)",
+                config.cases
+            );
+        }
+        let mut rng = TestRng::seed_from_u64(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        stream += 1;
+        match case(&mut rng) {
+            Err(TestCaseError::Reject(_)) => rejected += 1,
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "proptest [{name}] failed during input generation: {msg}"
+            ),
+            Ok((_, Ok(()))) => passed += 1,
+            Ok((_, Err(TestCaseError::Reject(_)))) => rejected += 1,
+            Ok((inputs, Err(TestCaseError::Fail(msg)))) => panic!(
+                "proptest [{name}] failed (case {}, seed base {base:#x}):\n\
+                 {msg}\n\
+                 inputs: {inputs}\n\
+                 (offline proptest stand-in: inputs are exact, not shrunk)",
+                passed + rejected
+            ),
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Offline stand-in for the parts of `rand` 0.9 this workspace uses.
+//!
+//! The build container has no registry access, so this crate provides a
+//! deterministic xoshiro256++ generator behind the familiar `Rng` /
+//! `SeedableRng` / `rngs::StdRng` names. The API subset is exactly what
+//! the simulator and tests call: `random::<f64|bool|uN>()` and
+//! `random_range(a..b)` / `random_range(a..=b)` over primitive integers.
+//!
+//! Determinism matters more than statistical perfection here: the
+//! simulator seeds every `World` explicitly so runs are reproducible.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// User-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value of a supported primitive type uniformly.
+    fn random<T: Random>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::random(self)
+    }
+
+    /// Samples uniformly from a half-open or inclusive range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, matching `rand`'s behavior.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Seeding, mirroring `rand::SeedableRng` (only `seed_from_u64` is used).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable with [`Rng::random`].
+pub trait Random {
+    /// Samples one value uniformly from the type's full domain
+    /// (for `f64`: the unit interval `[0, 1)`).
+    fn random<R: RngCore>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_random_int {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            fn random<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Random for bool {
+    fn random<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    fn random<R: RngCore>(rng: &mut R) -> Self {
+        // 53 uniformly random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Random for f32 {
+    fn random<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+/// Ranges samplable with [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased sampling of `[0, bound)` via Lemire-style rejection.
+fn below<R: RngCore>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    if bound.is_power_of_two() {
+        return rng.next_u64() & (bound - 1);
+    }
+    let zone = u64::MAX - (u64::MAX % bound) - 1;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % bound;
+        }
+    }
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + below(rng, span) as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (start as i128 + below(rng, span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::random(rng) * (self.end - self.start)
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator standing in for `StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v: u32 = rng.random_range(0..100);
+            assert!(v < 100);
+            let w: u8 = rng.random_range(1..=3);
+            assert!((1..=3).contains(&w));
+            let x: i64 = rng.random_range(-50..50);
+            assert!((-50..50).contains(&x));
+            let f: f64 = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..10_000 {
+            let f: f64 = rng.random();
+            if f < 0.1 {
+                lo = true;
+            }
+            if f > 0.9 {
+                hi = true;
+            }
+        }
+        assert!(lo && hi, "samples should spread across [0, 1)");
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace annotates types with `#[derive(Serialize, Deserialize)]`
+//! but never actually serializes through serde — the control-plane codec
+//! in `virtualwire::wire` is hand-rolled. The build container has no
+//! registry access, so this crate provides just enough surface for those
+//! annotations to compile: marker traits and no-op derives.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. Never invoked.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`. Never invoked.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`. Never invoked.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only ever uses `#[derive(Serialize, Deserialize)]` as
+//! forward-looking annotations — nothing serializes through serde (the
+//! control plane has a hand-rolled codec in `virtualwire::wire`). The
+//! build container has no registry access, so these derives expand to
+//! nothing rather than pulling in the real implementation.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
