@@ -7,10 +7,14 @@ use std::collections::HashMap;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use virtualwire::{classify, Classifier, ClassifierMode, ClassifierScratch};
+use virtualwire::{
+    classify, pcap, Classifier, ClassifierMode, ClassifierScratch, EngineConfig, ObsLevel, Runner,
+};
 use vw_bench::classifier_cmp;
 use vw_bench::scriptgen::sweep_script;
-use vw_packet::{EthernetBuilder, MacAddr, UdpBuilder};
+use vw_netsim::apps::{UdpFlooder, UdpSink};
+use vw_netsim::{Binding, LinkConfig, SimDuration, World};
+use vw_packet::{EtherType, EthernetBuilder, MacAddr, UdpBuilder};
 use vw_rll::window::{ReceiverWindow, SenderWindow};
 
 fn bench_classify(c: &mut Criterion) {
@@ -131,9 +135,91 @@ fn bench_rll_window(c: &mut Criterion) {
     });
 }
 
+const OBS_SCRIPT: &str = r#"
+    FILTER_TABLE
+    udp_data: (23 1 0x11), (36 2 0x6363)
+    END
+    NODE_TABLE
+    node1 02:00:00:00:00:01 192.168.1.2
+    node2 02:00:00:00:00:02 192.168.1.3
+    END
+    SCENARIO ObsOverhead
+    Sent: (udp_data, node1, node2, SEND)
+    (TRUE) >> ENABLE_CNTR(Sent);
+    ((Sent = 40)) >> DROP(udp_data, node1, node2, SEND);
+    ((Sent = 80)) >> STOP;
+    END
+"#;
+
+/// One full faulted scenario run — 80 monitored datagrams through two
+/// engines until STOP — with the world trace disabled so the measured
+/// cost is the engine packet path plus whatever the flight recorder adds.
+fn run_obs_scenario(obs: ObsLevel, trace: bool) -> (u64, World) {
+    let tables = virtualwire::compile_script(OBS_SCRIPT).unwrap();
+    let mut world = World::new(7);
+    world.trace_mut().set_enabled(trace);
+    let nodes = Runner::create_hosts(&mut world, &tables);
+    let sw = world.add_switch("sw0", 4);
+    for &n in &nodes {
+        world.connect(n, sw, LinkConfig::fast_ethernet());
+    }
+    let runner = Runner::install(
+        &mut world,
+        tables,
+        EngineConfig {
+            obs,
+            ..EngineConfig::default()
+        },
+    );
+    runner.settle(&mut world);
+    world.add_protocol(
+        nodes[1],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(UdpSink::new(0x6363)),
+    );
+    let flooder = UdpFlooder::new(
+        world.host_mac(nodes[1]),
+        world.host_ip(nodes[1]),
+        0x6363,
+        9000,
+        10_000_000,
+        120,
+        200 * 120,
+    );
+    world.add_protocol(
+        nodes[0],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(flooder),
+    );
+    let report = runner.run(&mut world, SimDuration::from_secs(1));
+    (report.total_stats().classified, world)
+}
+
+/// The overhead contract of DESIGN.md §Observability: `off` must track the
+/// PR-1 baseline (the recorder is one enum compare per decision point);
+/// `faults` and `full` show what recording costs when it is actually on.
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs");
+    for (label, obs) in [
+        ("off", ObsLevel::Off),
+        ("faults", ObsLevel::Faults),
+        ("full", ObsLevel::Full),
+    ] {
+        group.bench_with_input(BenchmarkId::new("engine_run", label), &obs, |b, &obs| {
+            b.iter(|| black_box(run_obs_scenario(obs, false).0))
+        });
+    }
+    // pcap export of a populated trace (UDP data + control plane).
+    let (_, world) = run_obs_scenario(ObsLevel::Off, true);
+    group.bench_function("pcap_export_trace", |b| {
+        b.iter(|| black_box(pcap::export_trace(world.trace()).len()))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_classify, bench_classifier_modes, bench_fsl_frontend, bench_rll_window
+    targets = bench_classify, bench_classifier_modes, bench_fsl_frontend, bench_rll_window, bench_obs_overhead
 }
 criterion_main!(benches);

@@ -41,6 +41,7 @@ use vw_fsl::{
     FilterId, NodeId, TableSet, TermId,
 };
 use vw_netsim::{Context, Hook, SimDuration, SimTime, TraceKind, Verdict};
+use vw_obs::{EventLog, Histogram, ObsActionKind, ObsEvent, ObsLevel};
 use vw_packet::{EtherType, Frame, MacAddr};
 
 use crate::classify::{Classification, Classifier, ClassifierMode, ClassifierScratch};
@@ -86,6 +87,11 @@ pub struct EngineConfig {
     /// linear-scan cost curves (Figure 8) pin
     /// [`ClassifierMode::Linear`].
     pub classifier: ClassifierMode,
+    /// Flight-recorder level. [`ObsLevel::Off`] (the default) reduces
+    /// every recording site to one enum compare; `Faults` records fired
+    /// conditions and triggered actions; `Full` records the whole causal
+    /// stream (classification, counter updates, term flips).
+    pub obs: ObsLevel,
 }
 
 impl Default for EngineConfig {
@@ -94,6 +100,7 @@ impl Default for EngineConfig {
             cost: CostModel::default(),
             cascade_budget: 10_000,
             classifier: ClassifierMode::default(),
+            obs: ObsLevel::Off,
         }
     }
 }
@@ -111,6 +118,11 @@ pub struct EngineStats {
     pub control_sent: u64,
     /// Control messages received.
     pub control_received: u64,
+    /// Total bytes of control frames sent (including Ethernet headers).
+    pub control_sent_bytes: u64,
+    /// Total bytes of control frames received (including Ethernet
+    /// headers).
+    pub control_received_bytes: u64,
     /// Packets consumed by `DROP`.
     pub drops: u64,
     /// Packets duplicated by `DUP`.
@@ -190,6 +202,20 @@ pub struct Engine {
     /// Reusable buffer for conditions that fired on a control update.
     scratch_fired: Vec<CondId>,
 
+    /// Flight recorder: typed causal event stream (level-gated *before*
+    /// any record is built).
+    flight: EventLog,
+    /// Monotone ordinal of classification attempts; ties every recorded
+    /// event to the frame whose processing caused it.
+    frame_seq: u64,
+    /// Per-filter match counts, indexed by `FilterId` (sized at install).
+    filter_hits: Vec<u64>,
+    /// Distribution of evaluation-cascade depths (recorded at `Faults`+).
+    cascade_hist: Histogram,
+    /// Distribution of classify-to-action latency in charged sim
+    /// nanoseconds (recorded at `Faults`+).
+    latency_hist: Histogram,
+
     stats: EngineStats,
 }
 
@@ -234,6 +260,11 @@ impl Engine {
             cascade_worklist: Vec::new(),
             scratch_bump: Vec::new(),
             scratch_fired: Vec::new(),
+            flight: EventLog::new(cfg.obs),
+            frame_seq: 0,
+            filter_hits: Vec::new(),
+            cascade_hist: Histogram::new(),
+            latency_hist: Histogram::new(),
             stats: EngineStats::default(),
         }
     }
@@ -299,6 +330,52 @@ impl Engine {
     }
 
     // ------------------------------------------------------------------
+    // Flight recorder
+    // ------------------------------------------------------------------
+
+    /// `true` if the full causal stream is being recorded. With the `obs`
+    /// feature off this constant-folds to `false` and every recording
+    /// site disappears.
+    #[inline]
+    fn obs_full(&self) -> bool {
+        cfg!(feature = "obs") && self.flight.wants_full()
+    }
+
+    /// `true` if fault events (conditions, actions) are being recorded.
+    #[inline]
+    fn obs_faults(&self) -> bool {
+        cfg!(feature = "obs") && self.flight.wants_faults()
+    }
+
+    /// The configured flight-recorder level.
+    pub fn obs_level(&self) -> ObsLevel {
+        self.flight.level()
+    }
+
+    /// The recorded causal event stream, in recording order.
+    pub fn events(&self) -> &[ObsEvent] {
+        self.flight.events()
+    }
+
+    /// Per-filter match counts, indexed by `FilterId` (empty before the
+    /// tables are installed).
+    pub fn filter_hits(&self) -> &[u64] {
+        &self.filter_hits
+    }
+
+    /// Distribution of evaluation-cascade depths (populated at
+    /// [`ObsLevel::Faults`] and above).
+    pub fn cascade_hist(&self) -> &Histogram {
+        &self.cascade_hist
+    }
+
+    /// Distribution of classify-to-action latency in charged sim
+    /// nanoseconds (populated at [`ObsLevel::Faults`] and above).
+    pub fn latency_hist(&self) -> &Histogram {
+        &self.latency_hist
+    }
+
+    // ------------------------------------------------------------------
     // Initialization
     // ------------------------------------------------------------------
 
@@ -306,6 +383,7 @@ impl Engine {
         let ncounters = tables.counters.len();
         let nterms = tables.terms.len();
         let nconds = tables.conditions.len();
+        let nfilters = tables.filters.len();
         self.classifier = Classifier::build(self.cfg.classifier, &tables);
         self.counter_dispatch = build_counter_dispatch(&tables, me);
         self.tables = Some(tables);
@@ -314,6 +392,7 @@ impl Engine {
         self.counter_enabled = vec![false; ncounters];
         self.term_status = vec![false; nterms];
         self.cond_status = vec![false; nconds];
+        self.filter_hits = vec![0; nfilters];
         self.last_match = ctx.now();
         self.initial_evaluation(ctx);
     }
@@ -370,10 +449,21 @@ impl Engine {
     /// cascade: affected terms, conditions, edge-triggered actions, and
     /// control-plane notifications, bounded by the cascade budget.
     fn set_counter(&mut self, ctx: &mut Context<'_>, counter: CounterId, value: i64) {
-        if self.counter_values[counter.index()] == value {
+        let old = self.counter_values[counter.index()];
+        if old == value {
             return;
         }
         self.counter_values[counter.index()] = value;
+        if self.obs_full() {
+            self.flight.push(ObsEvent::CounterUpdated {
+                time: ctx.now(),
+                node: self.me.expect("initialized"),
+                frame_seq: self.frame_seq,
+                counter,
+                old,
+                new: value,
+            });
+        }
         let tables = self.tables.take().expect("initialized");
         let mut worklist = std::mem::take(&mut self.cascade_worklist);
         worklist.clear();
@@ -422,8 +512,7 @@ impl Engine {
                     };
                     let dst = tables.nodes[subscriber.index()].mac;
                     ctx.charge(SimDuration::from_nanos(self.cfg.cost.per_action_ns));
-                    self.stats.control_sent += 1;
-                    ctx.send(wire::build_frame(ctx.mac(), dst, &msg));
+                    self.send_control(ctx, wire::build_frame(ctx.mac(), dst, &msg));
                 }
             }
             // Re-evaluate locally hosted terms over this counter.
@@ -438,6 +527,15 @@ impl Engine {
                     continue;
                 }
                 self.term_status[term.index()] = status;
+                if self.obs_full() {
+                    self.flight.push(ObsEvent::TermFlipped {
+                        time: ctx.now(),
+                        node: me,
+                        frame_seq: self.frame_seq,
+                        term,
+                        status,
+                    });
+                }
                 // Propagate the term status to interested parties.
                 for &cond in &t.conditions {
                     for &eval_node in &tables.conditions[cond.index()].eval_nodes {
@@ -451,14 +549,23 @@ impl Engine {
                             let msg = ControlMsg::TermStatus { term, status };
                             let dst = tables.nodes[eval_node.index()].mac;
                             ctx.charge(SimDuration::from_nanos(self.cfg.cost.per_action_ns));
-                            self.stats.control_sent += 1;
-                            ctx.send(wire::build_frame(ctx.mac(), dst, &msg));
+                            self.send_control(ctx, wire::build_frame(ctx.mac(), dst, &msg));
                         }
                     }
                 }
             }
         }
         self.stats.max_cascade_depth = self.stats.max_cascade_depth.max(depth);
+        if depth > 0 && self.obs_faults() {
+            self.cascade_hist.observe(u64::from(depth));
+        }
+    }
+
+    /// Sends a control-plane frame, accounting messages and bytes.
+    fn send_control(&mut self, ctx: &mut Context<'_>, frame: Frame) {
+        self.stats.control_sent += 1;
+        self.stats.control_sent_bytes += frame.len() as u64;
+        ctx.send(frame);
     }
 
     /// Re-evaluates one condition; returns it if it transitioned to true.
@@ -481,11 +588,31 @@ impl Engine {
         worklist: &mut Vec<CounterId>,
     ) {
         let me = self.me.expect("initialized");
+        if self.obs_faults() {
+            self.flight.push(ObsEvent::ConditionFired {
+                time: ctx.now(),
+                node: me,
+                frame_seq: self.frame_seq,
+                cond,
+            });
+        }
         for &(node, action) in &tables.conditions[cond.index()].triggers {
             if node != me {
                 continue;
             }
             ctx.charge(SimDuration::from_nanos(self.cfg.cost.per_action_ns));
+            if self.obs_faults() {
+                if let Some(kind) = edge_action_kind(&tables.actions[action.index()].kind) {
+                    self.flight.push(ObsEvent::ActionTriggered {
+                        time: ctx.now(),
+                        node: me,
+                        frame_seq: self.frame_seq,
+                        action,
+                        kind,
+                    });
+                    self.latency_hist.observe(ctx.charged().as_nanos());
+                }
+            }
             match &tables.actions[action.index()].kind {
                 &CompiledActionKind::Assign { counter, value }
                     if self.counter_values[counter.index()] != value =>
@@ -527,10 +654,12 @@ impl Engine {
                 &CompiledActionKind::Fail { node } => {
                     debug_assert_eq!(node, me, "compiler places FAIL at the victim");
                     self.blackholed = true;
-                    ctx.trace_note(format!(
-                        "virtualwire: FAIL — node {} blackholed",
-                        tables.nodes[me.index()].name
-                    ));
+                    ctx.trace_note_lazy(|| {
+                        format!(
+                            "virtualwire: FAIL — node {} blackholed",
+                            tables.nodes[me.index()].name
+                        )
+                    });
                 }
                 CompiledActionKind::Stop => {
                     let reason = format!(
@@ -544,8 +673,7 @@ impl Engine {
                         node: me,
                         reason: reason.clone(),
                     };
-                    self.stats.control_sent += 1;
-                    ctx.send(wire::build_frame(ctx.mac(), MacAddr::BROADCAST, &msg));
+                    self.send_control(ctx, wire::build_frame(ctx.mac(), MacAddr::BROADCAST, &msg));
                     ctx.request_stop(reason);
                 }
                 CompiledActionKind::FlagError { message } => {
@@ -559,7 +687,7 @@ impl Engine {
                         message: message.clone(),
                         time: ctx.now(),
                     };
-                    ctx.trace_note(format!("virtualwire: FLAG_ERR: {message}"));
+                    ctx.trace_note_lazy(|| format!("virtualwire: FLAG_ERR: {message}"));
                     self.errors.push(error);
                     if let Some(control) = self.control_mac {
                         if control != ctx.mac() {
@@ -568,8 +696,7 @@ impl Engine {
                                 condition: cond,
                                 message,
                             };
-                            self.stats.control_sent += 1;
-                            ctx.send(wire::build_frame(ctx.mac(), control, &msg));
+                            self.send_control(ctx, wire::build_frame(ctx.mac(), control, &msg));
                         }
                     }
                 }
@@ -586,6 +713,7 @@ impl Engine {
 
     fn handle_control(&mut self, ctx: &mut Context<'_>, frame: &Frame) {
         self.stats.control_received += 1;
+        self.stats.control_received_bytes += frame.len() as u64;
         let msg = match wire::parse_frame(frame) {
             Ok(msg) => msg,
             Err(_) => return, // corrupted control frame: RLL should prevent this
@@ -594,9 +722,8 @@ impl Engine {
             ControlMsg::Init { tables, you_are } => {
                 self.control_mac = Some(frame.src());
                 self.install_tables(ctx, *tables, you_are);
-                self.stats.control_sent += 1;
                 let ack = ControlMsg::InitAck { node: you_are };
-                ctx.send(wire::build_frame(ctx.mac(), frame.src(), &ack));
+                self.send_control(ctx, wire::build_frame(ctx.mac(), frame.src(), &ack));
             }
             ControlMsg::InitAck { node } => {
                 if self.is_control && !self.acked.contains(&node) {
@@ -617,6 +744,15 @@ impl Engine {
                 }
                 self.term_status[term.index()] = status;
                 let me = self.me.expect("initialized");
+                if self.obs_full() {
+                    self.flight.push(ObsEvent::TermFlipped {
+                        time: ctx.now(),
+                        node: me,
+                        frame_seq: self.frame_seq,
+                        term,
+                        status,
+                    });
+                }
                 let tables = self.tables.take().expect("initialized");
                 let mut fired = std::mem::take(&mut self.scratch_fired);
                 fired.clear();
@@ -681,8 +817,7 @@ impl Engine {
                 tables: Box::new(tables.clone()),
                 you_are: node_id,
             };
-            self.stats.control_sent += 1;
-            ctx.send(wire::build_frame(ctx.mac(), node.mac, &msg));
+            self.send_control(ctx, wire::build_frame(ctx.mac(), node.mac, &msg));
         }
         // Initialize ourselves directly.
         self.install_tables(ctx, tables, me);
@@ -710,6 +845,7 @@ impl Engine {
         dir: Dir,
     ) -> Verdict {
         self.stats.classified += 1;
+        self.frame_seq += 1;
         let result = self
             .classifier
             .classify(tables, &self.vars, &frame, &mut self.scratch);
@@ -728,6 +864,19 @@ impl Engine {
         }
         self.stats.matched += 1;
         self.last_match = ctx.now();
+        if let Some(hits) = self.filter_hits.get_mut(classification.filter.index()) {
+            *hits += 1;
+        }
+        if self.obs_full() {
+            self.flight.push(ObsEvent::Classified {
+                time: ctx.now(),
+                node: self.me.expect("initialized"),
+                frame_seq: self.frame_seq,
+                filter: classification.filter,
+                dir,
+                len: frame.len() as u32,
+            });
+        }
 
         // ---- counter updates (Figure 4(b): update_counter) ----------
         // The install-time dispatch map narrows the candidates to the
@@ -754,7 +903,18 @@ impl Engine {
         for &counter in &bump {
             self.stats.counter_increments += 1;
             ctx.charge(SimDuration::from_nanos(self.cfg.cost.per_action_ns));
-            self.counter_values[counter.index()] += 1;
+            let old = self.counter_values[counter.index()];
+            self.counter_values[counter.index()] = old + 1;
+            if self.obs_full() {
+                self.flight.push(ObsEvent::CounterUpdated {
+                    time: ctx.now(),
+                    node: self.me.expect("initialized"),
+                    frame_seq: self.frame_seq,
+                    counter,
+                    old,
+                    new: old + 1,
+                });
+            }
             worklist.clear();
             worklist.push(counter);
             self.run_cascade(ctx, tables, &mut worklist);
@@ -836,6 +996,18 @@ impl Engine {
                     continue;
                 }
                 ctx.charge(SimDuration::from_nanos(self.cfg.cost.per_action_ns));
+                if self.obs_faults() {
+                    if let Some(obs_kind) = gate_action_kind(kind) {
+                        self.flight.push(ObsEvent::ActionTriggered {
+                            time: ctx.now(),
+                            node: me,
+                            frame_seq: self.frame_seq,
+                            action: *action,
+                            kind: obs_kind,
+                        });
+                        self.latency_hist.observe(ctx.charged().as_nanos());
+                    }
+                }
                 match kind {
                     CompiledActionKind::Drop { .. } => {
                         self.stats.drops += 1;
@@ -904,6 +1076,38 @@ impl Engine {
         } else {
             Verdict::Accept(frame)
         }
+    }
+}
+
+/// Flight-recorder kind of an *edge-triggered* action, or `None` for the
+/// level-gated packet faults (which record at their gate site instead).
+fn edge_action_kind(kind: &CompiledActionKind) -> Option<ObsActionKind> {
+    match kind {
+        CompiledActionKind::Assign { .. }
+        | CompiledActionKind::Enable { .. }
+        | CompiledActionKind::Disable { .. }
+        | CompiledActionKind::Incr { .. }
+        | CompiledActionKind::Decr { .. }
+        | CompiledActionKind::Reset { .. }
+        | CompiledActionKind::SetCurTime { .. }
+        | CompiledActionKind::ElapsedTime { .. } => Some(ObsActionKind::CounterOp),
+        CompiledActionKind::Fail { .. } => Some(ObsActionKind::Fail),
+        CompiledActionKind::Stop => Some(ObsActionKind::Stop),
+        CompiledActionKind::FlagError { .. } => Some(ObsActionKind::FlagErr),
+        _ => None,
+    }
+}
+
+/// Flight-recorder kind of a *level-gated* packet fault, or `None` for
+/// edge-triggered kinds (which never appear as gates).
+fn gate_action_kind(kind: &CompiledActionKind) -> Option<ObsActionKind> {
+    match kind {
+        CompiledActionKind::Drop { .. } => Some(ObsActionKind::Drop),
+        CompiledActionKind::Dup { .. } => Some(ObsActionKind::Dup),
+        CompiledActionKind::Delay { .. } => Some(ObsActionKind::Delay),
+        CompiledActionKind::Reorder { .. } => Some(ObsActionKind::Reorder),
+        CompiledActionKind::Modify { .. } => Some(ObsActionKind::Modify),
+        _ => None,
     }
 }
 

@@ -95,6 +95,14 @@ pub use engine::{CostModel, Engine, EngineConfig, EngineStats};
 pub use report::{FlaggedError, Report, StopReason};
 pub use runner::Runner;
 pub use suite::{Suite, SuiteReport};
+// Flight-recorder vocabulary, re-exported so downstream code can configure
+// `EngineConfig::obs` and consume `Report::events`/`metrics` without a
+// direct vw-obs dependency.
+pub use vw_obs::pcap;
+pub use vw_obs::{
+    CausalChain, EventLog, Histogram, Metric, MetricsRegistry, ObsActionKind, ObsEvent, ObsLevel,
+    SymbolTable,
+};
 
 /// Error compiling a script source: a parse error or semantic errors.
 #[derive(Debug, Clone)]

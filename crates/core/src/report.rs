@@ -4,6 +4,7 @@ use std::fmt;
 
 use vw_fsl::{CondId, NodeId};
 use vw_netsim::{SimDuration, SimTime};
+use vw_obs::{CausalChain, MetricsRegistry, ObsEvent, SymbolTable};
 
 use crate::engine::EngineStats;
 
@@ -71,6 +72,16 @@ pub struct Report {
     /// Per-node engine hot-path counters, in node-table order:
     /// `(node_name, stats)`.
     pub stats: Vec<(String, EngineStats)>,
+    /// The merged flight-recorder event stream across all engines, in
+    /// time order (empty when engines ran at
+    /// [`ObsLevel::Off`](vw_obs::ObsLevel::Off)).
+    pub events: Vec<ObsEvent>,
+    /// Script names for rendering event ids.
+    pub symbols: SymbolTable,
+    /// The run's metrics snapshot (per-node engine counters, filter hit
+    /// counts, cascade-depth and latency histograms); export with
+    /// [`MetricsRegistry::to_jsonl`].
+    pub metrics: MetricsRegistry,
 }
 
 impl Report {
@@ -88,36 +99,43 @@ impl Report {
             .map(|(_, _, value)| *value)
     }
 
-    /// Renders a human-readable summary.
+    /// Renders a human-readable summary (same text as the [`fmt::Display`]
+    /// impl).
     pub fn render(&self) -> String {
-        let mut out = String::new();
-        out.push_str(&format!(
-            "scenario {}: {} after {}\n",
-            self.scenario, self.stop, self.duration
-        ));
-        out.push_str(&format!(
-            "verdict: {}\n",
-            if self.passed() { "PASS" } else { "FAIL" }
-        ));
-        for error in &self.errors {
-            out.push_str(&format!("error: {error}\n"));
-        }
-        for (node, counter, value) in &self.counters {
-            out.push_str(&format!("counter {counter} @ {node} = {value}\n"));
-        }
-        for (node, s) in &self.stats {
-            out.push_str(&format!(
-                "engine {node}: classified {} matched {} rules-scanned {} \
-                 index-hits {} residual {} max-cascade {}\n",
-                s.classified,
-                s.matched,
-                s.rules_scanned,
-                s.index_hits,
-                s.residual_scans,
-                s.max_cascade_depth
-            ));
-        }
-        out
+        self.to_string()
+    }
+
+    /// Reconstructs the causal chain behind a flagged error from the
+    /// recorded event stream: the classification, counter updates, term
+    /// flips and condition firing that led to it.
+    ///
+    /// Returns `None` when the error carries no condition, or when no
+    /// matching `ConditionFired` event was recorded (e.g. the run was at
+    /// [`ObsLevel::Off`](vw_obs::ObsLevel::Off)).
+    pub fn explain(&self, error: &FlaggedError) -> Option<CausalChain> {
+        let cond = error.condition?;
+        let fired = self.events.iter().rev().find(|e| {
+            matches!(
+                **e,
+                ObsEvent::ConditionFired { node, cond: c, time, .. }
+                    if node == error.node && c == cond && time <= error.time
+            )
+        })?;
+        Some(self.explain_seq(fired.node(), fired.frame_seq()))
+    }
+
+    /// The causal chain of one classification at one node — every recorded
+    /// event tied to that `frame_seq`.
+    pub fn explain_seq(&self, node: NodeId, frame_seq: u64) -> CausalChain {
+        CausalChain::extract(&self.events, node, frame_seq)
+    }
+
+    /// The recorded packet-fault applications (`DROP`/`DUP`/`DELAY`/
+    /// `REORDER`/`MODIFY` hitting a concrete packet), in time order.
+    pub fn fault_events(&self) -> impl Iterator<Item = &ObsEvent> {
+        self.events.iter().filter(
+            |e| matches!(e, ObsEvent::ActionTriggered { kind, .. } if kind.is_packet_fault()),
+        )
     }
 
     /// Sums the per-node engine counters into one aggregate.
@@ -129,6 +147,8 @@ impl Report {
             total.counter_increments += s.counter_increments;
             total.control_sent += s.control_sent;
             total.control_received += s.control_received;
+            total.control_sent_bytes += s.control_sent_bytes;
+            total.control_received_bytes += s.control_received_bytes;
             total.drops += s.drops;
             total.dups += s.dups;
             total.delays += s.delays;
@@ -141,6 +161,54 @@ impl Report {
             total.max_cascade_depth = total.max_cascade_depth.max(s.max_cascade_depth);
         }
         total
+    }
+}
+
+impl fmt::Display for Report {
+    /// Human-readable summary: stop reason and verdict, each error with
+    /// its reconstructed causal chain (when the flight recorder was on),
+    /// final counters, and a per-node engine stats table.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "scenario {}: {} after {}",
+            self.scenario, self.stop, self.duration
+        )?;
+        writeln!(
+            f,
+            "verdict: {}",
+            if self.passed() { "PASS" } else { "FAIL" }
+        )?;
+        for error in &self.errors {
+            writeln!(f, "error: {error}")?;
+            if let Some(chain) = self.explain(error) {
+                if !chain.events.is_empty() {
+                    f.write_str(&chain.render(&self.symbols))?;
+                }
+            }
+        }
+        for (node, counter, value) in &self.counters {
+            writeln!(f, "counter {counter} @ {node} = {value}")?;
+        }
+        for (node, s) in &self.stats {
+            writeln!(
+                f,
+                "engine {node}: classified {} matched {} rules-scanned {} \
+                 index-hits {} residual {} max-cascade {} \
+                 ctrl-sent {}/{}B ctrl-recv {}/{}B",
+                s.classified,
+                s.matched,
+                s.rules_scanned,
+                s.index_hits,
+                s.residual_scans,
+                s.max_cascade_depth,
+                s.control_sent,
+                s.control_sent_bytes,
+                s.control_received,
+                s.control_received_bytes,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -167,6 +235,9 @@ mod tests {
                     ..EngineStats::default()
                 },
             )],
+            events: Vec::new(),
+            symbols: SymbolTable::default(),
+            metrics: MetricsRegistry::default(),
         }
     }
 

@@ -8,9 +8,10 @@
 
 use vw_fsl::{NodeId, TableSet};
 use vw_netsim::{DeviceId, HookId, SimDuration, SimTime, World};
+use vw_obs::{MetricsRegistry, ObsEvent, SymbolTable};
 use vw_rll::{RllConfig, RllHook};
 
-use crate::engine::{Engine, EngineConfig};
+use crate::engine::{Engine, EngineConfig, EngineStats};
 use crate::report::{Report, StopReason};
 
 /// Orchestrates one scenario over a [`World`].
@@ -224,7 +225,7 @@ impl Runner {
             }
         }
 
-        let stats = self
+        let stats: Vec<(String, EngineStats)> = self
             .engines
             .iter()
             .enumerate()
@@ -234,6 +235,30 @@ impl Runner {
             })
             .collect();
 
+        let symbols = SymbolTable {
+            nodes: self.tables.nodes.iter().map(|n| n.name.clone()).collect(),
+            filters: self.tables.filters.iter().map(|p| p.name.clone()).collect(),
+            counters: self
+                .tables
+                .counters
+                .iter()
+                .map(|c| c.name.clone())
+                .collect(),
+        };
+
+        // Merge every engine's flight-recorder stream into one time-ordered
+        // view (the sort is stable, so same-time events keep their per-node
+        // causal order).
+        let mut events: Vec<ObsEvent> = self
+            .engines
+            .iter()
+            .filter_map(|(device, hook)| world.hook::<Engine>(*device, *hook))
+            .flat_map(|engine| engine.events().iter().copied())
+            .collect();
+        events.sort_by_key(|e| e.time());
+
+        let metrics = self.collect_metrics(world, &stats, &counters);
+
         Report {
             scenario: self.tables.scenario.clone(),
             stop,
@@ -241,6 +266,72 @@ impl Runner {
             counters,
             duration,
             stats,
+            events,
+            symbols,
+            metrics,
         }
+    }
+
+    /// Snapshots the run's quantitative shape into a metrics registry:
+    /// per-node engine counters, per-filter hit counts, authoritative
+    /// script-counter values, and (when the recorder was on) cascade-depth
+    /// and classify-to-action-latency histograms.
+    fn collect_metrics(
+        &self,
+        world: &World,
+        stats: &[(String, EngineStats)],
+        counters: &[(String, String, i64)],
+    ) -> MetricsRegistry {
+        let mut metrics = MetricsRegistry::new();
+        for (node, s) in stats {
+            metrics.add_counter(&format!("{node}.classified"), s.classified);
+            metrics.add_counter(&format!("{node}.matched"), s.matched);
+            metrics.add_counter(&format!("{node}.counter_increments"), s.counter_increments);
+            metrics.add_counter(&format!("{node}.control_sent"), s.control_sent);
+            metrics.add_counter(&format!("{node}.control_received"), s.control_received);
+            metrics.add_counter(&format!("{node}.control_sent_bytes"), s.control_sent_bytes);
+            metrics.add_counter(
+                &format!("{node}.control_received_bytes"),
+                s.control_received_bytes,
+            );
+            metrics.add_counter(&format!("{node}.drops"), s.drops);
+            metrics.add_counter(&format!("{node}.dups"), s.dups);
+            metrics.add_counter(&format!("{node}.delays"), s.delays);
+            metrics.add_counter(&format!("{node}.reorders"), s.reorders);
+            metrics.add_counter(&format!("{node}.modifies"), s.modifies);
+            metrics.add_counter(&format!("{node}.rules_scanned"), s.rules_scanned);
+            metrics.set_gauge(
+                &format!("{node}.max_cascade_depth"),
+                i64::from(s.max_cascade_depth),
+            );
+        }
+        for (node, counter, value) in counters {
+            metrics.set_gauge(&format!("{node}.counter.{counter}"), *value);
+        }
+        for (i, (device, hook)) in self.engines.iter().enumerate() {
+            let Some(engine) = world.hook::<Engine>(*device, *hook) else {
+                continue;
+            };
+            let node = &self.tables.nodes[i].name;
+            for (fi, &hits) in engine.filter_hits().iter().enumerate() {
+                if hits > 0 {
+                    let filter = &self.tables.filters[fi].name;
+                    metrics.add_counter(&format!("{node}.filter_hits.{filter}"), hits);
+                }
+            }
+            if !engine.cascade_hist().is_empty() {
+                metrics.insert_histogram(
+                    &format!("{node}.cascade_depth"),
+                    engine.cascade_hist().clone(),
+                );
+            }
+            if !engine.latency_hist().is_empty() {
+                metrics.insert_histogram(
+                    &format!("{node}.classify_to_action_ns"),
+                    engine.latency_hist().clone(),
+                );
+            }
+        }
+        metrics
     }
 }

@@ -75,6 +75,7 @@ pub struct Context<'a> {
     pub(crate) next_timer: &'a mut u64,
     pub(crate) effects: Vec<Effect>,
     pub(crate) charged: SimDuration,
+    pub(crate) trace_enabled: bool,
 }
 
 impl<'a> Context<'a> {
@@ -162,8 +163,21 @@ impl<'a> Context<'a> {
         self.charged
     }
 
-    /// Appends a free-form note to the world trace.
+    /// Whether the world's trace sink is capturing. Callers that would
+    /// allocate to build a note (e.g. `format!`) should check this first —
+    /// or use [`trace_note_lazy`](Context::trace_note_lazy).
+    pub fn trace_active(&self) -> bool {
+        self.trace_enabled
+    }
+
+    /// Appends a free-form note to the world trace. No-op (and no
+    /// allocation of the effect) when tracing is disabled, but the `note`
+    /// argument itself is still built by the caller — use
+    /// [`trace_note_lazy`](Context::trace_note_lazy) on hot paths.
     pub fn trace_note(&mut self, note: impl Into<String>) {
+        if !self.trace_enabled {
+            return;
+        }
         self.effects.push(Effect::Trace {
             kind: TraceKind::Note,
             frame: None,
@@ -171,8 +185,25 @@ impl<'a> Context<'a> {
         });
     }
 
-    /// Appends a trace record carrying a frame.
+    /// Appends a free-form note whose text is only built if tracing is
+    /// active — the allocation-free way to trace from a hot path.
+    pub fn trace_note_lazy(&mut self, note: impl FnOnce() -> String) {
+        if !self.trace_enabled {
+            return;
+        }
+        self.effects.push(Effect::Trace {
+            kind: TraceKind::Note,
+            frame: None,
+            note: note(),
+        });
+    }
+
+    /// Appends a trace record carrying a frame. No-op (the frame is not
+    /// cloned) when tracing is disabled.
     pub fn trace_frame(&mut self, kind: TraceKind, frame: &Frame, note: impl Into<String>) {
+        if !self.trace_enabled {
+            return;
+        }
         self.effects.push(Effect::Trace {
             kind,
             frame: Some(frame.clone()),

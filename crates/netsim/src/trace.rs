@@ -196,6 +196,14 @@ impl TraceSink {
         self.records.clear();
     }
 
+    /// Frame-carrying records as `(time, frame)` pairs, in capture order
+    /// (the shape pcap exporters and timeline tools want).
+    pub fn frames(&self) -> impl Iterator<Item = (SimTime, &Frame)> {
+        self.records
+            .iter()
+            .filter_map(|r| r.frame.as_ref().map(|f| (r.time, f)))
+    }
+
     /// Records of a given kind.
     pub fn of_kind(&self, kind: TraceKind) -> impl Iterator<Item = &TraceRecord> {
         self.records.iter().filter(move |r| r.kind == kind)

@@ -1056,6 +1056,7 @@ impl World {
         let World {
             ref mut rng,
             ref mut next_timer_id,
+            ref trace,
             now,
             ..
         } = *self;
@@ -1070,6 +1071,7 @@ impl World {
             next_timer: next_timer_id,
             effects: Vec::new(),
             charged: SimDuration::ZERO,
+            trace_enabled: trace.is_enabled(),
         }
     }
 

@@ -1,0 +1,525 @@
+//! The typed event stream behind the flight recorder.
+//!
+//! Every engine decision point emits one [`ObsEvent`] into an [`EventLog`]
+//! when the recorder is enabled. Events are plain `Copy` records built from
+//! table ids — recording never formats or allocates beyond the log's `Vec`
+//! growth, and an [`ObsLevel::Off`] recorder is a single enum compare on
+//! the hot path.
+//!
+//! Every event carries the engine's monotone `frame_seq` (the ordinal of
+//! the classification that triggered the cascade), which is what lets a
+//! flagged error or injected fault be unwound into its full causal chain:
+//! `Classified → CounterUpdated → TermFlipped → ConditionFired →
+//! ActionTriggered` (see [`CausalChain`]).
+
+use std::fmt;
+
+use vw_fsl::{ActionId, CondId, CounterId, Dir, FilterId, NodeId, TermId};
+use vw_netsim::SimTime;
+
+/// How much the flight recorder captures.
+///
+/// The contract is *zero cost when off*: engines compare the level before
+/// building an event, so `Off` adds exactly one predictable branch per
+/// decision point and never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum ObsLevel {
+    /// Record nothing (the default; benchmarks run here).
+    #[default]
+    Off,
+    /// Record only fault-relevant events: fired conditions and triggered
+    /// actions.
+    Faults,
+    /// Record the full causal stream, including per-packet classification,
+    /// counter updates and term flips.
+    Full,
+}
+
+impl ObsLevel {
+    /// `true` if fault events (conditions, actions) are recorded.
+    #[inline]
+    pub fn faults(self) -> bool {
+        self >= ObsLevel::Faults
+    }
+
+    /// `true` if the full causal stream is recorded.
+    #[inline]
+    pub fn full(self) -> bool {
+        self == ObsLevel::Full
+    }
+}
+
+/// What kind of action an [`ObsEvent::ActionTriggered`] refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObsActionKind {
+    /// `DROP` consumed a packet.
+    Drop,
+    /// `DUP` duplicated a packet.
+    Dup,
+    /// `DELAY` held a packet.
+    Delay,
+    /// `REORDER` buffered or released packets.
+    Reorder,
+    /// `MODIFY` mutated a packet.
+    Modify,
+    /// `FAIL` blackholed a node.
+    Fail,
+    /// `STOP` ended the scenario.
+    Stop,
+    /// `FLAG_ERR` reported a protocol violation.
+    FlagErr,
+    /// A Table I counter-manipulation action
+    /// (`ASSIGN`/`INCR`/`DECR`/`RESET`/`ENABLE`/`DISABLE`/time ops).
+    CounterOp,
+}
+
+impl ObsActionKind {
+    /// `true` for the level-gated Table II packet faults.
+    pub fn is_packet_fault(self) -> bool {
+        matches!(
+            self,
+            ObsActionKind::Drop
+                | ObsActionKind::Dup
+                | ObsActionKind::Delay
+                | ObsActionKind::Reorder
+                | ObsActionKind::Modify
+        )
+    }
+}
+
+impl fmt::Display for ObsActionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ObsActionKind::Drop => "DROP",
+            ObsActionKind::Dup => "DUP",
+            ObsActionKind::Delay => "DELAY",
+            ObsActionKind::Reorder => "REORDER",
+            ObsActionKind::Modify => "MODIFY",
+            ObsActionKind::Fail => "FAIL",
+            ObsActionKind::Stop => "STOP",
+            ObsActionKind::FlagErr => "FLAG_ERR",
+            ObsActionKind::CounterOp => "COUNTER_OP",
+        })
+    }
+}
+
+/// One record in the flight recorder's causal event stream.
+///
+/// The variants mirror the Figure 4(b) packet path in order; all of them
+/// are `Copy` so recording is allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsEvent {
+    /// A frame matched a filter-table entry.
+    Classified {
+        /// When.
+        time: SimTime,
+        /// The engine's node.
+        node: NodeId,
+        /// Monotone per-engine classification ordinal.
+        frame_seq: u64,
+        /// The filter that matched (first match wins).
+        filter: FilterId,
+        /// Packet direction at this engine.
+        dir: Dir,
+        /// Frame length in bytes.
+        len: u32,
+    },
+    /// A counter changed value (packet-counter bump, control-plane update,
+    /// or a counter-manipulation action).
+    CounterUpdated {
+        /// When.
+        time: SimTime,
+        /// The engine's node.
+        node: NodeId,
+        /// Classification ordinal this update is causally tied to.
+        frame_seq: u64,
+        /// Which counter.
+        counter: CounterId,
+        /// Value before.
+        old: i64,
+        /// Value after.
+        new: i64,
+    },
+    /// A term's truth value flipped.
+    TermFlipped {
+        /// When.
+        time: SimTime,
+        /// The engine's node.
+        node: NodeId,
+        /// Classification ordinal this flip is causally tied to.
+        frame_seq: u64,
+        /// Which term.
+        term: TermId,
+        /// Its new status.
+        status: bool,
+    },
+    /// A condition transitioned from false to true.
+    ConditionFired {
+        /// When.
+        time: SimTime,
+        /// The engine's node.
+        node: NodeId,
+        /// Classification ordinal this firing is causally tied to.
+        frame_seq: u64,
+        /// Which condition.
+        cond: CondId,
+    },
+    /// An action ran — an edge-triggered Table I action or a level-gated
+    /// Table II fault applied to a concrete packet.
+    ActionTriggered {
+        /// When.
+        time: SimTime,
+        /// The engine's node.
+        node: NodeId,
+        /// Classification ordinal this trigger is causally tied to.
+        frame_seq: u64,
+        /// Which action-table entry.
+        action: ActionId,
+        /// What kind of action.
+        kind: ObsActionKind,
+    },
+}
+
+impl ObsEvent {
+    /// When the event happened.
+    pub fn time(&self) -> SimTime {
+        match *self {
+            ObsEvent::Classified { time, .. }
+            | ObsEvent::CounterUpdated { time, .. }
+            | ObsEvent::TermFlipped { time, .. }
+            | ObsEvent::ConditionFired { time, .. }
+            | ObsEvent::ActionTriggered { time, .. } => time,
+        }
+    }
+
+    /// The node whose engine recorded the event.
+    pub fn node(&self) -> NodeId {
+        match *self {
+            ObsEvent::Classified { node, .. }
+            | ObsEvent::CounterUpdated { node, .. }
+            | ObsEvent::TermFlipped { node, .. }
+            | ObsEvent::ConditionFired { node, .. }
+            | ObsEvent::ActionTriggered { node, .. } => node,
+        }
+    }
+
+    /// The classification ordinal the event is causally tied to.
+    pub fn frame_seq(&self) -> u64 {
+        match *self {
+            ObsEvent::Classified { frame_seq, .. }
+            | ObsEvent::CounterUpdated { frame_seq, .. }
+            | ObsEvent::TermFlipped { frame_seq, .. }
+            | ObsEvent::ConditionFired { frame_seq, .. }
+            | ObsEvent::ActionTriggered { frame_seq, .. } => frame_seq,
+        }
+    }
+
+    /// A short machine-checkable label for the variant.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            ObsEvent::Classified { .. } => "classified",
+            ObsEvent::CounterUpdated { .. } => "counter",
+            ObsEvent::TermFlipped { .. } => "term",
+            ObsEvent::ConditionFired { .. } => "condition",
+            ObsEvent::ActionTriggered { .. } => "action",
+        }
+    }
+
+    /// One-line human rendering, resolving ids through `symbols`.
+    pub fn render(&self, symbols: &SymbolTable) -> String {
+        match *self {
+            ObsEvent::Classified {
+                time,
+                node,
+                frame_seq,
+                filter,
+                dir,
+                len,
+            } => format!(
+                "{time} {} #{frame_seq} classified as {} ({dir:?}, {len} B)",
+                symbols.node(node),
+                symbols.filter(filter),
+            ),
+            ObsEvent::CounterUpdated {
+                time,
+                node,
+                frame_seq,
+                counter,
+                old,
+                new,
+            } => format!(
+                "{time} {} #{frame_seq} counter {} {old} -> {new}",
+                symbols.node(node),
+                symbols.counter(counter),
+            ),
+            ObsEvent::TermFlipped {
+                time,
+                node,
+                frame_seq,
+                term,
+                status,
+            } => format!(
+                "{time} {} #{frame_seq} term#{} -> {status}",
+                symbols.node(node),
+                term.index(),
+            ),
+            ObsEvent::ConditionFired {
+                time,
+                node,
+                frame_seq,
+                cond,
+            } => format!(
+                "{time} {} #{frame_seq} condition#{} fired",
+                symbols.node(node),
+                cond.index(),
+            ),
+            ObsEvent::ActionTriggered {
+                time,
+                node,
+                frame_seq,
+                action,
+                kind,
+            } => format!(
+                "{time} {} #{frame_seq} action#{} {kind} triggered",
+                symbols.node(node),
+                action.index(),
+            ),
+        }
+    }
+}
+
+/// Script-level names used to render events and chains, captured once from
+/// the compiled [`TableSet`](vw_fsl::TableSet) by whoever owns it (terms,
+/// conditions and actions are unnamed in FSL and render by index).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SymbolTable {
+    /// Node names in node-table order.
+    pub nodes: Vec<String>,
+    /// Filter names in filter-table order.
+    pub filters: Vec<String>,
+    /// Counter names in counter-table order.
+    pub counters: Vec<String>,
+}
+
+impl SymbolTable {
+    /// The node's script name, or `node#i` if unknown.
+    pub fn node(&self, id: NodeId) -> String {
+        self.nodes
+            .get(id.index())
+            .cloned()
+            .unwrap_or_else(|| format!("node#{}", id.index()))
+    }
+
+    /// The filter's script name, or `filter#i` if unknown.
+    pub fn filter(&self, id: FilterId) -> String {
+        self.filters
+            .get(id.index())
+            .cloned()
+            .unwrap_or_else(|| format!("filter#{}", id.index()))
+    }
+
+    /// The counter's script name, or `counter#i` if unknown.
+    pub fn counter(&self, id: CounterId) -> String {
+        self.counters
+            .get(id.index())
+            .cloned()
+            .unwrap_or_else(|| format!("counter#{}", id.index()))
+    }
+}
+
+/// An append-only event log owned by one engine.
+///
+/// The log does not filter: engines check [`EventLog::wants_full`] /
+/// [`EventLog::wants_faults`] *before* constructing an event, so a
+/// disabled recorder costs one branch and no allocation.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    level: ObsLevel,
+    events: Vec<ObsEvent>,
+}
+
+impl EventLog {
+    /// Creates a log recording at `level`.
+    pub fn new(level: ObsLevel) -> Self {
+        EventLog {
+            level,
+            events: Vec::new(),
+        }
+    }
+
+    /// The configured recording level.
+    pub fn level(&self) -> ObsLevel {
+        self.level
+    }
+
+    /// `true` if full-stream events should be recorded.
+    #[inline]
+    pub fn wants_full(&self) -> bool {
+        self.level.full()
+    }
+
+    /// `true` if fault events should be recorded.
+    #[inline]
+    pub fn wants_faults(&self) -> bool {
+        self.level.faults()
+    }
+
+    /// Appends an event. Callers gate on the level first.
+    #[inline]
+    pub fn push(&mut self, event: ObsEvent) {
+        self.events.push(event);
+    }
+
+    /// All recorded events, in recording order.
+    pub fn events(&self) -> &[ObsEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Discards all recorded events, keeping the level.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+/// The causal chain of one classification: every event a single frame's
+/// processing produced at one node, in causal order.
+#[derive(Debug, Clone)]
+pub struct CausalChain {
+    /// The node whose engine produced the chain.
+    pub node: NodeId,
+    /// The classification ordinal shared by every event in the chain.
+    pub frame_seq: u64,
+    /// The chain events, in recording (= causal) order.
+    pub events: Vec<ObsEvent>,
+}
+
+impl CausalChain {
+    /// Extracts the chain for `(node, frame_seq)` from a merged event
+    /// stream.
+    pub fn extract(events: &[ObsEvent], node: NodeId, frame_seq: u64) -> Self {
+        CausalChain {
+            node,
+            frame_seq,
+            events: events
+                .iter()
+                .filter(|e| e.node() == node && e.frame_seq() == frame_seq)
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// The variant labels, in order — convenient for asserting the
+    /// documented `classified → counter → term → condition → action`
+    /// shape in tests.
+    pub fn kind_labels(&self) -> Vec<&'static str> {
+        self.events.iter().map(ObsEvent::kind_label).collect()
+    }
+
+    /// Multi-line human rendering, one event per line, ids resolved
+    /// through `symbols`.
+    pub fn render(&self, symbols: &SymbolTable) -> String {
+        let mut out = String::new();
+        for (i, event) in self.events.iter().enumerate() {
+            let connector = if i == 0 { "┌" } else { "└─▶" };
+            out.push_str(&format!("  {connector} {}\n", event.render(symbols)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(node: u16, seq: u64, t: u64) -> ObsEvent {
+        ObsEvent::ConditionFired {
+            time: SimTime::from_nanos(t),
+            node: NodeId(node),
+            frame_seq: seq,
+            cond: CondId(0),
+        }
+    }
+
+    #[test]
+    fn level_ordering_and_gates() {
+        assert!(ObsLevel::Off < ObsLevel::Faults);
+        assert!(ObsLevel::Faults < ObsLevel::Full);
+        assert!(!ObsLevel::Off.faults());
+        assert!(ObsLevel::Faults.faults());
+        assert!(!ObsLevel::Faults.full());
+        assert!(ObsLevel::Full.faults() && ObsLevel::Full.full());
+        assert_eq!(ObsLevel::default(), ObsLevel::Off);
+    }
+
+    #[test]
+    fn chain_extraction_filters_by_node_and_seq() {
+        let events = [ev(0, 3, 10), ev(1, 3, 11), ev(0, 4, 12), ev(0, 3, 13)];
+        let chain = CausalChain::extract(&events, NodeId(0), 3);
+        assert_eq!(chain.events.len(), 2);
+        assert!(chain
+            .events
+            .iter()
+            .all(|e| e.node() == NodeId(0) && e.frame_seq() == 3));
+        assert_eq!(chain.kind_labels(), vec!["condition", "condition"]);
+    }
+
+    #[test]
+    fn rendering_resolves_symbols_with_fallback() {
+        let symbols = SymbolTable {
+            nodes: vec!["node1".into()],
+            filters: vec!["udp_data".into()],
+            counters: vec!["Sent".into()],
+        };
+        let e = ObsEvent::Classified {
+            time: SimTime::ZERO,
+            node: NodeId(0),
+            frame_seq: 1,
+            filter: FilterId(0),
+            dir: Dir::Send,
+            len: 60,
+        };
+        let line = e.render(&symbols);
+        assert!(line.contains("node1") && line.contains("udp_data"));
+        let unknown = ObsEvent::CounterUpdated {
+            time: SimTime::ZERO,
+            node: NodeId(9),
+            frame_seq: 1,
+            counter: CounterId(7),
+            old: 0,
+            new: 1,
+        };
+        let line = unknown.render(&symbols);
+        assert!(line.contains("node#9") && line.contains("counter#7"));
+    }
+
+    #[test]
+    fn log_push_and_clear() {
+        let mut log = EventLog::new(ObsLevel::Full);
+        assert!(log.wants_full() && log.wants_faults());
+        assert!(log.is_empty());
+        log.push(ev(0, 1, 1));
+        assert_eq!(log.len(), 1);
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.level(), ObsLevel::Full);
+    }
+
+    #[test]
+    fn packet_fault_kinds() {
+        assert!(ObsActionKind::Drop.is_packet_fault());
+        assert!(ObsActionKind::Modify.is_packet_fault());
+        assert!(!ObsActionKind::FlagErr.is_packet_fault());
+        assert!(!ObsActionKind::CounterOp.is_packet_fault());
+        assert_eq!(ObsActionKind::Drop.to_string(), "DROP");
+    }
+}

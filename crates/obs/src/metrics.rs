@@ -1,0 +1,373 @@
+//! A small metrics registry — counters, gauges and log₂ histograms — with
+//! a JSON-lines snapshot exporter.
+//!
+//! The registry is how a run's quantitative shape (per-filter hit counts,
+//! cascade depth, control-plane bytes, classify-to-action latency) gets
+//! out of the engines and into something diffable: `to_jsonl()` emits one
+//! sorted JSON object per metric, so two runs can be compared with plain
+//! `diff`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A fixed-size log₂-bucketed histogram of `u64` observations.
+///
+/// Bucket `i` holds values whose bit length is `i` (bucket 0 holds the
+/// value 0), so the whole `u64` range fits in 65 buckets with no
+/// allocation per observation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&mut self, value: u64) {
+        let bucket = (64 - value.leading_zeros()) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest observation, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the observations, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// `true` if nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Non-empty buckets as `(bucket_floor, count)` pairs, where
+    /// `bucket_floor` is the smallest value the bucket can hold.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (if i == 0 { 0 } else { 1u64 << (i - 1) }, n))
+            .collect()
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// A monotonically increasing count.
+    Counter(u64),
+    /// A point-in-time signed value.
+    Gauge(i64),
+    /// A distribution of `u64` observations (boxed: a [`Histogram`] is
+    /// ~0.5 KiB of buckets, far larger than the scalar variants).
+    Histogram(Box<Histogram>),
+}
+
+/// A named collection of metrics, keyed by dotted path
+/// (e.g. `node1.filter_hits.udp_data`).
+///
+/// Iteration order is the key's lexicographic order, which makes the
+/// JSONL snapshot stable and diff-friendly.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    entries: BTreeMap<String, Metric>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the counter `name`, creating it at 0 first.
+    /// Panics if `name` is registered as a different metric kind.
+    pub fn add_counter(&mut self, name: &str, delta: u64) {
+        match self
+            .entries
+            .entry(name.to_string())
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(v) => *v += delta,
+            other => panic!("metric {name:?} is not a counter: {other:?}"),
+        }
+    }
+
+    /// Sets the gauge `name`, creating it if needed.
+    /// Panics if `name` is registered as a different metric kind.
+    pub fn set_gauge(&mut self, name: &str, value: i64) {
+        match self
+            .entries
+            .entry(name.to_string())
+            .or_insert(Metric::Gauge(0))
+        {
+            Metric::Gauge(v) => *v = value,
+            other => panic!("metric {name:?} is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Records one observation into the histogram `name`, creating it if
+    /// needed. Panics if `name` is registered as a different metric kind.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        match self
+            .entries
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Box::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => h.observe(value),
+            other => panic!("metric {name:?} is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Stores an already-populated histogram under `name`, replacing any
+    /// previous entry.
+    pub fn insert_histogram(&mut self, name: &str, histogram: Histogram) {
+        self.entries
+            .insert(name.to_string(), Metric::Histogram(Box::new(histogram)));
+    }
+
+    /// The counter's value, if `name` is a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.entries.get(name) {
+            Some(Metric::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The gauge's value, if `name` is a gauge.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.entries.get(name) {
+            Some(Metric::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The histogram, if `name` is a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        match self.entries.get(name) {
+            Some(Metric::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// All metrics in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Snapshot as JSON lines: one object per metric, keys sorted, so two
+    /// snapshots can be compared with `diff`.
+    ///
+    /// Shapes:
+    /// ```json
+    /// {"name":"node1.classified","type":"counter","value":7}
+    /// {"name":"node1.drops","type":"gauge","value":-1}
+    /// {"name":"node1.cascade_depth","type":"histogram","count":3,"sum":9,"min":1,"max":5,"mean":3.0,"buckets":[[1,2],[4,1]]}
+    /// ```
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (name, metric) in &self.entries {
+            out.push_str("{\"name\":");
+            json_string(&mut out, name);
+            match metric {
+                Metric::Counter(v) => {
+                    out.push_str(&format!(",\"type\":\"counter\",\"value\":{v}"));
+                }
+                Metric::Gauge(v) => {
+                    out.push_str(&format!(",\"type\":\"gauge\",\"value\":{v}"));
+                }
+                Metric::Histogram(h) => {
+                    out.push_str(&format!(
+                        ",\"type\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.3},\"buckets\":[",
+                        h.count(),
+                        h.sum(),
+                        h.min(),
+                        h.max(),
+                        h.mean(),
+                    ));
+                    for (i, (floor, n)) in h.nonzero_buckets().iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&format!("[{floor},{n}]"));
+                    }
+                    out.push(']');
+                }
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+impl fmt::Display for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_jsonl())
+    }
+}
+
+/// Appends `s` to `out` as a JSON string literal with minimal escaping.
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 1, 3, 8, 1023] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1036);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1023);
+        let buckets = h.nonzero_buckets();
+        // 0 → bucket floor 0; 1,1 → floor 1; 3 → floor 2; 8 → floor 8; 1023 → floor 512.
+        assert_eq!(buckets, vec![(0, 1), (1, 2), (2, 1), (8, 1), (512, 1)]);
+    }
+
+    #[test]
+    fn histogram_extremes() {
+        let mut h = Histogram::new();
+        h.observe(u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.nonzero_buckets(), vec![(1u64 << 63, 1)]);
+        let empty = Histogram::new();
+        assert_eq!(empty.min(), 0);
+        assert_eq!(empty.mean(), 0.0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn registry_kinds_and_lookup() {
+        let mut reg = MetricsRegistry::new();
+        reg.add_counter("a.hits", 2);
+        reg.add_counter("a.hits", 3);
+        reg.set_gauge("a.depth", -4);
+        reg.observe("a.lat", 100);
+        assert_eq!(reg.counter("a.hits"), Some(5));
+        assert_eq!(reg.gauge("a.depth"), Some(-4));
+        assert_eq!(reg.histogram("a.lat").unwrap().count(), 1);
+        assert_eq!(reg.counter("a.depth"), None);
+        assert_eq!(reg.len(), 3);
+    }
+
+    #[test]
+    fn jsonl_is_sorted_and_parseable_shape() {
+        let mut reg = MetricsRegistry::new();
+        reg.set_gauge("z.last", 1);
+        reg.add_counter("a.first", 7);
+        reg.observe("m.mid", 3);
+        let out = reg.to_jsonl();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("{\"name\":\"a.first\""));
+        assert!(lines[1].starts_with("{\"name\":\"m.mid\""));
+        assert!(lines[2].starts_with("{\"name\":\"z.last\""));
+        assert_eq!(
+            lines[0],
+            "{\"name\":\"a.first\",\"type\":\"counter\",\"value\":7}"
+        );
+        assert!(lines[1].contains("\"type\":\"histogram\""));
+        assert!(lines[1].contains("\"buckets\":[[2,1]]"));
+        for line in &lines {
+            // Crude structural sanity: balanced braces/brackets, no raw newlines.
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn jsonl_escapes_names() {
+        let mut reg = MetricsRegistry::new();
+        reg.add_counter("weird\"name\\with\nstuff", 1);
+        let out = reg.to_jsonl();
+        assert!(out.contains("weird\\\"name\\\\with\\nstuff"));
+    }
+
+    #[test]
+    fn snapshots_diff_cleanly() {
+        let mut a = MetricsRegistry::new();
+        a.add_counter("x", 1);
+        let mut b = a.clone();
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+        b.add_counter("x", 1);
+        assert_ne!(a.to_jsonl(), b.to_jsonl());
+    }
+}

@@ -11,6 +11,14 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q --workspace --no-fail-fast
 
+# Feature matrix: the obs feature only constant-folds the flight recorder's
+# recording paths — the API must build and test identically without it.
+echo "==> cargo test (no default features)"
+cargo test -q -p virtualwire --no-default-features
+
+echo "==> example smoke: obs_flight_recorder"
+cargo run -q --release --example obs_flight_recorder > /dev/null
+
 echo "==> cargo clippy"
 cargo clippy --all-targets -- -D warnings
 
