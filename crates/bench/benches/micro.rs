@@ -155,8 +155,19 @@ const OBS_SCRIPT: &str = r#"
 /// engines until STOP — with the world trace disabled so the measured
 /// cost is the engine packet path plus whatever the flight recorder adds.
 fn run_obs_scenario(obs: ObsLevel, trace: bool) -> (u64, World) {
+    run_impaired_scenario(obs, trace, vw_netsim::ControlImpairment::none())
+}
+
+/// Same scenario with the control plane impaired: the cost of the
+/// reliability layer actually earning its keep (retransmits, dedupe).
+fn run_impaired_scenario(
+    obs: ObsLevel,
+    trace: bool,
+    impairment: vw_netsim::ControlImpairment,
+) -> (u64, World) {
     let tables = virtualwire::compile_script(OBS_SCRIPT).unwrap();
     let mut world = World::new(7);
+    world.set_control_impairment(impairment);
     world.trace_mut().set_enabled(trace);
     let nodes = Runner::create_hosts(&mut world, &tables);
     let sw = world.add_switch("sw0", 4);
@@ -217,9 +228,63 @@ fn bench_obs_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-frame overhead of the sequencing layer. The acceptance bar for the
+/// reliability PR: `engine_run/clean` (sequenced path, zero impairment)
+/// must sit within 5% of the pre-reliability `obs/engine_run/off`
+/// baseline; `drop10` shows what retransmission costs when loss is real.
+fn bench_control_plane(c: &mut Criterion) {
+    let mut group = c.benchmark_group("control_plane");
+
+    // Wire-codec hot path: one sequenced TermStatus through the versioned
+    // header, encode + decode.
+    let msg = virtualwire::wire::ControlMsg::TermStatus {
+        term: vw_fsl::TermId(3),
+        status: true,
+    };
+    group.bench_function("sequenced_roundtrip", |b| {
+        b.iter(|| {
+            let bytes =
+                virtualwire::wire::encode_sequenced(black_box(41), black_box(17), black_box(&msg));
+            virtualwire::wire::decode_sequenced(black_box(&bytes)).unwrap()
+        })
+    });
+
+    // Receiver sequencing: 64 in-order admissions (the zero-impairment
+    // fast path — no buffering, no gaps).
+    group.bench_function("receiver_in_order_64", |b| {
+        b.iter(|| {
+            let mut rx = virtualwire::wire::SequenceReceiver::new(64);
+            let mut out = Vec::new();
+            for seq in 1..=64u32 {
+                rx.admit(seq, black_box(msg.clone()), &mut out);
+                out.clear();
+            }
+            black_box(rx.cumulative_ack())
+        })
+    });
+
+    // Whole-scenario cost at zero impairment vs 10% control-plane drop.
+    for (label, drop) in [("clean", 0.0), ("drop10", 0.10)] {
+        let impairment = if drop > 0.0 {
+            vw_netsim::ControlImpairment {
+                drop,
+                ..vw_netsim::ControlImpairment::none()
+            }
+        } else {
+            vw_netsim::ControlImpairment::none()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("engine_run", label),
+            &impairment,
+            |b, i| b.iter(|| black_box(run_impaired_scenario(ObsLevel::Off, false, *i).0)),
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_classify, bench_classifier_modes, bench_fsl_frontend, bench_rll_window, bench_obs_overhead
+    targets = bench_classify, bench_classifier_modes, bench_fsl_frontend, bench_rll_window, bench_obs_overhead, bench_control_plane
 }
 criterion_main!(benches);

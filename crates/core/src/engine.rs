@@ -73,6 +73,48 @@ impl CostModel {
     }
 }
 
+/// Reliability knobs for the control plane: retransmission backoff,
+/// receiver reorder window, and the staleness threshold past which a
+/// peer's updates are frozen and flagged instead of waited for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlPlaneConfig {
+    /// First retransmission timeout for an unacknowledged sequenced
+    /// control message.
+    pub initial_rto: SimDuration,
+    /// Backoff cap: the RTO doubles per retransmission up to this.
+    pub max_rto: SimDuration,
+    /// First retransmission timeout for an unacknowledged `Init`. Much
+    /// larger than [`initial_rto`](ControlPlaneConfig::initial_rto):
+    /// `Init` carries the whole table set (kilobytes), so on slow links
+    /// its serialization alone dwarfs a data-frame RTT, and a spurious
+    /// retransmission is expensive.
+    pub init_rto: SimDuration,
+    /// Staleness threshold: when the oldest unacknowledged message (or
+    /// an unfilled receive-side sequence gap) is older than this, the
+    /// engine degrades — remote terms freeze at last-known status and a
+    /// diagnostic is flagged — instead of silently evaluating garbage.
+    pub staleness: SimDuration,
+    /// Sender-side cap on outstanding unacknowledged messages per peer;
+    /// exceeding it is treated as staleness.
+    pub max_unacked: usize,
+    /// Receiver-side reorder window: sequenced messages more than this
+    /// far ahead of the next expected sequence number are refused.
+    pub reorder_window: u32,
+}
+
+impl Default for ControlPlaneConfig {
+    fn default() -> Self {
+        ControlPlaneConfig {
+            initial_rto: SimDuration::from_micros(200),
+            max_rto: SimDuration::from_millis(5),
+            init_rto: SimDuration::from_millis(8),
+            staleness: SimDuration::from_millis(25),
+            max_unacked: 1024,
+            reorder_window: 1024,
+        }
+    }
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
@@ -92,6 +134,8 @@ pub struct EngineConfig {
     /// conditions and triggered actions; `Full` records the whole causal
     /// stream (classification, counter updates, term flips).
     pub obs: ObsLevel,
+    /// Control-plane reliability knobs.
+    pub control: ControlPlaneConfig,
 }
 
 impl Default for EngineConfig {
@@ -101,6 +145,7 @@ impl Default for EngineConfig {
             cascade_budget: 10_000,
             classifier: ClassifierMode::default(),
             obs: ObsLevel::Off,
+            control: ControlPlaneConfig::default(),
         }
     }
 }
@@ -146,9 +191,87 @@ pub struct EngineStats {
     /// Deepest evaluation cascade observed (worklist steps triggered by a
     /// single counter mutation).
     pub max_cascade_depth: u32,
+    /// Control messages retransmitted (unacknowledged past their RTO).
+    pub control_retransmits: u64,
+    /// Sequenced control messages suppressed as duplicates.
+    pub control_dup_suppressed: u64,
+    /// Sequenced control messages parked in the reorder buffer because
+    /// they arrived ahead of a gap.
+    pub control_reorder_buffered: u64,
+    /// Peers degraded for staleness (remote terms frozen at last-known
+    /// status and a diagnostic flagged).
+    pub control_stale_degradations: u64,
 }
 
+/// Timer token: the control-plane pump (retransmissions + staleness).
+const TIMER_RETX: u64 = 1;
+/// Timer token: control-node `Init` retransmission.
+const TIMER_INIT_RETX: u64 = 2;
+/// DELAY-action tokens live above this base, clear of the control-plane
+/// tokens.
 const TIMER_DELAY_BASE: u64 = 1 << 32;
+
+/// One sequenced message awaiting acknowledgment.
+#[derive(Debug)]
+struct RetxEntry {
+    seq: u32,
+    msg: ControlMsg,
+    /// When the message was first sent — staleness keys off this.
+    first_sent: SimTime,
+}
+
+/// Sender-side reliability state toward one peer. Retransmission is
+/// head-of-line: only the oldest unacknowledged message is resent (the
+/// cumulative ack it provokes covers everything the peer already
+/// buffered), with one RTO per peer doubling up to the cap.
+#[derive(Debug)]
+struct PeerTx {
+    next_seq: u32,
+    queue: std::collections::VecDeque<RetxEntry>,
+    rto: SimDuration,
+    /// Next retransmission check; `None` while nothing is outstanding.
+    next_at: Option<SimTime>,
+    /// Staleness diagnostic latched (flagged at most once per peer).
+    stale_flagged: bool,
+}
+
+impl PeerTx {
+    fn new(initial_rto: SimDuration) -> Self {
+        PeerTx {
+            next_seq: 1,
+            queue: std::collections::VecDeque::new(),
+            rto: initial_rto,
+            next_at: None,
+            stale_flagged: false,
+        }
+    }
+}
+
+/// Receiver-side reliability state from one peer.
+#[derive(Debug)]
+struct PeerRx {
+    recv: wire::SequenceReceiver,
+    /// When the current reorder-buffer gap opened; staleness keys off
+    /// this.
+    gap_since: Option<SimTime>,
+    /// Degraded: this peer's remote terms are frozen at last-known
+    /// status; further sequenced messages are ignored (and not acked).
+    frozen: bool,
+    /// A sequenced message was processed and its cumulative ack has not
+    /// yet ridden an outgoing frame.
+    ack_owed: bool,
+}
+
+impl PeerRx {
+    fn new(window: u32) -> Self {
+        PeerRx {
+            recv: wire::SequenceReceiver::new(window),
+            gap_since: None,
+            frozen: false,
+            ack_owed: false,
+        }
+    }
+}
 
 /// The per-node Fault Injection and Analysis Engine.
 pub struct Engine {
@@ -172,6 +295,20 @@ pub struct Engine {
     distributed: bool,
     /// Init acks received (control node only).
     acked: Vec<NodeId>,
+    /// Current `Init` retransmission timeout (control node only).
+    init_rto: SimDuration,
+
+    /// Sender-side reliability state, per peer MAC.
+    peer_tx: HashMap<MacAddr, PeerTx>,
+    /// Receiver-side reliability state, per peer MAC.
+    peer_rx: HashMap<MacAddr, PeerRx>,
+    /// Earliest pending control-plane deadline (retransmission or
+    /// staleness); the per-frame pump is one compare against this.
+    pump_next: Option<SimTime>,
+    /// When the pump timer is armed for, to avoid re-arming per send.
+    pump_armed_for: Option<SimTime>,
+    /// Reusable buffer for in-order-released control messages.
+    scratch_ctrl: Vec<ControlMsg>,
 
     /// DELAY buffer: timer token → held packet.
     held: HashMap<u64, (Frame, Dir)>,
@@ -248,6 +385,12 @@ impl Engine {
             is_control: false,
             distributed: false,
             acked: Vec::new(),
+            init_rto: cfg.control.initial_rto,
+            peer_tx: HashMap::new(),
+            peer_rx: HashMap::new(),
+            pump_next: None,
+            pump_armed_for: None,
+            scratch_ctrl: Vec::new(),
             held: HashMap::new(),
             next_delay_token: 0,
             reorder_bufs: HashMap::new(),
@@ -512,7 +655,7 @@ impl Engine {
                     };
                     let dst = tables.nodes[subscriber.index()].mac;
                     ctx.charge(SimDuration::from_nanos(self.cfg.cost.per_action_ns));
-                    self.send_control(ctx, wire::build_frame(ctx.mac(), dst, &msg));
+                    self.send_sequenced(ctx, dst, msg);
                 }
             }
             // Re-evaluate locally hosted terms over this counter.
@@ -549,7 +692,7 @@ impl Engine {
                             let msg = ControlMsg::TermStatus { term, status };
                             let dst = tables.nodes[eval_node.index()].mac;
                             ctx.charge(SimDuration::from_nanos(self.cfg.cost.per_action_ns));
-                            self.send_control(ctx, wire::build_frame(ctx.mac(), dst, &msg));
+                            self.send_sequenced(ctx, dst, msg);
                         }
                     }
                 }
@@ -566,6 +709,253 @@ impl Engine {
         self.stats.control_sent += 1;
         self.stats.control_sent_bytes += frame.len() as u64;
         ctx.send(frame);
+    }
+
+    // ------------------------------------------------------------------
+    // Control-plane reliability: sequencing, acks, retransmission
+    // ------------------------------------------------------------------
+
+    /// Sends a sequenced control message to `dst`: assigns the peer's
+    /// next sequence number, piggybacks the cumulative ack we owe that
+    /// peer, and enqueues the message for retransmission until acked.
+    fn send_sequenced(&mut self, ctx: &mut Context<'_>, dst: MacAddr, msg: ControlMsg) {
+        let now = ctx.now();
+        let cfg = self.cfg.control;
+        let ack = match self.peer_rx.get_mut(&dst) {
+            Some(rx) => {
+                rx.ack_owed = false;
+                rx.recv.cumulative_ack()
+            }
+            None => 0,
+        };
+        let tx = self
+            .peer_tx
+            .entry(dst)
+            .or_insert_with(|| PeerTx::new(cfg.initial_rto));
+        let seq = tx.next_seq;
+        tx.next_seq += 1;
+        tx.queue.push_back(RetxEntry {
+            seq,
+            msg: msg.clone(),
+            first_sent: now,
+        });
+        if tx.next_at.is_none() {
+            tx.rto = cfg.initial_rto;
+            tx.next_at = Some(now.saturating_add(cfg.initial_rto));
+        }
+        let next_at = tx.next_at;
+        let overloaded = !tx.stale_flagged && tx.queue.len() > cfg.max_unacked;
+        if overloaded {
+            tx.stale_flagged = true;
+        }
+        let frame = wire::build_sequenced_frame(ctx.mac(), dst, seq, ack, &msg);
+        self.send_control(ctx, frame);
+        if overloaded {
+            self.flag_stale_sender(ctx, dst);
+        }
+        if let Some(at) = next_at {
+            self.pump_next = Some(self.pump_next.map_or(at, |p| p.min(at)));
+        }
+        self.arm_pump_timer(ctx);
+    }
+
+    /// Applies a cumulative ack from `src`: drops every covered
+    /// retransmission entry and, if the ack made progress with messages
+    /// still outstanding, resets the peer's RTO.
+    fn process_ack(&mut self, src: MacAddr, now: SimTime, ack: u32) {
+        let initial_rto = self.cfg.control.initial_rto;
+        let Some(tx) = self.peer_tx.get_mut(&src) else {
+            return;
+        };
+        let mut progressed = false;
+        while tx.queue.front().is_some_and(|e| e.seq <= ack) {
+            tx.queue.pop_front();
+            progressed = true;
+        }
+        if tx.queue.is_empty() {
+            tx.next_at = None;
+        } else if progressed {
+            tx.rto = initial_rto;
+            tx.next_at = Some(now.saturating_add(initial_rto));
+        }
+        if progressed {
+            self.recompute_pump_next();
+        }
+    }
+
+    /// The per-frame retransmission check: one compare against the
+    /// earliest pending control-plane deadline, the full pump only when
+    /// something is actually due.
+    #[inline]
+    fn pump_control(&mut self, ctx: &mut Context<'_>) {
+        if self.pump_next.is_some_and(|t| ctx.now() >= t) {
+            self.run_pump(ctx);
+        }
+    }
+
+    /// Runs due retransmissions (head-of-line, capped exponential
+    /// backoff) and staleness checks, then recomputes and re-arms the
+    /// next deadline.
+    fn run_pump(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        let cfg = self.cfg.control;
+        let mut txs = std::mem::take(&mut self.peer_tx);
+        for (&mac, tx) in txs.iter_mut() {
+            let due = tx.next_at.is_some_and(|at| now >= at);
+            if !due {
+                continue;
+            }
+            let Some(front) = tx.queue.front() else {
+                tx.next_at = None;
+                continue;
+            };
+            if !tx.stale_flagged && now.saturating_since(front.first_sent) >= cfg.staleness {
+                tx.stale_flagged = true;
+                self.flag_stale_sender(ctx, mac);
+            }
+            let ack = self.peer_rx.get_mut(&mac).map_or(0, |rx| {
+                rx.ack_owed = false;
+                rx.recv.cumulative_ack()
+            });
+            let frame = wire::build_sequenced_frame(ctx.mac(), mac, front.seq, ack, &front.msg);
+            self.stats.control_retransmits += 1;
+            self.send_control(ctx, frame);
+            tx.rto = tx.rto.saturating_add(tx.rto).min(cfg.max_rto);
+            tx.next_at = Some(now.saturating_add(tx.rto));
+        }
+        self.peer_tx = txs;
+
+        let stale: Vec<MacAddr> = self
+            .peer_rx
+            .iter()
+            .filter(|(_, rx)| {
+                !rx.frozen
+                    && rx
+                        .gap_since
+                        .is_some_and(|g| now.saturating_since(g) >= cfg.staleness)
+            })
+            .map(|(&mac, _)| mac)
+            .collect();
+        for mac in stale {
+            self.freeze_peer(ctx, mac);
+        }
+
+        self.recompute_pump_next();
+        self.arm_pump_timer(ctx);
+    }
+
+    /// Recomputes the earliest pending control-plane deadline across all
+    /// peers' retransmission timers and receive-gap staleness deadlines.
+    fn recompute_pump_next(&mut self) {
+        let staleness = self.cfg.control.staleness;
+        let mut next: Option<SimTime> = None;
+        let mut fold = |t: SimTime| {
+            next = Some(next.map_or(t, |n| n.min(t)));
+        };
+        for tx in self.peer_tx.values() {
+            if let Some(at) = tx.next_at {
+                fold(at);
+            }
+        }
+        for rx in self.peer_rx.values() {
+            if rx.frozen {
+                continue;
+            }
+            if let Some(g) = rx.gap_since {
+                fold(g.saturating_add(staleness));
+            }
+        }
+        self.pump_next = next;
+    }
+
+    /// Arms the pump timer for the next deadline, unless one is already
+    /// armed at least as early. A timer that fires with nothing due is a
+    /// harmless no-op, so early timers never need cancelling.
+    fn arm_pump_timer(&mut self, ctx: &mut Context<'_>) {
+        let Some(next) = self.pump_next else {
+            return;
+        };
+        if self.pump_armed_for.is_some_and(|t| t <= next) {
+            return;
+        }
+        let delay = next.saturating_since(ctx.now());
+        ctx.set_timer(delay, TIMER_RETX);
+        self.pump_armed_for = Some(next);
+    }
+
+    /// Resolves a peer MAC to its script node identity, if known.
+    fn peer_identity(&self, mac: MacAddr) -> (Option<NodeId>, String) {
+        if let Some(tables) = self.tables.as_ref() {
+            for (i, node) in tables.nodes.iter().enumerate() {
+                if node.mac == mac {
+                    return (Some(NodeId(i as u16)), node.name.clone());
+                }
+            }
+        }
+        (None, mac.to_string())
+    }
+
+    /// Flags sender-side staleness: the peer has stopped acknowledging
+    /// our sequenced updates. Retransmission continues (capped backoff),
+    /// but the run's report now carries the degradation.
+    fn flag_stale_sender(&mut self, ctx: &mut Context<'_>, peer: MacAddr) {
+        let (_, peer_name) = self.peer_identity(peer);
+        self.stats.control_stale_degradations += 1;
+        self.push_stale_error(
+            ctx,
+            format!(
+                "control-plane staleness: {peer_name} is not acknowledging sequenced \
+                 updates; its view of remote terms may lag (still retransmitting)"
+            ),
+        );
+    }
+
+    /// Degrades a stale peer on the receive side: its sequence stream has
+    /// a gap older than the staleness threshold, so its remote terms are
+    /// frozen at last-known status and further sequenced messages are
+    /// ignored (and deliberately not acked).
+    fn freeze_peer(&mut self, ctx: &mut Context<'_>, peer: MacAddr) {
+        let Some(rx) = self.peer_rx.get_mut(&peer) else {
+            return;
+        };
+        rx.frozen = true;
+        rx.gap_since = None;
+        rx.ack_owed = false;
+        self.stats.control_stale_degradations += 1;
+        let (peer_id, peer_name) = self.peer_identity(peer);
+        if self.obs_faults() {
+            if let (Some(me), Some(peer_id)) = (self.me, peer_id) {
+                self.flight.push(ObsEvent::PeerDegraded {
+                    time: ctx.now(),
+                    node: me,
+                    frame_seq: self.frame_seq,
+                    peer: peer_id,
+                });
+            }
+        }
+        self.push_stale_error(
+            ctx,
+            format!(
+                "control-plane staleness: sequenced updates from {peer_name} stalled on a \
+                 sequence gap; remote terms frozen at last-known status"
+            ),
+        );
+    }
+
+    /// Records a staleness diagnostic as a flagged error on this node.
+    fn push_stale_error(&mut self, ctx: &mut Context<'_>, message: String) {
+        let (node, node_name) = match (self.me, self.tables.as_ref()) {
+            (Some(me), Some(tables)) => (me, tables.nodes[me.index()].name.clone()),
+            _ => (NodeId(u16::MAX), "uninitialized".to_string()),
+        };
+        ctx.trace_note_lazy(|| format!("virtualwire: {message}"));
+        self.errors.push(FlaggedError {
+            node,
+            node_name,
+            condition: None,
+            message,
+            time: ctx.now(),
+        });
     }
 
     /// Re-evaluates one condition; returns it if it transitioned to true.
@@ -714,21 +1104,101 @@ impl Engine {
     fn handle_control(&mut self, ctx: &mut Context<'_>, frame: &Frame) {
         self.stats.control_received += 1;
         self.stats.control_received_bytes += frame.len() as u64;
-        let msg = match wire::parse_frame(frame) {
-            Ok(msg) => msg,
-            Err(_) => return, // corrupted control frame: RLL should prevent this
+        let cf = match wire::parse_control(frame) {
+            Ok(cf) => cf,
+            Err(_) => return, // corrupted/legacy control frame: refuse, never misparse
         };
+        let src = frame.src();
+        if cf.ack > 0 {
+            self.process_ack(src, ctx.now(), cf.ack);
+        }
+        self.pump_control(ctx);
+        if cf.seq == 0 {
+            self.dispatch_control(ctx, src, cf.msg);
+            return;
+        }
+
+        // Sequenced message: admit through the per-peer receiver so
+        // remote term evaluation stays exactly-once and in-order.
+        if !self.initialized() {
+            // Deliberately no ack: the Init that precedes these updates
+            // has not arrived yet, so the sender must keep retransmitting
+            // until table distribution catches up.
+            return;
+        }
+        let cfg = self.cfg.control;
+        let now = ctx.now();
+        let mut released = std::mem::take(&mut self.scratch_ctrl);
+        released.clear();
+        {
+            let rx = self
+                .peer_rx
+                .entry(src)
+                .or_insert_with(|| PeerRx::new(cfg.reorder_window));
+            if rx.frozen {
+                // Degraded peer: its remote terms are frozen; ignore
+                // without acking.
+                self.scratch_ctrl = released;
+                return;
+            }
+            match rx.recv.admit(cf.seq, cf.msg, &mut released) {
+                wire::Admission::Applied(_) => {}
+                wire::Admission::Buffered => self.stats.control_reorder_buffered += 1,
+                wire::Admission::Duplicate => self.stats.control_dup_suppressed += 1,
+                wire::Admission::Rejected => self.stats.control_dup_suppressed += 1,
+            }
+            if rx.recv.has_gap() {
+                if rx.gap_since.is_none() {
+                    rx.gap_since = Some(now);
+                }
+            } else {
+                rx.gap_since = None;
+            }
+            rx.ack_owed = true;
+        }
+        self.recompute_pump_next();
+        for msg in released.drain(..) {
+            self.dispatch_control(ctx, src, msg);
+        }
+        self.scratch_ctrl = released;
+        // Ack what we've cumulatively received — as a pure Ack frame
+        // unless a sequenced send back to this peer already carried it.
+        let owed = match self.peer_rx.get_mut(&src) {
+            Some(rx) if rx.ack_owed => {
+                rx.ack_owed = false;
+                Some(rx.recv.cumulative_ack())
+            }
+            _ => None,
+        };
+        if let Some(ack) = owed {
+            let frame = wire::build_sequenced_frame(ctx.mac(), src, 0, ack, &ControlMsg::Ack);
+            self.send_control(ctx, frame);
+        }
+        self.arm_pump_timer(ctx);
+    }
+
+    /// Applies one in-order control message from `src`.
+    fn dispatch_control(&mut self, ctx: &mut Context<'_>, src: MacAddr, msg: ControlMsg) {
         match msg {
             ControlMsg::Init { tables, you_are } => {
-                self.control_mac = Some(frame.src());
-                self.install_tables(ctx, *tables, you_are);
+                self.control_mac = Some(src);
+                if !self.initialized() {
+                    self.install_tables(ctx, *tables, you_are);
+                }
+                // A retransmitted Init never reinstalls (that would reset
+                // counters) but always re-acks, in case the first InitAck
+                // was lost.
                 let ack = ControlMsg::InitAck { node: you_are };
-                self.send_control(ctx, wire::build_frame(ctx.mac(), frame.src(), &ack));
+                self.send_control(ctx, wire::build_frame(ctx.mac(), src, &ack));
             }
             ControlMsg::InitAck { node } => {
                 if self.is_control && !self.acked.contains(&node) {
                     self.acked.push(node);
                 }
+            }
+            ControlMsg::Ack => {
+                // Pure ack carrier: the cumulative ack in its header was
+                // already processed.
             }
             ControlMsg::CounterUpdate { counter, value } => {
                 if self.initialized() && counter.index() < self.counter_values.len() {
@@ -819,8 +1289,44 @@ impl Engine {
             };
             self.send_control(ctx, wire::build_frame(ctx.mac(), node.mac, &msg));
         }
+        if tables.nodes.len() > 1 {
+            self.init_rto = self.cfg.control.init_rto;
+            ctx.set_timer(self.init_rto, TIMER_INIT_RETX);
+        }
         // Initialize ourselves directly.
         self.install_tables(ctx, tables, me);
+    }
+
+    /// Retransmits `Init` to peers that have not acknowledged it yet,
+    /// backing off up to the RTO cap; stops rearming once every peer has
+    /// acked.
+    fn retransmit_inits(&mut self, ctx: &mut Context<'_>) {
+        if !self.is_control || !self.initialized() {
+            return;
+        }
+        let me = self.me.expect("control engine has identity");
+        let tables = self.tables.clone().expect("initialized");
+        let mut resent = false;
+        for (i, node) in tables.nodes.iter().enumerate() {
+            let node_id = NodeId(i as u16);
+            if node_id == me || self.acked.contains(&node_id) {
+                continue;
+            }
+            let msg = ControlMsg::Init {
+                tables: Box::new(tables.clone()),
+                you_are: node_id,
+            };
+            self.stats.control_retransmits += 1;
+            self.send_control(ctx, wire::build_frame(ctx.mac(), node.mac, &msg));
+            resent = true;
+        }
+        if resent {
+            self.init_rto = self
+                .init_rto
+                .saturating_add(self.init_rto)
+                .min(self.cfg.control.staleness.max(self.cfg.control.init_rto));
+            ctx.set_timer(self.init_rto, TIMER_INIT_RETX);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -831,6 +1337,9 @@ impl Engine {
         if self.me.is_none() {
             return Verdict::Accept(frame);
         }
+        // Retransmission checks ride the per-frame path: one compare
+        // against the earliest pending deadline when nothing is due.
+        self.pump_control(ctx);
         let tables = self.tables.take().expect("initialized with me");
         let verdict = self.process_packet_inner(ctx, &tables, frame, dir);
         self.tables = Some(tables);
@@ -1184,12 +1693,21 @@ impl Hook for Engine {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
-        if let Some((frame, dir)) = self.held.remove(&token) {
-            // Release a delayed packet without re-classifying it
-            // (Figure 4(b): "[released packet]").
-            match dir {
-                Dir::Send => ctx.send(frame),
-                Dir::Recv => ctx.deliver_up(frame),
+        match token {
+            TIMER_RETX => {
+                self.pump_armed_for = None;
+                self.run_pump(ctx);
+            }
+            TIMER_INIT_RETX => self.retransmit_inits(ctx),
+            _ => {
+                if let Some((frame, dir)) = self.held.remove(&token) {
+                    // Release a delayed packet without re-classifying it
+                    // (Figure 4(b): "[released packet]").
+                    match dir {
+                        Dir::Send => ctx.send(frame),
+                        Dir::Recv => ctx.deliver_up(frame),
+                    }
+                }
             }
         }
     }

@@ -109,19 +109,30 @@ impl Report {
     /// recorded event stream: the classification, counter updates, term
     /// flips and condition firing that led to it.
     ///
-    /// Returns `None` when the error carries no condition, or when no
-    /// matching `ConditionFired` event was recorded (e.g. the run was at
-    /// [`ObsLevel::Off`](vw_obs::ObsLevel::Off)).
+    /// Condition-less errors (engine diagnostics such as control-plane
+    /// staleness degradations) are matched to the nearest recorded
+    /// [`ObsEvent::PeerDegraded`] at the same node instead.
+    ///
+    /// Returns `None` when no matching event was recorded (e.g. the run
+    /// was at [`ObsLevel::Off`](vw_obs::ObsLevel::Off)).
     pub fn explain(&self, error: &FlaggedError) -> Option<CausalChain> {
-        let cond = error.condition?;
-        let fired = self.events.iter().rev().find(|e| {
-            matches!(
-                **e,
-                ObsEvent::ConditionFired { node, cond: c, time, .. }
-                    if node == error.node && c == cond && time <= error.time
-            )
-        })?;
-        Some(self.explain_seq(fired.node(), fired.frame_seq()))
+        let anchor = match error.condition {
+            Some(cond) => self.events.iter().rev().find(|e| {
+                matches!(
+                    **e,
+                    ObsEvent::ConditionFired { node, cond: c, time, .. }
+                        if node == error.node && c == cond && time <= error.time
+                )
+            })?,
+            None => self.events.iter().rev().find(|e| {
+                matches!(
+                    **e,
+                    ObsEvent::PeerDegraded { node, time, .. }
+                        if node == error.node && time <= error.time
+                )
+            })?,
+        };
+        Some(self.explain_seq(anchor.node(), anchor.frame_seq()))
     }
 
     /// The causal chain of one classification at one node — every recorded
@@ -158,6 +169,10 @@ impl Report {
             total.rules_scanned += s.rules_scanned;
             total.index_hits += s.index_hits;
             total.residual_scans += s.residual_scans;
+            total.control_retransmits += s.control_retransmits;
+            total.control_dup_suppressed += s.control_dup_suppressed;
+            total.control_reorder_buffered += s.control_reorder_buffered;
+            total.control_stale_degradations += s.control_stale_degradations;
             total.max_cascade_depth = total.max_cascade_depth.max(s.max_cascade_depth);
         }
         total
@@ -195,7 +210,8 @@ impl fmt::Display for Report {
                 f,
                 "engine {node}: classified {} matched {} rules-scanned {} \
                  index-hits {} residual {} max-cascade {} \
-                 ctrl-sent {}/{}B ctrl-recv {}/{}B",
+                 ctrl-sent {}/{}B ctrl-recv {}/{}B \
+                 retx {} dup-suppressed {} reorder-buffered {} stale-degradations {}",
                 s.classified,
                 s.matched,
                 s.rules_scanned,
@@ -206,6 +222,10 @@ impl fmt::Display for Report {
                 s.control_sent_bytes,
                 s.control_received,
                 s.control_received_bytes,
+                s.control_retransmits,
+                s.control_dup_suppressed,
+                s.control_reorder_buffered,
+                s.control_stale_degradations,
             )?;
         }
         Ok(())

@@ -300,6 +300,22 @@ impl Runner {
             metrics.add_counter(&format!("{node}.reorders"), s.reorders);
             metrics.add_counter(&format!("{node}.modifies"), s.modifies);
             metrics.add_counter(&format!("{node}.rules_scanned"), s.rules_scanned);
+            metrics.add_counter(
+                &format!("{node}.control_retransmits"),
+                s.control_retransmits,
+            );
+            metrics.add_counter(
+                &format!("{node}.control_dup_suppressed"),
+                s.control_dup_suppressed,
+            );
+            metrics.add_counter(
+                &format!("{node}.control_reorder_buffered"),
+                s.control_reorder_buffered,
+            );
+            metrics.add_counter(
+                &format!("{node}.control_stale_degradations"),
+                s.control_stale_degradations,
+            );
             metrics.set_gauge(
                 &format!("{node}.max_cascade_depth"),
                 i64::from(s.max_cascade_depth),

@@ -13,12 +13,34 @@
 //!   case of a change in its status");
 //! * `FLAG_ERROR` — a protocol violation, reported to the control node;
 //! * `STOP` — scenario termination, broadcast by whichever node executed
-//!   the `STOP` action.
+//!   the `STOP` action;
+//! * `ACK` — a pure acknowledgment carrier for the reliability layer.
 //!
 //! Everything is encoded with a small hand-rolled big-endian codec so the
 //! tables genuinely travel through the simulated network during
 //! initialization.
+//!
+//! ## Versioned reliability header
+//!
+//! Since wire version 2 every control payload is preceded by a fixed
+//! 14-byte header (see [`WIRE_MAGIC`]/[`WIRE_VERSION`]):
+//!
+//! ```text
+//! offset  0: magic      (u8, 0xD7 — distinct from every v1 tag byte)
+//! offset  1: version    (u8, currently 2)
+//! offset  2: body_len   (u32 BE, exact length of the message body)
+//! offset  6: seq        (u32 BE, per-peer sequence number; 0 = unsequenced)
+//! offset 10: ack        (u32 BE, cumulative ack of the peer's seqs; 0 = none)
+//! ```
+//!
+//! `COUNTER_UPDATE` and `TERM_STATUS` travel sequenced (seq > 0) so
+//! receivers can dedupe and reorder-buffer them; everything else is
+//! unsequenced. Old (v1, unsequenced) payloads start with a tag byte in
+//! `1..=7` and are rejected with the typed
+//! [`ControlDecodeError::Legacy`] instead of being misparsed.
 
+use std::collections::BTreeMap;
+use std::fmt;
 use std::net::Ipv4Addr;
 
 use vw_fsl::{
@@ -74,6 +96,10 @@ pub enum ControlMsg {
         /// Why.
         reason: String,
     },
+    /// A pure acknowledgment: carries no body of its own — the cumulative
+    /// ack lives in the versioned header. Sent when a node receives a
+    /// sequenced update but has nothing of its own to piggyback the ack on.
+    Ack,
 }
 
 // ---------------------------------------------------------------------
@@ -203,6 +229,7 @@ const TAG_COUNTER_UPDATE: u8 = 3;
 const TAG_TERM_STATUS: u8 = 4;
 const TAG_FLAG_ERROR: u8 = 5;
 const TAG_STOP: u8 = 6;
+const TAG_ACK: u8 = 7;
 
 /// Encodes a control message as a raw payload.
 pub fn encode(msg: &ControlMsg) -> Vec<u8> {
@@ -241,6 +268,9 @@ pub fn encode(msg: &ControlMsg) -> Vec<u8> {
             w.u8(TAG_STOP);
             w.u16(node.0);
             w.string(reason);
+        }
+        ControlMsg::Ack => {
+            w.u8(TAG_ACK);
         }
     }
     w.0
@@ -282,6 +312,7 @@ pub fn decode(bytes: &[u8]) -> Result<ControlMsg, ParseError> {
             node: NodeId(r.u16()?),
             reason: r.string()?,
         },
+        TAG_ACK => ControlMsg::Ack,
         tag => {
             return Err(ParseError::new(format!(
                 "unknown control message tag {tag}"
@@ -291,28 +322,289 @@ pub fn decode(bytes: &[u8]) -> Result<ControlMsg, ParseError> {
     Ok(msg)
 }
 
-/// Wraps a control message in an Ethernet frame with the VirtualWire
-/// control EtherType.
+// ---------------------------------------------------------------------
+// Versioned reliability header (wire v2)
+// ---------------------------------------------------------------------
+
+/// First byte of every versioned control payload. Chosen outside the v1
+/// tag range `1..=7` so old unsequenced payloads are detected, not
+/// misparsed.
+pub const WIRE_MAGIC: u8 = 0xD7;
+/// Current control-plane wire version. Version 1 was the unsequenced
+/// tag-first layout; it is rejected with [`ControlDecodeError::Legacy`].
+pub const WIRE_VERSION: u8 = 2;
+/// Fixed size of the versioned header preceding the message body.
+pub const HEADER_LEN: usize = 14;
+
+/// A decoded versioned control payload: reliability header plus message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlFrame {
+    /// Per-peer sequence number; 0 means unsequenced (fire-and-forget).
+    pub seq: u32,
+    /// Cumulative acknowledgment of the *peer's* sequence numbers; 0 means
+    /// nothing acknowledged yet.
+    pub ack: u32,
+    /// The message body.
+    pub msg: ControlMsg,
+}
+
+/// Why a versioned control payload failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlDecodeError {
+    /// The frame does not carry [`EtherType::VW_CONTROL`].
+    NotControl,
+    /// The payload is shorter than the fixed header.
+    Truncated,
+    /// A wire-v1 (unsequenced, tag-first) payload: `tag` is its leading
+    /// tag byte. Old frames are rejected, never misparsed as v2.
+    Legacy {
+        /// The v1 message tag the payload led with.
+        tag: u8,
+    },
+    /// The leading byte is neither a v1 tag nor the v2 magic.
+    BadMagic {
+        /// The byte found.
+        byte: u8,
+    },
+    /// The header names a wire version this decoder does not speak.
+    UnsupportedVersion {
+        /// The version found.
+        version: u8,
+    },
+    /// The explicit length field promises more body bytes than the
+    /// payload holds.
+    LengthMismatch {
+        /// Bytes the header declared.
+        declared: usize,
+        /// Bytes actually available after the header.
+        available: usize,
+    },
+    /// The header was sound but the message body failed to decode.
+    Body(ParseError),
+}
+
+impl fmt::Display for ControlDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlDecodeError::NotControl => f.write_str("not a VirtualWire control frame"),
+            ControlDecodeError::Truncated => f.write_str("control payload shorter than header"),
+            ControlDecodeError::Legacy { tag } => {
+                write!(f, "legacy unsequenced control payload (v1 tag {tag})")
+            }
+            ControlDecodeError::BadMagic { byte } => {
+                write!(f, "bad control magic byte {byte:#04x}")
+            }
+            ControlDecodeError::UnsupportedVersion { version } => {
+                write!(f, "unsupported control wire version {version}")
+            }
+            ControlDecodeError::LengthMismatch {
+                declared,
+                available,
+            } => write!(
+                f,
+                "control body length field claims {declared} bytes, {available} available"
+            ),
+            ControlDecodeError::Body(e) => write!(f, "control body malformed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ControlDecodeError {}
+
+impl From<ControlDecodeError> for ParseError {
+    fn from(e: ControlDecodeError) -> ParseError {
+        ParseError::new(e.to_string())
+    }
+}
+
+/// Encodes a message under the versioned reliability header.
+pub fn encode_sequenced(seq: u32, ack: u32, msg: &ControlMsg) -> Vec<u8> {
+    let body = encode(msg);
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+    out.push(WIRE_MAGIC);
+    out.push(WIRE_VERSION);
+    out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    out.extend_from_slice(&seq.to_be_bytes());
+    out.extend_from_slice(&ack.to_be_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decodes a versioned control payload. Bytes past the declared body
+/// length are tolerated (frame padding); bytes missing from it are not.
+///
+/// # Errors
+///
+/// Returns a typed [`ControlDecodeError`]; in particular, wire-v1
+/// payloads (leading byte in `1..=7`) yield
+/// [`ControlDecodeError::Legacy`].
+pub fn decode_sequenced(bytes: &[u8]) -> Result<ControlFrame, ControlDecodeError> {
+    let first = *bytes.first().ok_or(ControlDecodeError::Truncated)?;
+    if (TAG_INIT..=TAG_ACK).contains(&first) {
+        return Err(ControlDecodeError::Legacy { tag: first });
+    }
+    if first != WIRE_MAGIC {
+        return Err(ControlDecodeError::BadMagic { byte: first });
+    }
+    if bytes.len() < HEADER_LEN {
+        return Err(ControlDecodeError::Truncated);
+    }
+    let version = bytes[1];
+    if version != WIRE_VERSION {
+        return Err(ControlDecodeError::UnsupportedVersion { version });
+    }
+    let declared = u32::from_be_bytes([bytes[2], bytes[3], bytes[4], bytes[5]]) as usize;
+    let available = bytes.len() - HEADER_LEN;
+    if declared > available {
+        return Err(ControlDecodeError::LengthMismatch {
+            declared,
+            available,
+        });
+    }
+    let seq = u32::from_be_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]);
+    let ack = u32::from_be_bytes([bytes[10], bytes[11], bytes[12], bytes[13]]);
+    let msg =
+        decode(&bytes[HEADER_LEN..HEADER_LEN + declared]).map_err(ControlDecodeError::Body)?;
+    Ok(ControlFrame { seq, ack, msg })
+}
+
+/// Wraps an unsequenced control message in an Ethernet frame with the
+/// VirtualWire control EtherType (versioned header, seq = ack = 0).
 pub fn build_frame(src: MacAddr, dst: MacAddr, msg: &ControlMsg) -> Frame {
+    build_sequenced_frame(src, dst, 0, 0, msg)
+}
+
+/// Wraps a control message in an Ethernet frame with an explicit
+/// sequence number and cumulative ack.
+pub fn build_sequenced_frame(
+    src: MacAddr,
+    dst: MacAddr,
+    seq: u32,
+    ack: u32,
+    msg: &ControlMsg,
+) -> Frame {
     EthernetBuilder::new()
         .src(src)
         .dst(dst)
         .ethertype(EtherType::VW_CONTROL)
-        .payload_owned(encode(msg))
+        .payload_owned(encode_sequenced(seq, ack, msg))
         .build()
 }
 
-/// Parses a control frame.
+/// Parses a control frame's versioned payload, header included.
+///
+/// # Errors
+///
+/// Returns a typed [`ControlDecodeError`].
+pub fn parse_control(frame: &Frame) -> Result<ControlFrame, ControlDecodeError> {
+    if frame.ethertype() != EtherType::VW_CONTROL {
+        return Err(ControlDecodeError::NotControl);
+    }
+    decode_sequenced(frame.payload())
+}
+
+/// Parses a control frame, discarding the reliability header.
 ///
 /// # Errors
 ///
 /// Returns [`ParseError`] if the frame's EtherType is not
 /// [`EtherType::VW_CONTROL`] or the payload is malformed.
 pub fn parse_frame(frame: &Frame) -> Result<ControlMsg, ParseError> {
-    if frame.ethertype() != EtherType::VW_CONTROL {
-        return Err(ParseError::new("not a VirtualWire control frame"));
+    parse_control(frame)
+        .map(|cf| cf.msg)
+        .map_err(ParseError::from)
+}
+
+// ---------------------------------------------------------------------
+// Receiver-side sequencing: dedupe + reorder buffer + cumulative ack
+// ---------------------------------------------------------------------
+
+/// What [`SequenceReceiver::admit`] did with a sequenced message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The message (and `n - 1` previously buffered successors) were
+    /// released in order.
+    Applied(usize),
+    /// Out of order: buffered until the gap before it fills.
+    Buffered,
+    /// Already delivered or already buffered: suppressed.
+    Duplicate,
+    /// Beyond the reorder window: refused (bounds buffer memory against
+    /// a peer that jumps its sequence space).
+    Rejected,
+}
+
+/// Per-peer receive state for sequenced control messages: exactly-once,
+/// in-order delivery over a duplicating, reordering wire.
+///
+/// Sequence numbers start at 1 and are monotone per sender;
+/// [`SequenceReceiver::cumulative_ack`] names the highest seq below which
+/// everything has been delivered (0 = nothing yet). The type is pure —
+/// no clocks, no I/O — so property tests can drive it with arbitrary
+/// interleavings.
+#[derive(Debug, Clone)]
+pub struct SequenceReceiver {
+    next: u32,
+    window: u32,
+    pending: BTreeMap<u32, ControlMsg>,
+}
+
+impl Default for SequenceReceiver {
+    fn default() -> Self {
+        SequenceReceiver::new(1024)
     }
-    decode(frame.payload())
+}
+
+impl SequenceReceiver {
+    /// A fresh receiver expecting seq 1, buffering at most `window`
+    /// out-of-order messages ahead of the next expected seq.
+    pub fn new(window: u32) -> Self {
+        SequenceReceiver {
+            next: 1,
+            window: window.max(1),
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// Admits one sequenced message. In-order deliverable messages (the
+    /// admitted one plus any buffered successors it unblocks) are pushed
+    /// onto `out` in sequence order.
+    pub fn admit(&mut self, seq: u32, msg: ControlMsg, out: &mut Vec<ControlMsg>) -> Admission {
+        if seq < self.next || self.pending.contains_key(&seq) {
+            return Admission::Duplicate;
+        }
+        if seq >= self.next.saturating_add(self.window) {
+            return Admission::Rejected;
+        }
+        if seq != self.next {
+            self.pending.insert(seq, msg);
+            return Admission::Buffered;
+        }
+        out.push(msg);
+        self.next += 1;
+        let mut released = 1;
+        while let Some(m) = self.pending.remove(&self.next) {
+            out.push(m);
+            self.next += 1;
+            released += 1;
+        }
+        Admission::Applied(released)
+    }
+
+    /// The cumulative ack: every seq `<=` this value has been delivered.
+    pub fn cumulative_ack(&self) -> u32 {
+        self.next - 1
+    }
+
+    /// `true` while out-of-order messages are waiting on a gap.
+    pub fn has_gap(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Number of messages parked in the reorder buffer.
+    pub fn buffered(&self) -> usize {
+        self.pending.len()
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -207,3 +207,148 @@ fn trace_exports_to_pcap_with_control_traffic() {
     // Timestamps are monotone (trace order is time order).
     assert!(packets.windows(2).all(|w| w[0].time_ns <= w[1].time_ns));
 }
+
+// ---------------------------------------------------------------------
+// Control-plane degradation in the flight recorder
+// ---------------------------------------------------------------------
+
+/// Two counters compared across nodes: every increment forwards a
+/// sequenced CounterUpdate over the wire, giving the impaired control
+/// plane real traffic. The condition itself can never fire.
+const STALE_SCRIPT: &str = r#"
+    FILTER_TABLE
+    udp_data: (23 1 0x11), (36 2 0x6363)
+    END
+    NODE_TABLE
+    node1 02:00:00:00:00:01 192.168.1.2
+    node2 02:00:00:00:00:02 192.168.1.3
+    END
+    SCENARIO StaleWatch
+    Sent: (udp_data, node1, node2, SEND)
+    Rcvd: (udp_data, node1, node2, RECV)
+    (TRUE) >> ENABLE_CNTR(Sent); ENABLE_CNTR(Rcvd);
+    ((Sent = Rcvd) && (Sent > 1000)) >> FLAG_ERR "unreachable";
+    END
+"#;
+
+/// Heavy control-plane loss against a deliberately twitchy staleness
+/// threshold (300µs, below the first RTO), so receiver-side sequence
+/// gaps freeze before retransmission can fill them.
+fn run_degraded(seed: u64) -> Report {
+    let tables = compile_script(STALE_SCRIPT).expect("script compiles");
+    let mut world = World::new(seed);
+    let nodes = Runner::create_hosts(&mut world, &tables);
+    let sw = world.add_switch("sw0", 4);
+    for &n in &nodes {
+        world.connect(n, sw, LinkConfig::fast_ethernet());
+    }
+    let runner = Runner::install(
+        &mut world,
+        tables,
+        EngineConfig {
+            obs: ObsLevel::Faults,
+            control: virtualwire::ControlPlaneConfig {
+                staleness: SimDuration::from_micros(300),
+                initial_rto: SimDuration::from_millis(1),
+                max_rto: SimDuration::from_millis(4),
+                ..virtualwire::ControlPlaneConfig::default()
+            },
+            ..EngineConfig::default()
+        },
+    );
+    assert!(runner.settle(&mut world), "control plane must settle");
+    world.set_control_impairment(vw_netsim::ControlImpairment {
+        drop: 0.5,
+        ..vw_netsim::ControlImpairment::none()
+    });
+
+    world.add_protocol(
+        nodes[1],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(UdpSink::new(0x6363)),
+    );
+    let flooder = UdpFlooder::new(
+        world.host_mac(nodes[1]),
+        world.host_ip(nodes[1]),
+        0x6363,
+        9000,
+        5_000_000,
+        200,
+        40 * 200,
+    );
+    world.add_protocol(
+        nodes[0],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(flooder),
+    );
+    runner.run(&mut world, SimDuration::from_millis(100))
+}
+
+#[test]
+fn stale_peer_degradation_is_explainable() {
+    let report = run_degraded(7);
+
+    // The run must not pass, and the degradation is a flagged diagnostic.
+    assert!(!report.passed(), "degraded run must not pass");
+    let stats = report.total_stats();
+    assert!(stats.control_stale_degradations >= 1, "stats: {stats:?}");
+
+    // A receiver-side freeze is a condition-less error ...
+    let frozen = report
+        .errors
+        .iter()
+        .find(|e| e.condition.is_none() && e.message.contains("frozen"))
+        .expect("receiver-side freeze must be flagged");
+
+    // ... that explain() anchors to the recorded PeerDegraded event.
+    let chain = report
+        .explain(frozen)
+        .expect("a Faults-level run explains its degradations");
+    assert!(
+        chain.kind_labels().contains(&"degraded"),
+        "chain: {}",
+        chain.render(&report.symbols)
+    );
+    let rendered = chain.render(&report.symbols);
+    assert!(rendered.contains("stale"), "rendered: {rendered}");
+
+    // The Display output carries the diagnostic too — a human reading the
+    // report sees the degradation, not a silent verdict.
+    let text = report.to_string();
+    assert!(text.contains("control-plane staleness"), "display: {text}");
+}
+
+#[test]
+fn reliability_counters_appear_in_the_metrics_export() {
+    let report = run_degraded(7);
+    let m = &report.metrics;
+
+    // Per-node reliability counters exist for every node ...
+    for node in ["node1", "node2"] {
+        for metric in [
+            "control_retransmits",
+            "control_dup_suppressed",
+            "control_reorder_buffered",
+            "control_stale_degradations",
+        ] {
+            assert!(
+                m.counter(&format!("{node}.{metric}")).is_some(),
+                "missing {node}.{metric}"
+            );
+        }
+    }
+    // ... and under 50% loss the layer demonstrably worked.
+    let total = |metric: &str| {
+        ["node1", "node2"]
+            .iter()
+            .map(|n| m.counter(&format!("{n}.{metric}")).unwrap())
+            .sum::<u64>()
+    };
+    assert!(total("control_retransmits") > 0);
+    assert!(total("control_stale_degradations") > 0);
+
+    // The JSONL snapshot (the artifact tooling consumes) carries them.
+    let jsonl = m.to_jsonl();
+    assert!(jsonl.contains("control_retransmits"), "jsonl: {jsonl}");
+    assert!(jsonl.contains("control_stale_degradations"));
+}

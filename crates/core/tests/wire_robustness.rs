@@ -195,3 +195,222 @@ proptest! {
         prop_assert!(decode(&bytes[..cut]).is_err() || cut == bytes.len());
     }
 }
+
+// ---------------------------------------------------------------------
+// Versioned reliability header (wire v2)
+// ---------------------------------------------------------------------
+
+mod versioned {
+    use proptest::prelude::*;
+    use virtualwire::wire::{
+        decode_sequenced, encode, encode_sequenced, Admission, ControlDecodeError, ControlMsg,
+        SequenceReceiver, HEADER_LEN, WIRE_MAGIC, WIRE_VERSION,
+    };
+    use vw_fsl::{CounterId, NodeId, TermId};
+
+    /// Golden bytes for the v2 layout: magic, version, body_len (u32 BE),
+    /// seq (u32 BE), ack (u32 BE), then the tag-encoded body. Pinning the
+    /// exact bytes keeps the wire format honest across refactors.
+    #[test]
+    fn golden_bytes_for_v2_term_status() {
+        let msg = ControlMsg::TermStatus {
+            term: TermId(2),
+            status: true,
+        };
+        let bytes = encode_sequenced(0x0102_0304, 0x0A0B_0C0D, &msg);
+        assert_eq!(
+            bytes,
+            vec![
+                0xD7, // WIRE_MAGIC
+                2,    // WIRE_VERSION
+                0, 0, 0, 4, // body_len = 4
+                1, 2, 3, 4, // seq
+                0x0A, 0x0B, 0x0C, 0x0D, // ack
+                4,    // TAG_TERM_STATUS
+                0, 2, // term id
+                1, // status = true
+            ]
+        );
+        assert_eq!(bytes[0], WIRE_MAGIC);
+        assert_eq!(bytes[1], WIRE_VERSION);
+        assert_eq!(bytes.len(), HEADER_LEN + 4);
+        let cf = decode_sequenced(&bytes).unwrap();
+        assert_eq!(cf.seq, 0x0102_0304);
+        assert_eq!(cf.ack, 0x0A0B_0C0D);
+        assert_eq!(cf.msg, msg);
+    }
+
+    /// Old unsequenced (v1, tag-first) payloads are rejected with the
+    /// typed `Legacy` error — never misparsed as versioned frames.
+    #[test]
+    fn legacy_payloads_are_rejected_with_typed_error() {
+        for msg in [
+            ControlMsg::InitAck { node: NodeId(1) },
+            ControlMsg::CounterUpdate {
+                counter: CounterId(3),
+                value: -9,
+            },
+            ControlMsg::TermStatus {
+                term: TermId(0),
+                status: false,
+            },
+            ControlMsg::Stop {
+                node: NodeId(0),
+                reason: "r".into(),
+            },
+            ControlMsg::Ack,
+        ] {
+            let legacy = encode(&msg); // bare body = exactly the v1 layout
+            match decode_sequenced(&legacy) {
+                Err(ControlDecodeError::Legacy { tag }) => {
+                    assert!((1..=7).contains(&tag), "tag {tag}")
+                }
+                other => panic!("legacy {msg:?} must be rejected as Legacy, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn versioned_header_edge_cases() {
+        assert_eq!(decode_sequenced(&[]), Err(ControlDecodeError::Truncated));
+        assert_eq!(
+            decode_sequenced(&[0xEE, 2, 0, 0]),
+            Err(ControlDecodeError::BadMagic { byte: 0xEE })
+        );
+        assert_eq!(
+            decode_sequenced(&[WIRE_MAGIC, 2, 0, 0]),
+            Err(ControlDecodeError::Truncated)
+        );
+        assert_eq!(
+            decode_sequenced(&[WIRE_MAGIC, 9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]),
+            Err(ControlDecodeError::UnsupportedVersion { version: 9 })
+        );
+        // Length field promising more body than available.
+        let mut lying = encode_sequenced(1, 0, &ControlMsg::Ack);
+        lying[5] = 200;
+        assert_eq!(
+            decode_sequenced(&lying),
+            Err(ControlDecodeError::LengthMismatch {
+                declared: 200,
+                available: 1,
+            })
+        );
+        // A sound header with a garbage body is a Body error.
+        let bad_body = {
+            let mut b = vec![WIRE_MAGIC, WIRE_VERSION, 0, 0, 0, 1];
+            b.extend_from_slice(&[0, 0, 0, 0, 0, 0, 0, 0]); // seq=0 ack=0
+            b.push(0xFF); // unknown tag
+            b
+        };
+        assert!(matches!(
+            decode_sequenced(&bad_body),
+            Err(ControlDecodeError::Body(_))
+        ));
+    }
+
+    fn updates(n: u32) -> Vec<ControlMsg> {
+        (0..n)
+            .map(|i| ControlMsg::CounterUpdate {
+                counter: CounterId((i % 5) as u16),
+                value: i64::from(i),
+            })
+            .collect()
+    }
+
+    proptest! {
+        /// The receiver's exactly-once, in-order contract: any
+        /// interleaving of duplicated and reordered sequenced messages
+        /// yields the same applied sequence as clean in-order delivery.
+        #[test]
+        fn interleavings_converge_to_in_order_delivery(
+            n in 1u32..24,
+            shuffle in proptest::collection::vec(any::<u32>(), 0..64),
+            dup_mask in any::<u64>(),
+        ) {
+            let msgs = updates(n);
+            // Build an arrival order: a shuffled copy of 1..=n (driven by
+            // the `shuffle` entropy) with some seqs delivered twice.
+            let mut order: Vec<u32> = (1..=n).collect();
+            for (i, &s) in shuffle.iter().enumerate() {
+                let a = i % order.len();
+                let b = (s as usize) % order.len();
+                order.swap(a, b);
+            }
+            let dups: Vec<u32> = order
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| dup_mask & (1 << (i % 64)) != 0)
+                .map(|(_, &s)| s)
+                .collect();
+            order.extend(dups);
+
+            let mut rx = SequenceReceiver::new(64);
+            let mut applied = Vec::new();
+            let mut out = Vec::new();
+            for &seq in &order {
+                out.clear();
+                let adm = rx.admit(seq, msgs[(seq - 1) as usize].clone(), &mut out);
+                if let Admission::Applied(k) = adm {
+                    prop_assert_eq!(k, out.len());
+                }
+                applied.extend(out.drain(..));
+            }
+            // Every message applied exactly once, in sequence order.
+            prop_assert_eq!(&applied, &msgs);
+            prop_assert_eq!(rx.cumulative_ack(), n);
+            prop_assert!(!rx.has_gap());
+        }
+
+        /// Duplicates are always suppressed: re-admitting any already
+        /// delivered sequence number releases nothing.
+        #[test]
+        fn duplicates_release_nothing(n in 1u32..16, dup in 1u32..16) {
+            let msgs = updates(n.max(dup));
+            let mut rx = SequenceReceiver::new(64);
+            let mut out = Vec::new();
+            for seq in 1..=n {
+                rx.admit(seq, msgs[(seq - 1) as usize].clone(), &mut out);
+            }
+            out.clear();
+            if dup <= n {
+                let adm = rx.admit(dup, msgs[(dup - 1) as usize].clone(), &mut out);
+                prop_assert_eq!(adm, Admission::Duplicate);
+                prop_assert!(out.is_empty());
+            }
+        }
+
+        /// Messages beyond the reorder window are refused, bounding
+        /// buffer memory against a peer that jumps its sequence space.
+        #[test]
+        fn window_overflow_is_rejected(jump in 64u32..10_000) {
+            let mut rx = SequenceReceiver::new(8);
+            let mut out = Vec::new();
+            let adm = rx.admit(1 + 8 + jump, ControlMsg::Ack, &mut out);
+            prop_assert_eq!(adm, Admission::Rejected);
+            prop_assert!(out.is_empty());
+            prop_assert_eq!(rx.buffered(), 0);
+        }
+
+        /// Truncating a versioned payload anywhere never panics and —
+        /// except at full length — never succeeds.
+        #[test]
+        fn versioned_truncation_never_panics(
+            seq in any::<u32>(),
+            ack in any::<u32>(),
+            cut_frac in 0.0f64..1.0,
+        ) {
+            let msg = ControlMsg::CounterUpdate { counter: CounterId(7), value: -1 };
+            let bytes = encode_sequenced(seq, ack, &msg);
+            let cut = (bytes.len() as f64 * cut_frac) as usize;
+            prop_assert!(decode_sequenced(&bytes[..cut]).is_err() || cut == bytes.len());
+        }
+
+        /// Garbage bytes never panic the versioned decoder.
+        #[test]
+        fn versioned_decode_never_panics_on_garbage(
+            bytes in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let _ = decode_sequenced(&bytes);
+        }
+    }
+}

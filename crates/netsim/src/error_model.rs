@@ -145,6 +145,162 @@ impl Default for ErrorModel {
     }
 }
 
+/// Impairment knobs applied to VirtualWire **control** frames (`0x88B5`)
+/// only — the fault injector's own signaling plane — leaving the
+/// monitored data plane untouched.
+///
+/// This is how the control-plane reliability layer is tested: the world
+/// drops, duplicates, reorders, and delays sequenced control frames while
+/// every data frame crosses the wire unharmed, so any divergence in a
+/// scenario's final report is the reliability layer's fault.
+///
+/// Each probability draw is guarded by `p > 0.0`, so a zero-rate
+/// impairment consumes no randomness and leaves a seeded run's RNG stream
+/// — and therefore its whole schedule — bit-identical to an unimpaired
+/// run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControlImpairment {
+    /// Probability a control frame is dropped outright.
+    pub drop: f64,
+    /// Probability a control frame is delivered twice (the copy arrives
+    /// 1 ns after the original).
+    pub dup: f64,
+    /// Probability a control frame is reordered: it is held for a
+    /// uniformly random extra delay up to
+    /// [`reorder_window_ns`](ControlImpairment::reorder_window_ns), letting
+    /// later frames overtake it.
+    pub reorder: f64,
+    /// Probability a control frame is delayed by a fixed
+    /// [`delay_ns`](ControlImpairment::delay_ns).
+    pub delay: f64,
+    /// Fixed extra latency for delayed frames, in nanoseconds.
+    pub delay_ns: u64,
+    /// Upper bound of the random extra latency for reordered frames, in
+    /// nanoseconds.
+    pub reorder_window_ns: u64,
+}
+
+impl ControlImpairment {
+    /// No impairment at all.
+    pub const fn none() -> Self {
+        ControlImpairment {
+            drop: 0.0,
+            dup: 0.0,
+            reorder: 0.0,
+            delay: 0.0,
+            delay_ns: 0,
+            reorder_window_ns: 0,
+        }
+    }
+
+    /// Drops each control frame with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn dropping(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop must be a probability");
+        ControlImpairment {
+            drop: p,
+            ..Self::none()
+        }
+    }
+
+    /// Duplicates each control frame with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn duplicating(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "dup must be a probability");
+        ControlImpairment {
+            dup: p,
+            ..Self::none()
+        }
+    }
+
+    /// Reorders each control frame with probability `p` by holding it up
+    /// to `window_ns` extra nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn reordering(p: f64, window_ns: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "reorder must be a probability");
+        ControlImpairment {
+            reorder: p,
+            reorder_window_ns: window_ns,
+            ..Self::none()
+        }
+    }
+
+    /// Delays each control frame with probability `p` by a fixed
+    /// `delay_ns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn delaying(p: f64, delay_ns: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "delay must be a probability");
+        ControlImpairment {
+            delay: p,
+            delay_ns,
+            ..Self::none()
+        }
+    }
+
+    /// `true` for an impairment that can never touch a frame.
+    pub fn is_inert(&self) -> bool {
+        self.drop == 0.0 && self.dup == 0.0 && self.reorder == 0.0 && self.delay == 0.0
+    }
+
+    /// Decides one control frame's fate. Every probability draw is
+    /// guarded, so an inert (or partially inert) impairment leaves the
+    /// RNG stream untouched for the faults it cannot inject.
+    pub fn decide(&self, rng: &mut StdRng) -> ControlFate {
+        if self.drop > 0.0 && rng.random::<f64>() < self.drop {
+            return ControlFate::Drop;
+        }
+        let duplicate = self.dup > 0.0 && rng.random::<f64>() < self.dup;
+        let mut extra_ns = 0u64;
+        if self.reorder > 0.0 && rng.random::<f64>() < self.reorder {
+            extra_ns = if self.reorder_window_ns > 0 {
+                rng.random_range(1..=self.reorder_window_ns)
+            } else {
+                1
+            };
+        }
+        if self.delay > 0.0 && rng.random::<f64>() < self.delay {
+            extra_ns = extra_ns.saturating_add(self.delay_ns);
+        }
+        ControlFate::Deliver {
+            duplicate,
+            extra_ns,
+        }
+    }
+}
+
+impl Default for ControlImpairment {
+    fn default() -> Self {
+        ControlImpairment::none()
+    }
+}
+
+/// What a [`ControlImpairment`] decided to do with one control frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlFate {
+    /// The frame is lost.
+    Drop,
+    /// The frame is delivered, possibly late and possibly twice.
+    Deliver {
+        /// Deliver a second copy 1 ns after the first.
+        duplicate: bool,
+        /// Extra latency on top of link propagation, in nanoseconds
+        /// (reorder and delay compose additively).
+        extra_ns: u64,
+    },
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,5 +405,86 @@ mod tests {
         assert!(ErrorModel::default().is_perfect());
         assert!(!ErrorModel::lossy(0.01).is_perfect());
         assert!(!ErrorModel::bit_errors(1e-6).is_perfect());
+    }
+
+    #[test]
+    fn inert_impairment_consumes_no_randomness() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let baseline: Vec<f64> = {
+            let mut r = rng.clone();
+            (0..8).map(|_| r.random::<f64>()).collect()
+        };
+        let inert = ControlImpairment::none();
+        for _ in 0..100 {
+            assert_eq!(
+                inert.decide(&mut rng),
+                ControlFate::Deliver {
+                    duplicate: false,
+                    extra_ns: 0
+                }
+            );
+        }
+        let after: Vec<f64> = (0..8).map(|_| rng.random::<f64>()).collect();
+        assert_eq!(baseline, after, "inert decide() must not draw randomness");
+        assert!(inert.is_inert());
+    }
+
+    #[test]
+    fn drop_rate_is_approximately_honored() {
+        let imp = ControlImpairment::dropping(0.3);
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let dropped = (0..n)
+            .filter(|_| imp.decide(&mut rng) == ControlFate::Drop)
+            .count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn dup_reorder_delay_compose() {
+        let imp = ControlImpairment {
+            dup: 1.0,
+            reorder: 1.0,
+            delay: 1.0,
+            delay_ns: 500,
+            reorder_window_ns: 100,
+            ..ControlImpairment::none()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        match imp.decide(&mut rng) {
+            ControlFate::Deliver {
+                duplicate,
+                extra_ns,
+            } => {
+                assert!(duplicate);
+                assert!((501..=600).contains(&extra_ns), "extra {extra_ns}");
+            }
+            fate => panic!("expected delivery, got {fate:?}"),
+        }
+    }
+
+    #[test]
+    fn impairment_determinism_under_same_seed() {
+        let imp = ControlImpairment {
+            drop: 0.2,
+            dup: 0.2,
+            reorder: 0.2,
+            delay: 0.2,
+            delay_ns: 1000,
+            reorder_window_ns: 2000,
+            ..ControlImpairment::none()
+        };
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(99);
+            (0..500).map(|_| imp.decide(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_impairment_rejected() {
+        let _ = ControlImpairment::dropping(1.5);
     }
 }

@@ -62,7 +62,7 @@ mod world;
 
 pub use context::Context;
 pub use device::{PortStats, DEFAULT_TX_QUEUE_CAP};
-pub use error_model::{ErrorModel, LinkOutcome};
+pub use error_model::{ControlFate, ControlImpairment, ErrorModel, LinkOutcome};
 pub use hook::{Hook, PassThrough, Verdict};
 pub use id::{DeviceId, HandlerRef, HookId, LinkId, PortRef, ProtocolId, TimerId};
 pub use link::LinkConfig;

@@ -8,7 +8,7 @@ use std::net::Ipv4Addr;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use vw_packet::{Frame, MacAddr};
+use vw_packet::{EtherType, Frame, MacAddr};
 
 use crate::context::{Context, CtxOrigin, Effect};
 use crate::device::{Device, Host, Hub, Port, PortStats, Switch};
@@ -64,6 +64,9 @@ pub struct World {
     cancelled_timers: HashSet<TimerId>,
     trace: TraceSink,
     stop_reason: Option<String>,
+    /// Impairment applied to VirtualWire control frames (`0x88B5`) on
+    /// their final hop to a host; inert by default.
+    control_impairment: crate::error_model::ControlImpairment,
     host_count: u32,
     events_processed: u64,
     last_frame_activity: SimTime,
@@ -94,6 +97,7 @@ impl World {
             cancelled_timers: HashSet::new(),
             trace: TraceSink::new(),
             stop_reason: None,
+            control_impairment: crate::error_model::ControlImpairment::none(),
             host_count: 0,
             events_processed: 0,
             last_frame_activity: SimTime::ZERO,
@@ -338,6 +342,20 @@ impl World {
             .as_host_mut()
             .expect("host")
             .promiscuous = promiscuous;
+    }
+
+    /// Sets the control-plane impairment: drop/duplicate/reorder/delay
+    /// applied to VirtualWire control frames (`0x88B5`) only, on their
+    /// final hop to a host, so per-frame rates are exact regardless of
+    /// how many switches the frame crosses. Data frames are never
+    /// touched.
+    pub fn set_control_impairment(&mut self, impairment: crate::error_model::ControlImpairment) {
+        self.control_impairment = impairment;
+    }
+
+    /// The currently configured control-plane impairment.
+    pub fn control_impairment(&self) -> crate::error_model::ControlImpairment {
+        self.control_impairment
     }
 
     /// Counters for a device port (port 0 for hosts).
@@ -630,6 +648,49 @@ impl World {
                         Some(&frame),
                         format!("{bits_flipped} bits flipped on {link_id}"),
                     );
+                }
+                // Control-plane impairment: applied only to 0x88B5 frames
+                // and only on their final hop (the receiving peer is a
+                // host), so per-frame rates are exact across multi-switch
+                // paths and the data plane is never perturbed.
+                if !self.control_impairment.is_inert()
+                    && frame.ethertype() == EtherType::VW_CONTROL
+                    && matches!(self.devices[peer.device.index()], Device::Host(_))
+                {
+                    use crate::error_model::ControlFate;
+                    match self.control_impairment.decide(&mut self.rng) {
+                        ControlFate::Drop => {
+                            self.trace.record(
+                                self.now,
+                                from.device,
+                                TraceKind::LinkLoss,
+                                Some(&frame),
+                                format!("control impairment drop on {link_id}"),
+                            );
+                            return;
+                        }
+                        ControlFate::Deliver {
+                            duplicate,
+                            extra_ns,
+                        } => {
+                            let arrive = self
+                                .now
+                                .saturating_add(propagation)
+                                .saturating_add(SimDuration::from_nanos(extra_ns));
+                            if duplicate {
+                                self.queue.push(
+                                    arrive.saturating_add(SimDuration::from_nanos(1)),
+                                    EventKind::Arrive {
+                                        to: peer,
+                                        frame: frame.clone(),
+                                    },
+                                );
+                            }
+                            self.queue
+                                .push(arrive, EventKind::Arrive { to: peer, frame });
+                            return;
+                        }
+                    }
                 }
                 self.queue.push(
                     self.now.saturating_add(propagation),

@@ -178,6 +178,18 @@ pub enum ObsEvent {
         /// What kind of action.
         kind: ObsActionKind,
     },
+    /// A peer's sequenced control-plane updates went stale: its remote
+    /// terms were frozen at last-known status and a diagnostic flagged.
+    PeerDegraded {
+        /// When.
+        time: SimTime,
+        /// The node that degraded (the one doing the freezing).
+        node: NodeId,
+        /// Classification ordinal the degradation is causally tied to.
+        frame_seq: u64,
+        /// The stale peer.
+        peer: NodeId,
+    },
 }
 
 impl ObsEvent {
@@ -188,7 +200,8 @@ impl ObsEvent {
             | ObsEvent::CounterUpdated { time, .. }
             | ObsEvent::TermFlipped { time, .. }
             | ObsEvent::ConditionFired { time, .. }
-            | ObsEvent::ActionTriggered { time, .. } => time,
+            | ObsEvent::ActionTriggered { time, .. }
+            | ObsEvent::PeerDegraded { time, .. } => time,
         }
     }
 
@@ -199,7 +212,8 @@ impl ObsEvent {
             | ObsEvent::CounterUpdated { node, .. }
             | ObsEvent::TermFlipped { node, .. }
             | ObsEvent::ConditionFired { node, .. }
-            | ObsEvent::ActionTriggered { node, .. } => node,
+            | ObsEvent::ActionTriggered { node, .. }
+            | ObsEvent::PeerDegraded { node, .. } => node,
         }
     }
 
@@ -210,7 +224,8 @@ impl ObsEvent {
             | ObsEvent::CounterUpdated { frame_seq, .. }
             | ObsEvent::TermFlipped { frame_seq, .. }
             | ObsEvent::ConditionFired { frame_seq, .. }
-            | ObsEvent::ActionTriggered { frame_seq, .. } => frame_seq,
+            | ObsEvent::ActionTriggered { frame_seq, .. }
+            | ObsEvent::PeerDegraded { frame_seq, .. } => frame_seq,
         }
     }
 
@@ -222,6 +237,7 @@ impl ObsEvent {
             ObsEvent::TermFlipped { .. } => "term",
             ObsEvent::ConditionFired { .. } => "condition",
             ObsEvent::ActionTriggered { .. } => "action",
+            ObsEvent::PeerDegraded { .. } => "degraded",
         }
     }
 
@@ -283,6 +299,16 @@ impl ObsEvent {
                 "{time} {} #{frame_seq} action#{} {kind} triggered",
                 symbols.node(node),
                 action.index(),
+            ),
+            ObsEvent::PeerDegraded {
+                time,
+                node,
+                frame_seq,
+                peer,
+            } => format!(
+                "{time} {} #{frame_seq} peer {} stale: remote terms frozen at last-known status",
+                symbols.node(node),
+                symbols.node(peer),
             ),
         }
     }

@@ -16,6 +16,12 @@ cargo test -q --workspace --no-fail-fast
 echo "==> cargo test (no default features)"
 cargo test -q -p virtualwire --no-default-features
 
+# Control-plane fault matrix: every distributed scenario must converge to
+# the fault-free report under {drop,dup,reorder,delay} x {0..30%} on the
+# 0x88B5 control frames, with staleness flagged loudly, never silently.
+echo "==> control-matrix"
+cargo test -q -p virtualwire --test control_plane_reliability
+
 echo "==> example smoke: obs_flight_recorder"
 cargo run -q --release --example obs_flight_recorder > /dev/null
 
