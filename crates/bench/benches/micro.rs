@@ -282,9 +282,91 @@ fn bench_control_plane(c: &mut Criterion) {
     group.finish();
 }
 
+/// Campaign-engine overhead: what the orchestration layer costs *around*
+/// the simulations — cross-product enumeration (one program clone +
+/// rewrite per instance), per-outcome digest keying, and dedup into
+/// classes with JSONL rendering. None of these should ever be visible
+/// next to an actual scenario run.
+fn bench_campaign(c: &mut Criterion) {
+    use vw_campaign::{
+        Axis, CampaignResult, CampaignSpec, DigestKey, InstanceOutcome, OutcomeDigest,
+    };
+
+    const SCRIPT: &str = "
+        FILTER_TABLE
+        udp_data: (23 1 0x11), (36 2 0x6363)
+        END
+        NODE_TABLE
+        node1 02:00:00:00:00:01 192.168.1.2
+        node2 02:00:00:00:00:02 192.168.1.3
+        END
+        SCENARIO Double_Drop 500msec
+        Sent: (udp_data, node1, node2, SEND)
+        Drops: (node1)
+        (TRUE) >> ENABLE_CNTR(Sent);
+        ((Sent = 5)) >> DROP(udp_data, node1, node2, SEND); INCR_CNTR(Drops, 1);
+        ((Sent = 15)) >> DROP(udp_data, node1, node2, SEND); INCR_CNTR(Drops, 1);
+        ((Drops >= 2)) >> FLAG_ERR \"double fault\";
+        ((Sent = 30)) >> STOP;
+        END
+    ";
+
+    let mut group = c.benchmark_group("campaign");
+    let program = vw_fsl::parse(SCRIPT).unwrap();
+    let spec = CampaignSpec::new("bench", program)
+        .axis(Axis::threshold_at("Sent", 0, (1..=8).collect()))
+        .axis(Axis::threshold_at("Sent", 1, (11..=18).collect()))
+        .axis(Axis::seeds((0..8).collect()));
+    assert_eq!(spec.total(), 512);
+    group.bench_function("enumerate_512", |b| {
+        b.iter(|| black_box(spec.enumerate().unwrap().len()))
+    });
+
+    // Synthetic outcomes over the real instances: 3 rotating digest
+    // shapes, the same class structure a threshold sweep produces.
+    let instances = spec.enumerate().unwrap();
+    let outcomes: Vec<InstanceOutcome> = (0..instances.len())
+        .map(|i| {
+            let drops = (i % 3) as i64;
+            InstanceOutcome::Completed(OutcomeDigest {
+                passed: drops < 2,
+                stop: "stopped: STOP".to_string(),
+                errors: if drops >= 2 {
+                    vec![("node1".to_string(), "double fault".to_string())]
+                } else {
+                    vec![]
+                },
+                counters: vec![
+                    ("node1".to_string(), "Sent".to_string(), 30),
+                    ("node2".to_string(), "Rcvd".to_string(), 29 - drops),
+                ],
+                stats: vec![],
+            })
+        })
+        .collect();
+    group.bench_function("digest_key_per_outcome", |b| {
+        let key = DigestKey::default();
+        b.iter(|| {
+            let mut n = 0usize;
+            for o in &outcomes {
+                n += black_box(o.key_string(&key)).len();
+            }
+            n
+        })
+    });
+    group.bench_function("dedup_and_jsonl_512", |b| {
+        b.iter(|| {
+            let result =
+                CampaignResult::build("bench", &instances, outcomes.clone(), DigestKey::default());
+            black_box(result.to_jsonl().len())
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_classify, bench_classifier_modes, bench_fsl_frontend, bench_rll_window, bench_obs_overhead, bench_control_plane
+    targets = bench_classify, bench_classifier_modes, bench_fsl_frontend, bench_rll_window, bench_obs_overhead, bench_control_plane, bench_campaign
 }
 criterion_main!(benches);

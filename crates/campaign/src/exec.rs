@@ -1,0 +1,272 @@
+//! The parallel campaign executor.
+//!
+//! Instances are sharded round-robin across a configurable pool of OS
+//! threads (`std::thread::scope` — no external runtime). Each worker
+//! builds its own [`World`]/[`Runner`] through the caller's setup
+//! closure, so nothing that lives inside a simulation ever crosses a
+//! thread boundary; the only thing that moves between threads is the
+//! immutable instance list going out and `(index, outcome)` pairs coming
+//! back. Results are merged and sorted by cross-product index before
+//! dedup, which is what makes the final report byte-identical at any
+//! thread count.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+use virtualwire::{Runner, ScriptError};
+use vw_fsl::TableSet;
+use vw_netsim::{SimDuration, World};
+
+use crate::outcome::{CampaignResult, DigestKey, InstanceOutcome, OutcomeDigest};
+use crate::spec::{CampaignError, CampaignSpec, Instance, RunConfig};
+
+/// A per-instance testbed factory.
+///
+/// Called on a worker thread once per instance with the compiled tables
+/// and the instance's [`RunConfig`] (seed + control impairment). The
+/// closure owns topology: create the hosts the script names, wire them,
+/// start traffic, then hand back the world and an installed runner —
+/// typically via [`Runner::try_install`], whose [`ScriptError`] becomes
+/// an [`InstanceOutcome::SetupFailed`] rather than a campaign abort.
+pub trait Setup: Sync {
+    /// Builds one testbed.
+    fn build(&self, tables: &TableSet, run: &RunConfig) -> Result<(World, Runner), ScriptError>;
+}
+
+impl<F> Setup for F
+where
+    F: Fn(&TableSet, &RunConfig) -> Result<(World, Runner), ScriptError> + Sync,
+{
+    fn build(&self, tables: &TableSet, run: &RunConfig) -> Result<(World, Runner), ScriptError> {
+        self(tables, run)
+    }
+}
+
+/// Executor knobs.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Worker threads. `1` runs everything inline on the caller thread.
+    pub threads: usize,
+    /// Hard per-run deadline in simulated time.
+    pub deadline: SimDuration,
+    /// Digest fields that define outcome-class membership.
+    pub key: DigestKey,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            threads: 1,
+            deadline: SimDuration::from_secs(60),
+            key: DigestKey::default(),
+        }
+    }
+}
+
+impl ExecConfig {
+    /// An executor with `threads` workers and default deadline/key.
+    pub fn threads(threads: usize) -> Self {
+        ExecConfig {
+            threads: threads.max(1),
+            ..ExecConfig::default()
+        }
+    }
+}
+
+/// Compiles and runs a single instance to an outcome. Never panics:
+/// compile errors, setup errors, and panics inside the simulation all
+/// become outcome variants so one bad point in the sweep can't take the
+/// pool down.
+pub fn run_one<S: Setup>(instance: &Instance, setup: &S, deadline: SimDuration) -> InstanceOutcome {
+    let tables = match vw_fsl::compile(&instance.program) {
+        Ok(mut sets) if sets.len() == 1 => sets.remove(0),
+        Ok(sets) => {
+            return InstanceOutcome::Invalid(format!(
+                "campaign programs must hold exactly one scenario, got {}",
+                sets.len()
+            ))
+        }
+        Err(errors) => {
+            return InstanceOutcome::Invalid(
+                errors
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("; "),
+            )
+        }
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let (mut world, runner) = match setup.build(&tables, &instance.run) {
+            Ok(pair) => pair,
+            Err(e) => return InstanceOutcome::SetupFailed(e.to_string()),
+        };
+        let report = runner.run(&mut world, deadline);
+        InstanceOutcome::Completed(OutcomeDigest::from_report(&report))
+    }));
+    result.unwrap_or_else(|payload| {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        InstanceOutcome::Crashed(message)
+    })
+}
+
+/// Runs every instance of `spec` through `setup` and aggregates the
+/// deduped [`CampaignResult`].
+///
+/// Sharding is deterministic — worker `w` of `n` takes instances whose
+/// position is `≡ w (mod n)` — and outcomes are re-sorted by instance
+/// index before classing, so the result (and its JSONL rendering) is
+/// identical for any `cfg.threads`.
+pub fn run_campaign<S: Setup>(
+    spec: &CampaignSpec,
+    setup: &S,
+    cfg: &ExecConfig,
+) -> Result<CampaignResult, CampaignError> {
+    let instances = spec.enumerate()?;
+    let outcomes = run_instances(&instances, setup, cfg);
+    Ok(CampaignResult::build(
+        &spec.name, &instances, outcomes, cfg.key,
+    ))
+}
+
+/// Runs an explicit instance list, returning one outcome per instance in
+/// instance-list order. Exposed for the shrinker and for callers that
+/// post-filter the enumeration.
+pub fn run_instances<S: Setup>(
+    instances: &[Instance],
+    setup: &S,
+    cfg: &ExecConfig,
+) -> Vec<InstanceOutcome> {
+    let threads = cfg.threads.max(1).min(instances.len().max(1));
+    if threads <= 1 {
+        return instances
+            .iter()
+            .map(|i| run_one(i, setup, cfg.deadline))
+            .collect();
+    }
+    let collected: Mutex<Vec<(usize, InstanceOutcome)>> =
+        Mutex::new(Vec::with_capacity(instances.len()));
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let collected = &collected;
+            let setup = &setup;
+            scope.spawn(move || {
+                let mut local = Vec::new();
+                for (pos, instance) in instances.iter().enumerate().skip(w).step_by(threads) {
+                    local.push((pos, run_one(instance, *setup, cfg.deadline)));
+                }
+                collected.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let mut pairs = collected.into_inner().unwrap();
+    pairs.sort_by_key(|(pos, _)| *pos);
+    debug_assert_eq!(pairs.len(), instances.len());
+    pairs.into_iter().map(|(_, outcome)| outcome).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Axis;
+    use vw_fsl::parse;
+
+    const SCRIPT: &str = r#"
+        FILTER_TABLE
+        p: (12 2 0x4242)
+        END
+        NODE_TABLE
+        node1 02:00:00:00:00:01 10.0.0.1
+        node2 02:00:00:00:00:02 10.0.0.2
+        END
+        SCENARIO exec_unit 100msec
+        C: (p, node1, node2, RECV)
+        (TRUE) >> ENABLE_CNTR(C);
+        ((C = 3)) >> STOP;
+        END
+    "#;
+
+    struct NoSetup;
+    impl Setup for NoSetup {
+        fn build(
+            &self,
+            _tables: &TableSet,
+            _run: &RunConfig,
+        ) -> Result<(World, Runner), ScriptError> {
+            panic!("setup reached for an invalid instance");
+        }
+    }
+
+    #[test]
+    fn invalid_program_becomes_an_invalid_outcome_not_a_crash() {
+        let mut program = parse(SCRIPT).unwrap();
+        program.scenarios[0].rules.clear();
+        let instance = Instance {
+            index: 0,
+            labels: vec![],
+            program,
+            run: RunConfig::default(),
+        };
+        let outcome = run_one(&instance, &NoSetup, SimDuration::from_secs(1));
+        assert!(matches!(outcome, InstanceOutcome::Invalid(_)));
+    }
+
+    #[test]
+    fn setup_panic_becomes_a_crashed_outcome() {
+        let instance = Instance {
+            index: 0,
+            labels: vec![],
+            program: parse(SCRIPT).unwrap(),
+            run: RunConfig::default(),
+        };
+        let outcome = run_one(&instance, &NoSetup, SimDuration::from_secs(1));
+        match outcome {
+            InstanceOutcome::Crashed(m) => assert!(m.contains("setup reached")),
+            other => panic!("expected Crashed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn setup_error_becomes_setup_failed() {
+        let setup = |tables: &TableSet, run: &RunConfig| {
+            let mut world = World::new(run.seed);
+            // World has no hosts, so every scripted node is missing.
+            Runner::try_install(&mut world, tables.clone(), Default::default())
+                .map(|runner| (world, runner))
+        };
+        let instance = Instance {
+            index: 0,
+            labels: vec![],
+            program: parse(SCRIPT).unwrap(),
+            run: RunConfig::default(),
+        };
+        let outcome = run_one(&instance, &setup, SimDuration::from_secs(1));
+        match outcome {
+            InstanceOutcome::SetupFailed(m) => assert!(m.contains("node1")),
+            other => panic!("expected SetupFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sharding_preserves_instance_order_at_any_thread_count() {
+        let program = parse(SCRIPT).unwrap();
+        let spec =
+            CampaignSpec::new("order", program).axis(Axis::seeds((0..13).collect::<Vec<u64>>()));
+        let instances = spec.enumerate().unwrap();
+        // Intentionally panicking setup whose message embeds the instance
+        // seed, so every outcome is distinct and any merge-order mistake
+        // shows up as a mismatch (cheap: no worlds are ever built).
+        let setup = |_tables: &TableSet, run: &RunConfig| -> Result<(World, Runner), ScriptError> {
+            panic!("probe seed {}", run.seed);
+        };
+        let solo = run_instances(&instances, &setup, &ExecConfig::threads(1));
+        for threads in [2, 3, 8, 64] {
+            let pooled = run_instances(&instances, &setup, &ExecConfig::threads(threads));
+            assert_eq!(solo, pooled, "thread count {threads} changed results");
+        }
+    }
+}

@@ -1,0 +1,519 @@
+//! Outcome digesting, equivalence-class dedup, and the JSONL campaign
+//! report.
+//!
+//! A campaign over hundreds of instances is only useful if its output is
+//! smaller than its input: the store boils each [`Report`] down to an
+//! [`OutcomeDigest`] (flagged errors + stop kind + terminal counter
+//! values + per-node engine stats), groups instances whose digests agree
+//! on the configured [`DigestKey`] fields into equivalence classes, and
+//! renders the whole campaign as hand-rolled JSON lines (the same
+//! dependency-free approach as `vw-obs` metrics export). Everything is
+//! keyed and ordered by cross-product index, so the report is
+//! byte-identical regardless of how many worker threads produced it.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use virtualwire::{EngineStats, Report};
+
+use crate::spec::Instance;
+
+/// The time-free essence of one scenario run.
+///
+/// Times are deliberately excluded: two runs that flag the same errors
+/// and end with the same counters are the same *outcome* even if their
+/// schedules differ, and that is exactly the equivalence a campaign
+/// wants to quotient by.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutcomeDigest {
+    /// `Report::passed()`.
+    pub passed: bool,
+    /// The stop reason, rendered (`stopped: ...` / `inactivity timeout` /
+    /// `deadline reached`).
+    pub stop: String,
+    /// `(node_name, message)` per flagged error, in report (time) order.
+    pub errors: Vec<(String, String)>,
+    /// `(node_name, counter_name, value)` terminal counter values.
+    pub counters: Vec<(String, String, i64)>,
+    /// `(node_name, stats)` per-node engine counters.
+    pub stats: Vec<(String, EngineStats)>,
+}
+
+impl OutcomeDigest {
+    /// Digests a finished report.
+    pub fn from_report(report: &Report) -> Self {
+        OutcomeDigest {
+            passed: report.passed(),
+            stop: report.stop.to_string(),
+            errors: report
+                .errors
+                .iter()
+                .map(|e| (e.node_name.clone(), e.message.clone()))
+                .collect(),
+            counters: report.counters.clone(),
+            stats: report.stats.clone(),
+        }
+    }
+
+    /// Terminal value of a counter by name, if recorded.
+    pub fn counter(&self, name: &str) -> Option<i64> {
+        self.counters
+            .iter()
+            .find(|(_, counter, _)| counter == name)
+            .map(|(_, _, v)| *v)
+    }
+
+    /// `true` if some flagged error message contains `needle`.
+    pub fn has_error_containing(&self, needle: &str) -> bool {
+        self.errors.iter().any(|(_, m)| m.contains(needle))
+    }
+
+    /// The canonical key string over the selected fields.
+    pub fn key_string(&self, key: &DigestKey) -> String {
+        let mut out = String::new();
+        if key.stop {
+            let _ = write!(out, "stop={}|", self.stop);
+        }
+        let _ = write!(out, "passed={}|", self.passed);
+        if key.errors {
+            out.push_str("errors=[");
+            for (node, message) in &self.errors {
+                let _ = write!(out, "{node}:{message};");
+            }
+            out.push_str("]|");
+        }
+        if key.counters {
+            out.push_str("counters=[");
+            for (node, counter, value) in &self.counters {
+                let _ = write!(out, "{node}.{counter}={value};");
+            }
+            out.push_str("]|");
+        }
+        if key.stats {
+            out.push_str("stats=[");
+            for (node, s) in &self.stats {
+                let _ = write!(
+                    out,
+                    "{node}:cls{}m{}d{}u{}dl{}ro{}mo{}bh{};",
+                    s.classified,
+                    s.matched,
+                    s.drops,
+                    s.dups,
+                    s.delays,
+                    s.reorders,
+                    s.modifies,
+                    s.blackholed,
+                );
+            }
+            out.push_str("]|");
+        }
+        out
+    }
+}
+
+/// Which digest fields participate in equivalence-class membership.
+///
+/// The default keys on errors + stop + counters: engine stats (frame
+/// counts, control-plane chatter) vary legitimately across swept seeds
+/// and impairments, so including them usually shatters classes down to
+/// singletons. They stay available in the digest either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DigestKey {
+    /// Include flagged errors (node + message).
+    pub errors: bool,
+    /// Include the stop reason.
+    pub stop: bool,
+    /// Include terminal counter values.
+    pub counters: bool,
+    /// Include per-node engine stats.
+    pub stats: bool,
+}
+
+impl Default for DigestKey {
+    fn default() -> Self {
+        DigestKey {
+            errors: true,
+            stop: true,
+            counters: true,
+            stats: false,
+        }
+    }
+}
+
+/// How one instance ended, as stored by the campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstanceOutcome {
+    /// The run finished and was digested.
+    Completed(OutcomeDigest),
+    /// The mutated program failed to compile.
+    Invalid(String),
+    /// The setup closure returned an error (e.g.
+    /// [`Runner::try_install`](virtualwire::Runner::try_install)).
+    SetupFailed(String),
+    /// The worker caught a panic while building or driving the testbed.
+    Crashed(String),
+}
+
+impl InstanceOutcome {
+    /// Short kind tag used in the report.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            InstanceOutcome::Completed(_) => "completed",
+            InstanceOutcome::Invalid(_) => "invalid",
+            InstanceOutcome::SetupFailed(_) => "setup_failed",
+            InstanceOutcome::Crashed(_) => "crashed",
+        }
+    }
+
+    /// The digest, for completed runs.
+    pub fn digest(&self) -> Option<&OutcomeDigest> {
+        match self {
+            InstanceOutcome::Completed(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Canonical equivalence key over the selected fields.
+    pub fn key_string(&self, key: &DigestKey) -> String {
+        match self {
+            InstanceOutcome::Completed(d) => d.key_string(key),
+            InstanceOutcome::Invalid(m) => format!("invalid:{m}"),
+            InstanceOutcome::SetupFailed(m) => format!("setup_failed:{m}"),
+            InstanceOutcome::Crashed(m) => format!("crashed:{m}"),
+        }
+    }
+}
+
+/// One executed instance: where it sat in the sweep and how it ended.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceRecord {
+    /// Cross-product index.
+    pub index: usize,
+    /// `(axis, value)` labels.
+    pub labels: Vec<(String, String)>,
+    /// The outcome.
+    pub outcome: InstanceOutcome,
+}
+
+/// A set of instances whose outcomes agree on the digest key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutcomeClass {
+    /// FNV-1a of the canonical key string (report display).
+    pub digest: u64,
+    /// Lowest member index (the class's exemplar).
+    pub representative: usize,
+    /// All member indices, ascending.
+    pub members: Vec<usize>,
+    /// The representative's outcome.
+    pub outcome: InstanceOutcome,
+}
+
+/// The aggregated result of a campaign run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// Campaign name.
+    pub name: String,
+    /// Digest fields that defined class membership.
+    pub key: DigestKey,
+    /// Every executed instance, ascending by index.
+    pub instances: Vec<InstanceRecord>,
+    /// Equivalence classes, in order of first appearance.
+    pub classes: Vec<OutcomeClass>,
+}
+
+impl CampaignResult {
+    /// Groups `(instance, outcome)` pairs into classes. `outcomes` must
+    /// be sorted ascending by instance index (the executor guarantees
+    /// this), which makes class order and membership independent of the
+    /// thread count that produced them.
+    pub fn build(
+        name: &str,
+        instances: &[Instance],
+        outcomes: Vec<InstanceOutcome>,
+        key: DigestKey,
+    ) -> Self {
+        assert_eq!(instances.len(), outcomes.len(), "one outcome per instance");
+        let mut records = Vec::with_capacity(outcomes.len());
+        let mut classes: Vec<OutcomeClass> = Vec::new();
+        let mut by_key: HashMap<String, usize> = HashMap::new();
+        for (instance, outcome) in instances.iter().zip(outcomes) {
+            let key_string = outcome.key_string(&key);
+            match by_key.get(&key_string) {
+                Some(&class) => classes[class].members.push(instance.index),
+                None => {
+                    by_key.insert(key_string.clone(), classes.len());
+                    classes.push(OutcomeClass {
+                        digest: fnv1a64(key_string.as_bytes()),
+                        representative: instance.index,
+                        members: vec![instance.index],
+                        outcome: outcome.clone(),
+                    });
+                }
+            }
+            records.push(InstanceRecord {
+                index: instance.index,
+                labels: instance.labels.clone(),
+                outcome,
+            });
+        }
+        CampaignResult {
+            name: name.to_string(),
+            key,
+            instances: records,
+            classes,
+        }
+    }
+
+    /// Instances whose outcome satisfies `predicate` (completed runs
+    /// only), ascending by index — the feed for the shrinker.
+    pub fn matching<P: Fn(&OutcomeDigest) -> bool>(&self, predicate: P) -> Vec<&InstanceRecord> {
+        self.instances
+            .iter()
+            .filter(|r| r.outcome.digest().is_some_and(&predicate))
+            .collect()
+    }
+
+    /// Count of instances by outcome kind: `(completed, invalid,
+    /// setup_failed, crashed)`.
+    pub fn kind_counts(&self) -> (usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0);
+        for r in &self.instances {
+            match r.outcome {
+                InstanceOutcome::Completed(_) => c.0 += 1,
+                InstanceOutcome::Invalid(_) => c.1 += 1,
+                InstanceOutcome::SetupFailed(_) => c.2 += 1,
+                InstanceOutcome::Crashed(_) => c.3 += 1,
+            }
+        }
+        c
+    }
+
+    /// The campaign report as JSON lines: one header object, then one
+    /// object per equivalence class (first-appearance order). Keys and
+    /// ordering depend only on the instance list, never on scheduling,
+    /// so the output is byte-identical at any worker-thread count.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let (completed, invalid, setup_failed, crashed) = self.kind_counts();
+        out.push_str("{\"campaign\":");
+        json_string(&mut out, &self.name);
+        let _ = writeln!(
+            out,
+            ",\"instances\":{},\"classes\":{},\"completed\":{completed},\
+             \"invalid\":{invalid},\"setup_failed\":{setup_failed},\"crashed\":{crashed}}}",
+            self.instances.len(),
+            self.classes.len(),
+        );
+        for (i, class) in self.classes.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{{\"class\":{i},\"digest\":\"{:016x}\",\"members\":{},\"representative\":{}",
+                class.digest,
+                class.members.len(),
+                class.representative,
+            );
+            let rep = self
+                .instances
+                .iter()
+                .find(|r| r.index == class.representative);
+            if let Some(rep) = rep {
+                out.push_str(",\"labels\":{");
+                for (j, (axis, value)) in rep.labels.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    json_string(&mut out, axis);
+                    out.push(':');
+                    json_string(&mut out, value);
+                }
+                out.push('}');
+            }
+            out.push_str(",\"kind\":");
+            json_string(&mut out, class.outcome.kind());
+            match &class.outcome {
+                InstanceOutcome::Completed(d) => {
+                    let _ = write!(out, ",\"passed\":{},\"stop\":", d.passed);
+                    json_string(&mut out, &d.stop);
+                    out.push_str(",\"errors\":[");
+                    for (j, (node, message)) in d.errors.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        out.push_str("{\"node\":");
+                        json_string(&mut out, node);
+                        out.push_str(",\"message\":");
+                        json_string(&mut out, message);
+                        out.push('}');
+                    }
+                    out.push_str("],\"counters\":{");
+                    for (j, (node, counter, value)) in d.counters.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        json_string(&mut out, &format!("{node}.{counter}"));
+                        let _ = write!(out, ":{value}");
+                    }
+                    out.push('}');
+                }
+                InstanceOutcome::Invalid(m)
+                | InstanceOutcome::SetupFailed(m)
+                | InstanceOutcome::Crashed(m) => {
+                    out.push_str(",\"message\":");
+                    json_string(&mut out, m);
+                }
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+/// FNV-1a over bytes — a stable, dependency-free 64-bit digest for class
+/// display names.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Appends `s` as a JSON string literal with minimal escaping.
+pub(crate) fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::RunConfig;
+    use vw_fsl::Program;
+
+    fn digest(passed: bool, rcvd: i64, errors: Vec<(&str, &str)>) -> OutcomeDigest {
+        OutcomeDigest {
+            passed,
+            stop: if passed {
+                "stopped: STOP".into()
+            } else {
+                "inactivity timeout".into()
+            },
+            errors: errors
+                .into_iter()
+                .map(|(n, m)| (n.to_string(), m.to_string()))
+                .collect(),
+            counters: vec![("node2".into(), "Rcvd".into(), rcvd)],
+            stats: vec![("node1".into(), EngineStats::default())],
+        }
+    }
+
+    fn instance(index: usize) -> Instance {
+        Instance {
+            index,
+            labels: vec![("seed".into(), index.to_string())],
+            program: Program::default(),
+            run: RunConfig::default(),
+        }
+    }
+
+    #[test]
+    fn identical_outcomes_collapse_into_one_class() {
+        let instances: Vec<Instance> = (0..4).map(instance).collect();
+        let outcomes = vec![
+            InstanceOutcome::Completed(digest(true, 29, vec![])),
+            InstanceOutcome::Completed(digest(true, 29, vec![])),
+            InstanceOutcome::Completed(digest(false, 28, vec![("node1", "boom")])),
+            InstanceOutcome::Completed(digest(true, 29, vec![])),
+        ];
+        let result = CampaignResult::build("t", &instances, outcomes, DigestKey::default());
+        assert_eq!(result.classes.len(), 2);
+        assert_eq!(result.classes[0].members, vec![0, 1, 3]);
+        assert_eq!(result.classes[1].members, vec![2]);
+        assert_eq!(result.classes[1].representative, 2);
+        assert_eq!(result.kind_counts(), (4, 0, 0, 0));
+        assert_eq!(result.matching(|d| !d.passed).len(), 1);
+    }
+
+    #[test]
+    fn stats_only_differences_do_not_split_classes_by_default() {
+        let instances: Vec<Instance> = (0..2).map(instance).collect();
+        let mut noisy = digest(true, 29, vec![]);
+        noisy.stats[0].1.classified = 999;
+        let outcomes = vec![
+            InstanceOutcome::Completed(digest(true, 29, vec![])),
+            InstanceOutcome::Completed(noisy.clone()),
+        ];
+        let result = CampaignResult::build("t", &instances, outcomes.clone(), DigestKey::default());
+        assert_eq!(result.classes.len(), 1);
+        // ... but keying on stats does split them.
+        let keyed = CampaignResult::build(
+            "t",
+            &instances,
+            outcomes,
+            DigestKey {
+                stats: true,
+                ..DigestKey::default()
+            },
+        );
+        assert_eq!(keyed.classes.len(), 2);
+    }
+
+    #[test]
+    fn non_completed_outcomes_form_their_own_classes() {
+        let instances: Vec<Instance> = (0..3).map(instance).collect();
+        let outcomes = vec![
+            InstanceOutcome::Invalid("no scenario".into()),
+            InstanceOutcome::Crashed("worker panic".into()),
+            InstanceOutcome::Invalid("no scenario".into()),
+        ];
+        let result = CampaignResult::build("t", &instances, outcomes, DigestKey::default());
+        assert_eq!(result.classes.len(), 2);
+        assert_eq!(result.classes[0].members, vec![0, 2]);
+        assert_eq!(result.kind_counts(), (0, 2, 0, 1));
+    }
+
+    #[test]
+    fn jsonl_shape_and_stability() {
+        let instances: Vec<Instance> = (0..2).map(instance).collect();
+        let outcomes = vec![
+            InstanceOutcome::Completed(digest(true, 29, vec![])),
+            InstanceOutcome::Completed(digest(false, 28, vec![("node1", "two drops")])),
+        ];
+        let result = CampaignResult::build("demo", &instances, outcomes, DigestKey::default());
+        let a = result.to_jsonl();
+        let b = result.to_jsonl();
+        assert_eq!(a, b);
+        let lines: Vec<&str> = a.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"campaign\":\"demo\""));
+        assert!(lines[0].contains("\"instances\":2"));
+        assert!(lines[0].contains("\"classes\":2"));
+        assert!(lines[1].contains("\"class\":0"));
+        assert!(lines[2].contains("two drops"));
+        assert!(lines[2].contains("\"node2.Rcvd\":28"));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), fnv1a64(b"a"));
+        assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+    }
+}

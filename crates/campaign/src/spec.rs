@@ -1,0 +1,644 @@
+//! Campaign specification: a base FSL program plus swept axes, expanded
+//! deterministically into concrete scenario instances.
+//!
+//! The paper's pitch is running "a large number of test cases without
+//! human intervention"; a [`CampaignSpec`] is how those test cases come to
+//! exist without a human writing each one. It takes one hand-written (or
+//! [builder](vw_fsl::builder)-generated) [`Program`] and a list of
+//! [`Axis`] values to sweep — counter thresholds inside rule terms,
+//! `DELAY` hold times, netsim RNG seeds, control-plane impairments — and
+//! enumerates the cross-product into [`Instance`]s. Enumeration is pure
+//! and deterministic: the same spec always yields the same instances in
+//! the same order, and the budgeted random-sampling mode draws from a
+//! seeded hand-rolled generator so sampled campaigns replay bit-for-bit.
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+use vw_fsl::{Action, CondExpr, Operand, Program};
+use vw_netsim::ControlImpairment;
+
+/// An error building or expanding a campaign (an axis that sweeps
+/// nothing, an invalid base program, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignError {
+    message: String,
+}
+
+impl CampaignError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        CampaignError {
+            message: message.into(),
+        }
+    }
+
+    /// The human-readable description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for CampaignError {}
+
+/// Everything about one instance's execution that is *not* encoded in the
+/// FSL program itself: the simulator seed and the control-plane
+/// impairment. Campaign axes mutate this alongside the program.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunConfig {
+    /// The [`World`](vw_netsim::World) RNG seed.
+    pub seed: u64,
+    /// The control-plane impairment applied to `0x88B5` frames.
+    pub impairment: ControlImpairment,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            seed: 0,
+            impairment: ControlImpairment::none(),
+        }
+    }
+}
+
+/// One dimension of the swept fault space.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Axis {
+    /// Sweeps the constant side of `counter <op> CONST` terms in the
+    /// scenario rules. `occurrence: Some(n)` targets only the nth such
+    /// term (0-based, in rule order); `None` sets every one of them to
+    /// the same value. This is how `DROP`-trigger counts, `STOP`
+    /// thresholds, and any other counter comparison get explored.
+    Threshold {
+        /// The counter whose comparison constants are swept.
+        counter: String,
+        /// Which matching term to touch (`None` = all of them).
+        occurrence: Option<usize>,
+        /// The values to sweep over.
+        values: Vec<i64>,
+    },
+    /// Sweeps the hold time of every `DELAY` fault action in the program.
+    DelayNs {
+        /// Hold times in nanoseconds.
+        values: Vec<u64>,
+    },
+    /// Sweeps the simulator RNG seed.
+    Seed {
+        /// Seed values.
+        values: Vec<u64>,
+    },
+    /// Sweeps the control-plane impairment.
+    Impairment {
+        /// Impairment configurations.
+        values: Vec<ControlImpairment>,
+    },
+}
+
+impl Axis {
+    /// A [`Axis::Threshold`] over every `counter <op> CONST` term.
+    pub fn threshold(counter: &str, values: Vec<i64>) -> Self {
+        Axis::Threshold {
+            counter: counter.to_string(),
+            occurrence: None,
+            values,
+        }
+    }
+
+    /// A [`Axis::Threshold`] over only the nth matching term (0-based).
+    pub fn threshold_at(counter: &str, occurrence: usize, values: Vec<i64>) -> Self {
+        Axis::Threshold {
+            counter: counter.to_string(),
+            occurrence: Some(occurrence),
+            values,
+        }
+    }
+
+    /// A [`Axis::DelayNs`] over the given hold times.
+    pub fn delay_ns(values: Vec<u64>) -> Self {
+        Axis::DelayNs { values }
+    }
+
+    /// A [`Axis::Seed`] over the given seeds.
+    pub fn seeds(values: Vec<u64>) -> Self {
+        Axis::Seed { values }
+    }
+
+    /// An [`Axis::Impairment`] over the given configurations.
+    pub fn impairments(values: Vec<ControlImpairment>) -> Self {
+        Axis::Impairment { values }
+    }
+
+    /// The axis name used in instance labels and reports.
+    pub fn name(&self) -> String {
+        match self {
+            Axis::Threshold {
+                counter,
+                occurrence: None,
+                ..
+            } => format!("threshold.{counter}"),
+            Axis::Threshold {
+                counter,
+                occurrence: Some(n),
+                ..
+            } => format!("threshold.{counter}#{n}"),
+            Axis::DelayNs { .. } => "delay_ns".to_string(),
+            Axis::Seed { .. } => "seed".to_string(),
+            Axis::Impairment { .. } => "impairment".to_string(),
+        }
+    }
+
+    /// Number of points on this axis.
+    pub fn len(&self) -> usize {
+        match self {
+            Axis::Threshold { values, .. } => values.len(),
+            Axis::DelayNs { values } => values.len(),
+            Axis::Seed { values } => values.len(),
+            Axis::Impairment { values } => values.len(),
+        }
+    }
+
+    /// `true` for an axis with no points (rejected by
+    /// [`CampaignSpec::enumerate`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A stable label for point `i`, used in reports.
+    pub fn value_label(&self, i: usize) -> String {
+        match self {
+            Axis::Threshold { values, .. } => values[i].to_string(),
+            Axis::DelayNs { values } => values[i].to_string(),
+            Axis::Seed { values } => values[i].to_string(),
+            Axis::Impairment { values } => values[i].summary(),
+        }
+    }
+
+    /// Applies point `i` to a program + run configuration. Returns how
+    /// many spots in the program were touched (0 for run-config axes is
+    /// fine; 0 for program axes means the axis is dead).
+    fn apply(&self, i: usize, program: &mut Program, run: &mut RunConfig) -> usize {
+        match self {
+            Axis::Threshold {
+                counter,
+                occurrence,
+                values,
+            } => apply_threshold(program, counter, *occurrence, values[i]),
+            Axis::DelayNs { values } => apply_delay_ns(program, values[i]),
+            Axis::Seed { values } => {
+                run.seed = values[i];
+                0
+            }
+            Axis::Impairment { values } => {
+                run.impairment = values[i];
+                0
+            }
+        }
+    }
+
+    /// `true` for axes that must touch the program to be meaningful.
+    fn mutates_program(&self) -> bool {
+        matches!(self, Axis::Threshold { .. } | Axis::DelayNs { .. })
+    }
+}
+
+/// Rewrites `counter <op> CONST` (or `CONST <op> counter`) terms.
+pub(crate) fn apply_threshold(
+    program: &mut Program,
+    counter: &str,
+    occurrence: Option<usize>,
+    value: i64,
+) -> usize {
+    let mut seen = 0usize;
+    let mut touched = 0usize;
+    for scenario in &mut program.scenarios {
+        for rule in &mut scenario.rules {
+            rewrite_cond(
+                &mut rule.condition,
+                counter,
+                occurrence,
+                value,
+                &mut seen,
+                &mut touched,
+            );
+        }
+    }
+    touched
+}
+
+/// Rewrites every `DELAY` hold time in the program.
+pub(crate) fn apply_delay_ns(program: &mut Program, ns: u64) -> usize {
+    let mut touched = 0;
+    for scenario in &mut program.scenarios {
+        for rule in &mut scenario.rules {
+            for action in &mut rule.actions {
+                if let Action::Delay { duration_ns, .. } = action {
+                    *duration_ns = ns;
+                    touched += 1;
+                }
+            }
+        }
+    }
+    touched
+}
+
+fn rewrite_cond(
+    cond: &mut CondExpr,
+    counter: &str,
+    occurrence: Option<usize>,
+    value: i64,
+    seen: &mut usize,
+    touched: &mut usize,
+) {
+    match cond {
+        CondExpr::True | CondExpr::False => {}
+        CondExpr::Term(term) => {
+            let hit = match (&term.lhs, &mut term.rhs) {
+                (Operand::Counter(c), Operand::Const(v)) if c == counter => Some(v),
+                _ => match (&mut term.lhs, &term.rhs) {
+                    (Operand::Const(v), Operand::Counter(c)) if c == counter => Some(v),
+                    _ => None,
+                },
+            };
+            if let Some(slot) = hit {
+                let idx = *seen;
+                *seen += 1;
+                if occurrence.is_none() || occurrence == Some(idx) {
+                    *slot = value;
+                    *touched += 1;
+                }
+            }
+        }
+        CondExpr::And(a, b) | CondExpr::Or(a, b) => {
+            rewrite_cond(a, counter, occurrence, value, seen, touched);
+            rewrite_cond(b, counter, occurrence, value, seen, touched);
+        }
+        CondExpr::Not(a) => rewrite_cond(a, counter, occurrence, value, seen, touched),
+    }
+}
+
+/// How a campaign's cross-product is turned into instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sampling {
+    /// Every point of the cross-product, in lexicographic order (last
+    /// axis fastest).
+    Exhaustive,
+    /// At most `budget` distinct points, chosen by a seeded deterministic
+    /// generator and emitted in ascending cross-product order, so a
+    /// sampled campaign replays bit-for-bit.
+    Random {
+        /// Maximum number of instances.
+        budget: usize,
+        /// Sampling seed (independent of the simulator seeds).
+        seed: u64,
+    },
+}
+
+/// A campaign: base program, swept axes, defaults, and a sampling mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name (report header).
+    pub name: String,
+    /// The base FSL program every instance is derived from.
+    pub base: Program,
+    /// The swept axes, outermost first.
+    pub axes: Vec<Axis>,
+    /// Seed/impairment used where no axis overrides them.
+    pub defaults: RunConfig,
+    /// Exhaustive or budgeted-random expansion.
+    pub sampling: Sampling,
+}
+
+impl CampaignSpec {
+    /// A new exhaustive campaign over `base` with no axes yet.
+    pub fn new(name: &str, base: Program) -> Self {
+        CampaignSpec {
+            name: name.to_string(),
+            base,
+            axes: Vec::new(),
+            defaults: RunConfig::default(),
+            sampling: Sampling::Exhaustive,
+        }
+    }
+
+    /// Adds an axis (builder style).
+    #[must_use]
+    pub fn axis(mut self, axis: Axis) -> Self {
+        self.axes.push(axis);
+        self
+    }
+
+    /// Switches to budgeted random sampling.
+    #[must_use]
+    pub fn sample(mut self, budget: usize, seed: u64) -> Self {
+        self.sampling = Sampling::Random { budget, seed };
+        self
+    }
+
+    /// Sets the default seed/impairment.
+    #[must_use]
+    pub fn defaults(mut self, defaults: RunConfig) -> Self {
+        self.defaults = defaults;
+        self
+    }
+
+    /// Size of the full cross-product (before sampling).
+    pub fn total(&self) -> usize {
+        self.axes.iter().map(Axis::len).product()
+    }
+
+    /// Expands the spec into concrete instances.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an invalid base program (via [`vw_fsl::analyze`]), an
+    /// empty axis, a program-mutating axis that touches nothing, and a
+    /// zero sampling budget.
+    pub fn enumerate(&self) -> Result<Vec<Instance>, CampaignError> {
+        if let Err(errors) = vw_fsl::analyze(&self.base) {
+            return Err(CampaignError::new(format!(
+                "invalid base program: {}",
+                errors
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            )));
+        }
+        for axis in &self.axes {
+            if axis.is_empty() {
+                return Err(CampaignError::new(format!(
+                    "axis `{}` has no values",
+                    axis.name()
+                )));
+            }
+            if axis.mutates_program() {
+                // Probe against a scratch copy: a program axis that
+                // rewrites nothing is a dead dimension (usually a typo'd
+                // counter name) and would silently multiply the campaign.
+                let mut probe = self.base.clone();
+                let mut run = self.defaults;
+                if axis.apply(0, &mut probe, &mut run) == 0 {
+                    return Err(CampaignError::new(format!(
+                        "axis `{}` does not touch the base program",
+                        axis.name()
+                    )));
+                }
+            }
+        }
+
+        let total = self.total();
+        let indices: Vec<usize> = match self.sampling {
+            Sampling::Exhaustive => (0..total).collect(),
+            Sampling::Random { budget, seed } => {
+                if budget == 0 {
+                    return Err(CampaignError::new("sampling budget is zero"));
+                }
+                if budget >= total {
+                    (0..total).collect()
+                } else {
+                    sample_indices(total, budget, seed)
+                }
+            }
+        };
+
+        Ok(indices
+            .into_iter()
+            .map(|index| self.instantiate(index))
+            .collect())
+    }
+
+    /// Materializes cross-product point `index` (last axis fastest).
+    fn instantiate(&self, index: usize) -> Instance {
+        let mut program = self.base.clone();
+        let mut run = self.defaults;
+        let mut labels = Vec::with_capacity(self.axes.len());
+        let mut rem = index;
+        let mut strides = vec![1usize; self.axes.len()];
+        for i in (0..self.axes.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.axes[i + 1].len();
+        }
+        for (axis, stride) in self.axes.iter().zip(&strides) {
+            let i = rem / stride;
+            rem %= stride;
+            axis.apply(i, &mut program, &mut run);
+            labels.push((axis.name(), axis.value_label(i)));
+        }
+        Instance {
+            index,
+            labels,
+            program,
+            run,
+        }
+    }
+}
+
+/// Draws `budget` distinct indices from `0..total` with a splitmix64
+/// stream, returned in ascending order. The modulo draw carries a
+/// negligible bias for campaign-sized spaces and keeps the sampler
+/// dependency-free and bit-stable.
+fn sample_indices(total: usize, budget: usize, seed: u64) -> Vec<usize> {
+    let mut state = seed;
+    let mut chosen = BTreeSet::new();
+    while chosen.len() < budget {
+        chosen.insert((splitmix64(&mut state) % total as u64) as usize);
+    }
+    chosen.into_iter().collect()
+}
+
+/// The classic splitmix64 step: a tiny, well-mixed, seedable generator.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One concrete point of the fault space: a fully mutated program plus
+/// its run configuration, tagged with where in the sweep it came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// Position in the full cross-product (stable across sampling and
+    /// thread counts).
+    pub index: usize,
+    /// `(axis name, value label)` pairs, in axis order.
+    pub labels: Vec<(String, String)>,
+    /// The mutated program.
+    pub program: Program,
+    /// Seed and impairment for this run.
+    pub run: RunConfig,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vw_fsl::parse;
+
+    const BASE: &str = r#"
+        FILTER_TABLE
+        p: (12 2 0x4242)
+        END
+        NODE_TABLE
+        a 02:00:00:00:00:01 10.0.0.1
+        b 02:00:00:00:00:02 10.0.0.2
+        END
+        SCENARIO S 100msec
+        C: (p, a, b, RECV)
+        (TRUE) >> ENABLE_CNTR(C);
+        ((C = 3)) >> DELAY(p, a, b, RECV, 10msec);
+        ((C = 9)) >> STOP;
+        END
+    "#;
+
+    fn base() -> Program {
+        parse(BASE).unwrap()
+    }
+
+    #[test]
+    fn cross_product_is_lexicographic_and_deterministic() {
+        let spec = CampaignSpec::new("t", base())
+            .axis(Axis::threshold_at("C", 0, vec![1, 2]))
+            .axis(Axis::seeds(vec![7, 8, 9]));
+        assert_eq!(spec.total(), 6);
+        let a = spec.enumerate().unwrap();
+        let b = spec.enumerate().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+        // Last axis (seed) fastest.
+        assert_eq!(a[0].run.seed, 7);
+        assert_eq!(a[1].run.seed, 8);
+        assert_eq!(a[2].run.seed, 9);
+        assert_eq!(a[3].run.seed, 7);
+        assert_eq!(
+            a[0].labels[0],
+            ("threshold.C#0".to_string(), "1".to_string())
+        );
+        assert_eq!(
+            a[3].labels[0],
+            ("threshold.C#0".to_string(), "2".to_string())
+        );
+        // Indices are cross-product positions.
+        assert_eq!(
+            a.iter().map(|i| i.index).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4, 5]
+        );
+    }
+
+    #[test]
+    fn threshold_rewrites_the_right_occurrence() {
+        let spec = CampaignSpec::new("t", base()).axis(Axis::threshold_at("C", 1, vec![42]));
+        let inst = spec.enumerate().unwrap().remove(0);
+        let printed = vw_fsl::print(&inst.program);
+        assert!(printed.contains("C = 3"), "{printed}");
+        assert!(printed.contains("C = 42"), "{printed}");
+        assert!(!printed.contains("C = 9"), "{printed}");
+    }
+
+    #[test]
+    fn threshold_all_occurrences() {
+        let spec = CampaignSpec::new("t", base()).axis(Axis::threshold("C", vec![5]));
+        let inst = spec.enumerate().unwrap().remove(0);
+        let printed = vw_fsl::print(&inst.program);
+        assert!(!printed.contains("C = 3"));
+        assert!(!printed.contains("C = 9"));
+        assert_eq!(printed.matches("C = 5").count(), 2, "{printed}");
+    }
+
+    #[test]
+    fn delay_axis_rewrites_hold_time() {
+        let spec = CampaignSpec::new("t", base()).axis(Axis::delay_ns(vec![5_000_000]));
+        let inst = spec.enumerate().unwrap().remove(0);
+        let delay = inst.program.scenarios[0]
+            .rules
+            .iter()
+            .find_map(|r| {
+                r.actions.iter().find_map(|a| match a {
+                    Action::Delay { duration_ns, .. } => Some(*duration_ns),
+                    _ => None,
+                })
+            })
+            .unwrap();
+        assert_eq!(delay, 5_000_000);
+    }
+
+    #[test]
+    fn dead_axes_and_empty_axes_are_rejected() {
+        let err = CampaignSpec::new("t", base())
+            .axis(Axis::threshold("Ghost", vec![1]))
+            .enumerate()
+            .unwrap_err();
+        assert!(err.to_string().contains("does not touch"));
+        let err = CampaignSpec::new("t", base())
+            .axis(Axis::seeds(vec![]))
+            .enumerate()
+            .unwrap_err();
+        assert!(err.to_string().contains("no values"));
+    }
+
+    #[test]
+    fn invalid_base_program_is_rejected() {
+        let bad = parse(
+            "FILTER_TABLE\np: (12 2 0x1)\nEND\nNODE_TABLE\na 02:00:00:00:00:01 10.0.0.1\nEND\n\
+             SCENARIO S\nC: (ghost, a, a, RECV)\n(TRUE) >> STOP;\nEND",
+        )
+        .unwrap();
+        let err = CampaignSpec::new("t", bad).enumerate().unwrap_err();
+        assert!(err.to_string().contains("invalid base program"));
+    }
+
+    #[test]
+    fn sampling_is_seed_stable_and_within_budget() {
+        let spec = CampaignSpec::new("t", base())
+            .axis(Axis::threshold_at("C", 0, (1..=20).collect()))
+            .axis(Axis::seeds((0..20).collect()))
+            .sample(25, 0xFEED);
+        let a = spec.enumerate().unwrap();
+        let b = spec.enumerate().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 25);
+        // Ascending cross-product order, all distinct.
+        assert!(a.windows(2).all(|w| w[0].index < w[1].index));
+        // A different sampling seed picks a different subset.
+        let c = CampaignSpec::new("t", base())
+            .axis(Axis::threshold_at("C", 0, (1..=20).collect()))
+            .axis(Axis::seeds((0..20).collect()))
+            .sample(25, 0xBEEF)
+            .enumerate()
+            .unwrap();
+        assert_ne!(
+            a.iter().map(|i| i.index).collect::<Vec<_>>(),
+            c.iter().map(|i| i.index).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn budget_covering_the_space_degenerates_to_exhaustive() {
+        let spec = CampaignSpec::new("t", base())
+            .axis(Axis::seeds(vec![1, 2, 3]))
+            .sample(10, 5);
+        let got = spec.enumerate().unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(
+            got.iter().map(|i| i.index).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn every_instance_still_compiles() {
+        let spec = CampaignSpec::new("t", base())
+            .axis(Axis::threshold_at("C", 0, vec![1, 4, 100]))
+            .axis(Axis::delay_ns(vec![0, 1_000_000]));
+        for inst in spec.enumerate().unwrap() {
+            vw_fsl::compile(&inst.program).unwrap();
+            // And the mutated program stays printable/parsable.
+            assert_eq!(parse(&vw_fsl::print(&inst.program)).unwrap(), inst.program);
+        }
+    }
+}

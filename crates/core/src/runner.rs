@@ -13,6 +13,7 @@ use vw_rll::{RllConfig, RllHook};
 
 use crate::engine::{Engine, EngineConfig, EngineStats};
 use crate::report::{Report, StopReason};
+use crate::ScriptError;
 
 /// Orchestrates one scenario over a [`World`].
 #[derive(Debug)]
@@ -45,9 +46,26 @@ impl Runner {
     /// # Panics
     ///
     /// Panics if a scripted node has no same-named host in the world, or
-    /// if its MAC differs from the node table.
+    /// if its MAC differs from the node table. Use
+    /// [`try_install`](Runner::try_install) where a bad script/topology
+    /// pairing must not take the process down (campaign worker pools).
     pub fn install(world: &mut World, tables: TableSet, cfg: EngineConfig) -> Runner {
-        Self::install_inner(world, tables, cfg, None)
+        Self::try_install_inner(world, tables, cfg, None).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`install`](Runner::install): returns a [`ScriptError`]
+    /// instead of panicking when a scripted node has no same-named host in
+    /// the world or its MAC differs from the node table.
+    ///
+    /// # Errors
+    ///
+    /// One [`ScriptError`] naming every node that failed to bind.
+    pub fn try_install(
+        world: &mut World,
+        tables: TableSet,
+        cfg: EngineConfig,
+    ) -> Result<Runner, ScriptError> {
+        Self::try_install_inner(world, tables, cfg, None)
     }
 
     /// Like [`install`](Runner::install), but also layers a Reliable Link
@@ -59,27 +77,58 @@ impl Runner {
         cfg: EngineConfig,
         rll: RllConfig,
     ) -> Runner {
-        Self::install_inner(world, tables, cfg, Some(rll))
+        Self::try_install_inner(world, tables, cfg, Some(rll)).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    fn install_inner(
+    /// Fallible [`install_with_rll`](Runner::install_with_rll).
+    ///
+    /// # Errors
+    ///
+    /// One [`ScriptError`] naming every node that failed to bind.
+    pub fn try_install_with_rll(
+        world: &mut World,
+        tables: TableSet,
+        cfg: EngineConfig,
+        rll: RllConfig,
+    ) -> Result<Runner, ScriptError> {
+        Self::try_install_inner(world, tables, cfg, Some(rll))
+    }
+
+    fn try_install_inner(
         world: &mut World,
         tables: TableSet,
         cfg: EngineConfig,
         rll: Option<RllConfig>,
-    ) -> Runner {
+    ) -> Result<Runner, ScriptError> {
         let timeout = tables.timeout_ns.map(SimDuration::from_nanos);
+
+        // Resolve every node before mutating the world, so a failed
+        // install leaves no half-installed engine chain behind.
+        let mut devices = Vec::with_capacity(tables.nodes.len());
+        let mut errors = Vec::new();
+        for node in &tables.nodes {
+            match world.device_by_name(&node.name) {
+                None => errors.push(vw_fsl::FslError::general(format!(
+                    "no host named `{}` in the world",
+                    node.name
+                ))),
+                Some(device) if world.host_mac(device) != node.mac => {
+                    errors.push(vw_fsl::FslError::general(format!(
+                        "host `{}` carries MAC {}, script expects {}",
+                        node.name,
+                        world.host_mac(device),
+                        node.mac
+                    )));
+                }
+                Some(device) => devices.push(device),
+            }
+        }
+        if !errors.is_empty() {
+            return Err(ScriptError { errors });
+        }
+
         let mut engines = Vec::new();
-        for (i, node) in tables.nodes.iter().enumerate() {
-            let device = world
-                .device_by_name(&node.name)
-                .unwrap_or_else(|| panic!("no host named `{}` in the world", node.name));
-            assert_eq!(
-                world.host_mac(device),
-                node.mac,
-                "host `{}` must carry the script's MAC address",
-                node.name
-            );
+        for (i, &device) in devices.iter().enumerate() {
             let engine = if i == 0 {
                 Engine::control(cfg, tables.clone(), NodeId(0))
             } else {
@@ -93,11 +142,11 @@ impl Runner {
                 world.add_hook(*device, Box::new(RllHook::new(rll_cfg)));
             }
         }
-        Runner {
+        Ok(Runner {
             tables,
             engines,
             timeout,
-        }
+        })
     }
 
     /// The compiled tables this runner distributes.

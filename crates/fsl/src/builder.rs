@@ -51,6 +51,10 @@ use crate::error::FslError;
 #[derive(Debug, Default)]
 pub struct ProgramBuilder {
     program: Program,
+    /// Construction-time mistakes (e.g. an unknown operator symbol),
+    /// deferred so the fluent chain never aborts the process; `build`
+    /// surfaces them together with the semantic analysis.
+    errors: Vec<FslError>,
 }
 
 impl ProgramBuilder {
@@ -100,7 +104,9 @@ impl ProgramBuilder {
                 counters: Vec::new(),
                 rules: Vec::new(),
             },
+            errors: Vec::new(),
         });
+        self.errors.extend(sb.errors);
         self.program.scenarios.push(sb.scenario);
         self
     }
@@ -109,15 +115,25 @@ impl ProgramBuilder {
     ///
     /// # Errors
     ///
-    /// Returns every semantic problem found, like
+    /// Returns every problem found: construction-time misuse (such as an
+    /// unknown operator symbol passed to
+    /// [`ScenarioBuilder::when`]) followed by the semantic errors from
     /// [`analyze`](crate::analyze).
     pub fn build(self) -> Result<Program, Vec<FslError>> {
-        crate::analyze(&self.program)?;
-        Ok(self.program)
+        let mut errors = self.errors;
+        if let Err(semantic) = crate::analyze(&self.program) {
+            errors.extend(semantic);
+        }
+        if errors.is_empty() {
+            Ok(self.program)
+        } else {
+            Err(errors)
+        }
     }
 
     /// Finishes the program without validation (for tests that need
-    /// deliberately broken programs).
+    /// deliberately broken programs). Construction-time errors are
+    /// discarded along with the validation.
     pub fn build_unchecked(self) -> Program {
         self.program
     }
@@ -168,6 +184,7 @@ impl FilterBuilder {
 #[derive(Debug)]
 pub struct ScenarioBuilder {
     scenario: Scenario,
+    errors: Vec<FslError>,
 }
 
 impl ScenarioBuilder {
@@ -223,12 +240,14 @@ impl ScenarioBuilder {
 
     /// Adds a rule guarded by a single `counter <op> constant` term.
     ///
-    /// # Panics
-    ///
-    /// Panics on an unknown operator symbol (use `>`, `<`, `>=`, `<=`,
-    /// `=`, `!=`).
+    /// An unknown operator symbol (anything other than `>`, `<`, `>=`,
+    /// `<=`, `=`/`==`, `!=`) does not abort the chain: the rule is added
+    /// with a never-true condition and the mistake surfaces as an
+    /// [`FslError`] from [`ProgramBuilder::build`] — important for
+    /// programmatic mutation paths (campaign sweeps) that must never take
+    /// a process down on builder misuse.
     pub fn when(
-        self,
+        mut self,
         counter: &str,
         op: &str,
         value: i64,
@@ -241,7 +260,14 @@ impl ScenarioBuilder {
             "<=" => RelOp::Le,
             "=" | "==" => RelOp::Eq,
             "!=" => RelOp::Ne,
-            other => panic!("unknown relational operator `{other}`"),
+            other => {
+                self.errors.push(FslError::general(format!(
+                    "{}: unknown relational operator `{other}` \
+                     (use `>`, `<`, `>=`, `<=`, `=`, `!=`)",
+                    self.scenario.name
+                )));
+                return self.rule_with(CondExpr::False, f);
+            }
         };
         let condition = CondExpr::Term(Term {
             lhs: Operand::Counter(counter.to_string()),
@@ -408,11 +434,31 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown relational operator")]
-    fn bad_operator_panics() {
-        let _ = ProgramBuilder::new().scenario("S", |s| {
-            s.local_counter("C", "a").when("C", "~", 1, |r| r.stop())
-        });
+    fn bad_operator_is_a_build_error_not_a_panic() {
+        let result = ProgramBuilder::new()
+            .node("a", mac(1), "10.0.0.1".parse().unwrap())
+            .scenario("S", |s| {
+                s.local_counter("C", "a").when("C", "~", 1, |r| r.stop())
+            })
+            .build();
+        let errors = result.unwrap_err();
+        assert!(errors
+            .iter()
+            .any(|e| e.to_string().contains("unknown relational operator `~`")));
+    }
+
+    #[test]
+    fn bad_operator_does_not_leak_into_build_unchecked_errors() {
+        // build_unchecked drops the deferred error but keeps the rule
+        // (with a never-true condition), so downstream consumers see a
+        // structurally complete program.
+        let program = ProgramBuilder::new()
+            .scenario("S", |s| {
+                s.local_counter("C", "a").when("C", "~", 1, |r| r.stop())
+            })
+            .build_unchecked();
+        assert_eq!(program.scenarios[0].rules.len(), 1);
+        assert_eq!(program.scenarios[0].rules[0].condition, CondExpr::False);
     }
 
     #[test]

@@ -254,6 +254,33 @@ impl ControlImpairment {
         self.drop == 0.0 && self.dup == 0.0 && self.reorder == 0.0 && self.delay == 0.0
     }
 
+    /// A short, stable label for reports and sweep axes: `none` when
+    /// inert, else the non-zero knobs (`drop=0.1,delay=0.05@2000000ns`).
+    /// The format is deterministic, so campaign reports that embed it
+    /// are byte-stable across runs.
+    pub fn summary(&self) -> String {
+        if self.is_inert() {
+            return "none".to_string();
+        }
+        let mut parts = Vec::new();
+        if self.drop > 0.0 {
+            parts.push(format!("drop={}", self.drop));
+        }
+        if self.dup > 0.0 {
+            parts.push(format!("dup={}", self.dup));
+        }
+        if self.reorder > 0.0 {
+            parts.push(format!(
+                "reorder={}@{}ns",
+                self.reorder, self.reorder_window_ns
+            ));
+        }
+        if self.delay > 0.0 {
+            parts.push(format!("delay={}@{}ns", self.delay, self.delay_ns));
+        }
+        parts.join(",")
+    }
+
     /// Decides one control frame's fate. Every probability draw is
     /// guarded, so an inert (or partially inert) impairment leaves the
     /// RNG stream untouched for the faults it cannot inject.

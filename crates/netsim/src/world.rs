@@ -85,6 +85,15 @@ impl fmt::Debug for World {
 }
 
 impl World {
+    /// Creates an empty world with a seeded deterministic RNG and a
+    /// control-plane impairment in one step — the shape campaign sweeps
+    /// need, where both knobs are axes of the explored fault space.
+    pub fn with_impairment(seed: u64, impairment: crate::error_model::ControlImpairment) -> Self {
+        let mut world = Self::new(seed);
+        world.set_control_impairment(impairment);
+        world
+    }
+
     /// Creates an empty world with a seeded deterministic RNG.
     pub fn new(seed: u64) -> Self {
         World {

@@ -25,6 +25,14 @@ cargo test -q -p virtualwire --test control_plane_reliability
 echo "==> example smoke: obs_flight_recorder"
 cargo run -q --release --example obs_flight_recorder > /dev/null
 
+# Campaign engine: a small sweep must dedup into multiple outcome classes
+# and the shrinker must halve a failing instance's rule count; the
+# determinism suite pins byte-identical JSONL across thread counts. The
+# example then runs the full 216-instance sweep end to end.
+echo "==> campaign-smoke"
+cargo test -q -p vw-campaign --test campaign_smoke --test determinism
+cargo run -q --release --example campaign_sweep > /dev/null
+
 echo "==> cargo clippy"
 cargo clippy --all-targets -- -D warnings
 
