@@ -1,0 +1,482 @@
+//! Campaign-wide analytics: folding per-instance metrics into one
+//! aggregate report, per-axis breakdowns, and baseline diffing.
+//!
+//! A campaign's [`CampaignResult`](vw_campaign::CampaignResult) dedups
+//! *outcomes*; this module aggregates *performance*: every completed
+//! instance's compact [`MetricsDigest`](vw_campaign::MetricsDigest) is
+//! folded into campaign-wide counter totals and merged histograms,
+//! broken down along each sweep axis, and two aggregates can be diffed
+//! to flag regressions beyond a threshold. Everything is ordered by
+//! name (and axes by first-instance label order), so the exports are
+//! byte-identical regardless of worker-thread count.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use vw_campaign::CampaignResult;
+use vw_obs::{Histogram, Metric, MetricsRegistry};
+
+/// One instance's contribution to the aggregate.
+#[derive(Debug, Clone, Default)]
+pub struct InstanceMetrics {
+    /// `(axis, value)` labels, in sweep-axis order.
+    pub labels: Vec<(String, String)>,
+    /// Whether the instance's scenario passed.
+    pub passed: bool,
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl InstanceMetrics {
+    /// Folds a raw [`MetricsRegistry`] (e.g. [`Report::metrics`]
+    /// (virtualwire::Report)) into one instance's contribution, summing
+    /// counters and merging histograms across nodes by leaf name.
+    pub fn from_registry(
+        labels: Vec<(String, String)>,
+        passed: bool,
+        registry: &MetricsRegistry,
+    ) -> Self {
+        let mut instance = InstanceMetrics {
+            labels,
+            passed,
+            ..InstanceMetrics::default()
+        };
+        for (name, metric) in registry.iter() {
+            let leaf = name.rsplit('.').next().unwrap_or(name).to_string();
+            match metric {
+                Metric::Counter(v) => *instance.counters.entry(leaf).or_insert(0) += v,
+                Metric::Histogram(h) => instance.histograms.entry(leaf).or_default().merge(h),
+                Metric::Gauge(_) => {}
+            }
+        }
+        instance
+    }
+}
+
+/// One value-group of an axis breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxisGroup {
+    /// The axis value.
+    pub value: String,
+    /// Instances swept at this value.
+    pub instances: usize,
+    /// How many of them passed.
+    pub passed: usize,
+    /// Counter totals across the group, ascending by name.
+    pub counters: Vec<(String, u64)>,
+}
+
+/// Aggregate metrics broken down along one sweep axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxisBreakdown {
+    /// The axis name.
+    pub axis: String,
+    /// Per-value groups, in first-appearance order (= sweep order).
+    pub groups: Vec<AxisGroup>,
+}
+
+/// One flagged regression from [`CampaignReport::diff`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// The regressed metric (`drops`, `classify_to_action_ns.p99`, ...).
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// `current / baseline`.
+    pub ratio: f64,
+}
+
+impl Regression {
+    /// One-line human rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "{}: {} -> {} ({:.2}x)",
+            self.metric, self.baseline, self.current, self.ratio
+        )
+    }
+}
+
+/// The campaign-wide aggregate: totals, merged distributions, and
+/// per-axis breakdowns.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CampaignReport {
+    /// Instances aggregated.
+    pub instances: usize,
+    /// How many passed.
+    pub passed: usize,
+    /// Campaign-wide counter totals, ascending by name.
+    pub counters: Vec<(String, u64)>,
+    /// Campaign-wide merged histograms, ascending by name.
+    pub histograms: Vec<(String, Histogram)>,
+    /// One breakdown per sweep axis, in sweep-axis order.
+    pub breakdowns: Vec<AxisBreakdown>,
+}
+
+/// Folds per-instance metrics into a [`CampaignReport`].
+#[derive(Debug, Clone, Default)]
+pub struct CampaignAnalyzer {
+    instances: Vec<InstanceMetrics>,
+}
+
+impl CampaignAnalyzer {
+    /// An empty analyzer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one instance's metrics.
+    pub fn push(&mut self, instance: InstanceMetrics) -> &mut Self {
+        self.instances.push(instance);
+        self
+    }
+
+    /// Loads every completed instance of a campaign result (the entry
+    /// point after [`run_campaign`](vw_campaign::run_campaign)).
+    pub fn push_result(&mut self, result: &CampaignResult) -> &mut Self {
+        for (record, digest) in result.completed() {
+            self.instances.push(InstanceMetrics {
+                labels: record.labels.clone(),
+                passed: digest.passed,
+                counters: digest.metrics.counters.iter().cloned().collect(),
+                histograms: digest.metrics.histograms.iter().cloned().collect(),
+            });
+        }
+        self
+    }
+
+    /// Folds everything pushed so far into the aggregate report.
+    pub fn analyze(&self) -> CampaignReport {
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        let mut histograms: BTreeMap<String, Histogram> = BTreeMap::new();
+        let mut passed = 0;
+        // Axis order follows the first instance's labels; group order is
+        // first appearance, which for a cross-product sweep is the axis's
+        // declared value order.
+        let mut axes: Vec<AxisBreakdown> = Vec::new();
+        for instance in &self.instances {
+            if instance.passed {
+                passed += 1;
+            }
+            for (name, v) in &instance.counters {
+                *counters.entry(name.clone()).or_insert(0) += v;
+            }
+            for (name, h) in &instance.histograms {
+                histograms.entry(name.clone()).or_default().merge(h);
+            }
+            for (axis, value) in &instance.labels {
+                let breakdown = match axes.iter_mut().find(|b| &b.axis == axis) {
+                    Some(b) => b,
+                    None => {
+                        axes.push(AxisBreakdown {
+                            axis: axis.clone(),
+                            groups: Vec::new(),
+                        });
+                        axes.last_mut().expect("pushed")
+                    }
+                };
+                let group = match breakdown.groups.iter_mut().find(|g| &g.value == value) {
+                    Some(g) => g,
+                    None => {
+                        breakdown.groups.push(AxisGroup {
+                            value: value.clone(),
+                            instances: 0,
+                            passed: 0,
+                            counters: Vec::new(),
+                        });
+                        breakdown.groups.last_mut().expect("pushed")
+                    }
+                };
+                group.instances += 1;
+                if instance.passed {
+                    group.passed += 1;
+                }
+                for (name, v) in &instance.counters {
+                    match group
+                        .counters
+                        .binary_search_by(|(n, _)| n.as_str().cmp(name))
+                    {
+                        Ok(i) => group.counters[i].1 += v,
+                        Err(i) => group.counters.insert(i, (name.clone(), *v)),
+                    }
+                }
+            }
+        }
+        CampaignReport {
+            instances: self.instances.len(),
+            passed,
+            counters: counters.into_iter().collect(),
+            histograms: histograms.into_iter().collect(),
+            breakdowns: axes,
+        }
+    }
+}
+
+impl CampaignReport {
+    /// A campaign-wide counter total, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// A campaign-wide merged histogram, if present.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// The breakdown along one axis, if present.
+    pub fn breakdown(&self, axis: &str) -> Option<&AxisBreakdown> {
+        self.breakdowns.iter().find(|b| b.axis == axis)
+    }
+
+    /// Flags metrics that regressed from `baseline` to `self` by more
+    /// than `threshold` (fractional: `0.2` = 20%). Counters compare
+    /// totals; histograms compare p99 (the latency convention) and are
+    /// skipped when either side is empty. Results are ordered by metric
+    /// name — deterministic for fixed inputs.
+    pub fn diff(&self, baseline: &CampaignReport, threshold: f64) -> Vec<Regression> {
+        let mut regressions = Vec::new();
+        for (name, current) in &self.counters {
+            let current = *current;
+            let Some(base) = baseline.counter(name) else {
+                continue;
+            };
+            if base > 0 && current as f64 > base as f64 * (1.0 + threshold) {
+                regressions.push(Regression {
+                    metric: name.clone(),
+                    baseline: base as f64,
+                    current: current as f64,
+                    ratio: current as f64 / base as f64,
+                });
+            }
+        }
+        for (name, h) in &self.histograms {
+            let Some(base) = baseline.histogram(name) else {
+                continue;
+            };
+            if base.is_empty() || h.is_empty() {
+                continue;
+            }
+            let (base_p99, cur_p99) = (base.percentile(99.0), h.percentile(99.0));
+            if base_p99 > 0 && cur_p99 as f64 > base_p99 as f64 * (1.0 + threshold) {
+                regressions.push(Regression {
+                    metric: format!("{name}.p99"),
+                    baseline: base_p99 as f64,
+                    current: cur_p99 as f64,
+                    ratio: cur_p99 as f64 / base_p99 as f64,
+                });
+            }
+        }
+        regressions
+    }
+
+    /// The aggregate as JSON lines: one header object, one object per
+    /// counter and histogram, one per axis group. Byte-identical for a
+    /// fixed instance list.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"aggregate\":true,\"instances\":{},\"passed\":{}}}",
+            self.instances, self.passed
+        );
+        for (name, value) in &self.counters {
+            out.push_str("{\"counter\":");
+            json_string(&mut out, name);
+            let _ = writeln!(out, ",\"total\":{value}}}");
+        }
+        for (name, h) in &self.histograms {
+            out.push_str("{\"histogram\":");
+            json_string(&mut out, name);
+            let _ = writeln!(
+                out,
+                ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max(),
+                h.percentile(50.0),
+                h.percentile(90.0),
+                h.percentile(99.0),
+            );
+        }
+        for breakdown in &self.breakdowns {
+            for group in &breakdown.groups {
+                out.push_str("{\"axis\":");
+                json_string(&mut out, &breakdown.axis);
+                out.push_str(",\"value\":");
+                json_string(&mut out, &group.value);
+                let _ = write!(
+                    out,
+                    ",\"instances\":{},\"passed\":{},\"counters\":{{",
+                    group.instances, group.passed
+                );
+                for (j, (name, v)) in group.counters.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    json_string(&mut out, name);
+                    let _ = write!(out, ":{v}");
+                }
+                out.push_str("}}\n");
+            }
+        }
+        out
+    }
+
+    /// Human-readable summary of the aggregate.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "campaign aggregate: {} instances, {} passed\n",
+            self.instances, self.passed
+        );
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "  {name}: {value}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "  {name}: n={} p50={} p99={} max={}",
+                h.count(),
+                h.percentile(50.0),
+                h.percentile(99.0),
+                h.max(),
+            );
+        }
+        for breakdown in &self.breakdowns {
+            let _ = writeln!(out, "  by {}:", breakdown.axis);
+            for group in &breakdown.groups {
+                let _ = writeln!(
+                    out,
+                    "    {} = {}: {}/{} passed",
+                    breakdown.axis, group.value, group.passed, group.instances
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Appends `s` as a JSON string literal with minimal escaping (same
+/// rules as the campaign exporter).
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instance(seed: &str, drops: u64, passed: bool, latencies: &[u64]) -> InstanceMetrics {
+        let mut registry = MetricsRegistry::new();
+        registry.add_counter("node1.drops", drops);
+        registry.add_counter("node2.drops", 1);
+        for &v in latencies {
+            registry.observe("node1.classify_to_action_ns", v);
+        }
+        InstanceMetrics::from_registry(
+            vec![
+                ("seed".into(), seed.into()),
+                ("impairment".into(), "none".into()),
+            ],
+            passed,
+            &registry,
+        )
+    }
+
+    #[test]
+    fn aggregate_sums_counters_and_merges_histograms() {
+        let mut analyzer = CampaignAnalyzer::new();
+        analyzer.push(instance("1", 2, true, &[100, 200]));
+        analyzer.push(instance("2", 3, false, &[400]));
+        let report = analyzer.analyze();
+        assert_eq!(report.instances, 2);
+        assert_eq!(report.passed, 1);
+        assert_eq!(report.counter("drops"), Some(7)); // 2+1 + 3+1
+        let h = report.histogram("classify_to_action_ns").expect("merged");
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), 400);
+    }
+
+    #[test]
+    fn breakdowns_group_by_axis_value() {
+        let mut analyzer = CampaignAnalyzer::new();
+        analyzer.push(instance("1", 2, true, &[]));
+        analyzer.push(instance("1", 4, true, &[]));
+        analyzer.push(instance("2", 8, false, &[]));
+        let report = analyzer.analyze();
+        let by_seed = report.breakdown("seed").expect("axis");
+        assert_eq!(by_seed.groups.len(), 2);
+        assert_eq!(by_seed.groups[0].value, "1");
+        assert_eq!(by_seed.groups[0].instances, 2);
+        assert_eq!(by_seed.groups[0].passed, 2);
+        let drops: Vec<u64> = by_seed
+            .groups
+            .iter()
+            .map(|g| g.counters.iter().find(|(n, _)| n == "drops").unwrap().1)
+            .collect();
+        assert_eq!(drops, vec![8, 9]); // (2+1)+(4+1) and (8+1)
+        assert_eq!(
+            report.breakdown("impairment").expect("axis").groups.len(),
+            1
+        );
+    }
+
+    #[test]
+    fn diff_flags_regressions_beyond_threshold() {
+        let mut base = CampaignAnalyzer::new();
+        base.push(instance("1", 10, true, &[100, 100, 100]));
+        let baseline = base.analyze();
+        let mut cur = CampaignAnalyzer::new();
+        cur.push(instance("1", 11, true, &[100, 100, 100_000]));
+        let current = cur.analyze();
+        let regressions = current.diff(&baseline, 0.2);
+        // drops grew 10 -> 12 (20%): not beyond threshold; p99 exploded.
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].metric.ends_with(".p99"), "{regressions:?}");
+        assert!(regressions[0].ratio > 100.0);
+        assert!(regressions[0].render().contains("p99"));
+        // A same-shape aggregate has no regressions.
+        assert!(current.diff(&current, 0.2).is_empty());
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let build = || {
+            let mut analyzer = CampaignAnalyzer::new();
+            analyzer.push(instance("1", 2, true, &[100]));
+            analyzer.push(instance("2", 3, true, &[200]));
+            analyzer.analyze()
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+        assert_eq!(a.render(), b.render());
+        let jsonl = a.to_jsonl();
+        assert!(jsonl.starts_with("{\"aggregate\":true,\"instances\":2,\"passed\":2}\n"));
+        assert!(jsonl.contains("{\"counter\":\"drops\",\"total\":7}"));
+        assert!(jsonl.contains("\"axis\":\"seed\""));
+        assert!(a.render().contains("by seed:"));
+    }
+}

@@ -1,0 +1,638 @@
+//! Invariant checking over the merged distributed timeline.
+//!
+//! The paper's Fault Analysis Engine promises *online* detection of
+//! protocol violations; this module adds the offline complement — a
+//! replay of the merged event stream against rules that must hold for
+//! *any* correct execution of the engine protocol itself, regardless of
+//! scenario. A failing invariant means either the recorder captured an
+//! impossible execution (an engine bug) or the stream was truncated or
+//! doctored — both worth flagging before trusting an analysis built on
+//! the timeline.
+//!
+//! Built-ins:
+//!
+//! * [`ConditionImpliesTerms`] — every `ConditionFired` is justified by
+//!   recorded term state: its expression is satisfiable from the term
+//!   values in force at the firing cascade.
+//! * [`RemoteTermDelivery`] — a term flip recorded away from the term's
+//!   evaluating node must ride a control delivery from that node in the
+//!   same cascade.
+//! * [`NoActionAfterStop`] — once a node triggers `STOP`, no later
+//!   cascade at that node may trigger actions.
+//! * [`CounterMonotonic`] — a counter never targeted by value-lowering
+//!   actions (`ASSIGN`/`DECR`/`RESET`/time ops) must never decrease.
+//!
+//! User-defined rules implement [`Invariant`] and are run by the same
+//! [`InvariantChecker`].
+
+use std::collections::HashMap;
+
+use virtualwire::Report;
+use vw_fsl::{CompiledActionKind, NodeId, TableSet, TermId};
+use vw_netsim::SimTime;
+use vw_obs::{ObsActionKind, ObsEvent, SymbolTable};
+
+use crate::timeline::DistributedTimeline;
+
+/// One invariant violation, anchored to the offending event and
+/// carrying the cross-node causal slice behind it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The violated invariant's name.
+    pub invariant: &'static str,
+    /// The node whose event violated it.
+    pub node: NodeId,
+    /// The offending cascade's ordinal at that node.
+    pub frame_seq: u64,
+    /// When the offending event happened.
+    pub time: SimTime,
+    /// What went wrong.
+    pub message: String,
+    /// The offending cascade plus the sender cascades of any control
+    /// deliveries it consumed, in timeline order (see
+    /// [`DistributedTimeline::causal_slice`]).
+    pub slice: Vec<ObsEvent>,
+}
+
+impl Violation {
+    /// Multi-line human rendering: the verdict line plus the causal
+    /// slice, ids resolved through `symbols`.
+    pub fn render(&self, symbols: &SymbolTable) -> String {
+        let mut out = format!(
+            "{} {} #{} violates {}: {}\n",
+            self.time,
+            symbols.node(self.node),
+            self.frame_seq,
+            self.invariant,
+            self.message
+        );
+        for event in &self.slice {
+            out.push_str(&format!("    {}\n", event.render(symbols)));
+        }
+        out
+    }
+}
+
+/// A rule that must hold over every merged timeline of a correct run.
+pub trait Invariant {
+    /// Stable name used in [`Violation::invariant`].
+    fn name(&self) -> &'static str;
+    /// Checks the timeline, returning every violation found.
+    fn check(&self, timeline: &DistributedTimeline, tables: &TableSet) -> Vec<Violation>;
+}
+
+/// Runs a set of invariants over a timeline.
+#[derive(Default)]
+pub struct InvariantChecker {
+    invariants: Vec<Box<dyn Invariant>>,
+}
+
+impl InvariantChecker {
+    /// An empty checker; add rules with [`add`](Self::add).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A checker loaded with all built-in invariants.
+    pub fn with_builtins() -> Self {
+        InvariantChecker {
+            invariants: builtins(),
+        }
+    }
+
+    /// Adds one rule.
+    pub fn add(&mut self, invariant: Box<dyn Invariant>) -> &mut Self {
+        self.invariants.push(invariant);
+        self
+    }
+
+    /// Checks every rule, concatenating violations in rule order.
+    pub fn check(&self, timeline: &DistributedTimeline, tables: &TableSet) -> Vec<Violation> {
+        self.invariants
+            .iter()
+            .flat_map(|inv| inv.check(timeline, tables))
+            .collect()
+    }
+
+    /// Convenience: merge a report's events and check them.
+    pub fn check_report(&self, report: &Report, tables: &TableSet) -> Vec<Violation> {
+        self.check(&DistributedTimeline::from_report(report), tables)
+    }
+}
+
+/// All built-in invariants, in documentation order.
+pub fn builtins() -> Vec<Box<dyn Invariant>> {
+    vec![
+        Box::new(ConditionImpliesTerms),
+        Box::new(RemoteTermDelivery),
+        Box::new(NoActionAfterStop),
+        Box::new(CounterMonotonic),
+    ]
+}
+
+/// Tracks one node's replayed term state while walking the timeline.
+#[derive(Default)]
+struct NodeReplay {
+    status: Vec<bool>,
+    frame: Option<u64>,
+    /// Term values before the current cascade's flips.
+    pre_frame: Vec<bool>,
+    /// `(term, status)` flips recorded in the current cascade.
+    flips: Vec<(TermId, bool)>,
+    /// Peers whose control messages were delivered in the current
+    /// cascade.
+    delivered_from: Vec<NodeId>,
+}
+
+impl NodeReplay {
+    fn new(terms: usize) -> Self {
+        NodeReplay {
+            status: vec![false; terms],
+            frame: None,
+            pre_frame: vec![false; terms],
+            flips: Vec::new(),
+            delivered_from: Vec::new(),
+        }
+    }
+
+    fn enter_frame(&mut self, frame_seq: u64) {
+        if self.frame != Some(frame_seq) {
+            self.frame = Some(frame_seq);
+            self.pre_frame.clone_from(&self.status);
+            self.flips.clear();
+            self.delivered_from.clear();
+        }
+    }
+}
+
+/// Every `ConditionFired` must be justified by recorded term state: the
+/// condition's expression evaluates true under the pre-cascade term
+/// values with some combination of the cascade's own recorded flips
+/// applied. (A cascade can interleave firings between flips, so the
+/// exact firing-time state is any per-term choice between the
+/// pre-cascade value and a recorded flip value — we accept the firing
+/// if any such choice satisfies the expression.)
+pub struct ConditionImpliesTerms;
+
+impl Invariant for ConditionImpliesTerms {
+    fn name(&self) -> &'static str {
+        "condition-implies-terms"
+    }
+
+    fn check(&self, timeline: &DistributedTimeline, tables: &TableSet) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        let mut replay: HashMap<NodeId, NodeReplay> = HashMap::new();
+        for entry in timeline.entries() {
+            let state = replay
+                .entry(entry.node)
+                .or_insert_with(|| NodeReplay::new(tables.terms.len()));
+            state.enter_frame(entry.event.frame_seq());
+            match entry.event {
+                ObsEvent::TermFlipped { term, status, .. } if term.index() < state.status.len() => {
+                    state.flips.push((term, status));
+                    state.status[term.index()] = status;
+                }
+                ObsEvent::ConditionFired {
+                    cond,
+                    time,
+                    frame_seq,
+                    ..
+                } => {
+                    let Some(condition) = tables.conditions.get(cond.index()) else {
+                        continue;
+                    };
+                    let mut terms = condition.expr.terms();
+                    terms.sort();
+                    terms.dedup();
+                    if terms.len() > 16 {
+                        continue; // combination space too large to replay
+                    }
+                    if !satisfiable(&condition.expr, &terms, state) {
+                        violations.push(Violation {
+                            invariant: self.name(),
+                            node: entry.node,
+                            frame_seq,
+                            time,
+                            message: format!(
+                                "condition#{} fired but no recorded term state satisfies \
+                                 its expression",
+                                cond.index()
+                            ),
+                            slice: timeline.causal_slice(entry.node, frame_seq),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        violations
+    }
+}
+
+/// `true` if some per-term choice between the pre-cascade value and a
+/// value the cascade's recorded flips gave the term satisfies `expr`.
+fn satisfiable(expr: &vw_fsl::CondNode, terms: &[TermId], state: &NodeReplay) -> bool {
+    // Candidate values per involved term.
+    let candidates: Vec<Vec<bool>> = terms
+        .iter()
+        .map(|&t| {
+            let mut values = vec![state.pre_frame.get(t.index()).copied().unwrap_or(false)];
+            for &(ft, fv) in &state.flips {
+                if ft == t && !values.contains(&fv) {
+                    values.push(fv);
+                }
+            }
+            values
+        })
+        .collect();
+    let combos: usize = candidates.iter().map(Vec::len).product();
+    (0..combos).any(|mut combo| {
+        let assignment: HashMap<TermId, bool> = terms
+            .iter()
+            .zip(&candidates)
+            .map(|(&t, values)| {
+                let v = values[combo % values.len()];
+                combo /= values.len();
+                (t, v)
+            })
+            .collect();
+        expr.eval(&|t| assignment.get(&t).copied().unwrap_or(false))
+    })
+}
+
+/// A term flip recorded at a node other than the term's `eval_node`
+/// can only come from a `TermStatus` control message, so the same
+/// cascade must contain a control delivery from the evaluating node.
+pub struct RemoteTermDelivery;
+
+impl Invariant for RemoteTermDelivery {
+    fn name(&self) -> &'static str {
+        "remote-term-delivery"
+    }
+
+    fn check(&self, timeline: &DistributedTimeline, tables: &TableSet) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        let mut replay: HashMap<NodeId, NodeReplay> = HashMap::new();
+        for entry in timeline.entries() {
+            let state = replay
+                .entry(entry.node)
+                .or_insert_with(|| NodeReplay::new(tables.terms.len()));
+            state.enter_frame(entry.event.frame_seq());
+            match entry.event {
+                ObsEvent::ControlDelivered { peer, .. } => {
+                    state.delivered_from.push(peer);
+                }
+                ObsEvent::TermFlipped {
+                    term,
+                    time,
+                    frame_seq,
+                    ..
+                } => {
+                    let Some(compiled) = tables.terms.get(term.index()) else {
+                        continue;
+                    };
+                    if compiled.eval_node == entry.node
+                        || state.delivered_from.contains(&compiled.eval_node)
+                    {
+                        continue;
+                    }
+                    violations.push(Violation {
+                        invariant: self.name(),
+                        node: entry.node,
+                        frame_seq,
+                        time,
+                        message: format!(
+                            "term#{} flipped remotely with no control delivery from \
+                             its evaluating node in the same cascade",
+                            term.index()
+                        ),
+                        slice: timeline.causal_slice(entry.node, frame_seq),
+                    });
+                }
+                _ => {}
+            }
+        }
+        violations
+    }
+}
+
+/// Once a node triggers `STOP`, no cascade with a larger ordinal at
+/// that node may trigger actions (the world stops stepping; a later
+/// action means the stream disagrees with the engine's semantics).
+pub struct NoActionAfterStop;
+
+impl Invariant for NoActionAfterStop {
+    fn name(&self) -> &'static str {
+        "no-action-after-stop"
+    }
+
+    fn check(&self, timeline: &DistributedTimeline, _tables: &TableSet) -> Vec<Violation> {
+        let mut stopped_at: HashMap<NodeId, u64> = HashMap::new();
+        for entry in timeline.entries() {
+            if let ObsEvent::ActionTriggered {
+                kind: ObsActionKind::Stop,
+                frame_seq,
+                ..
+            } = entry.event
+            {
+                let at = stopped_at.entry(entry.node).or_insert(frame_seq);
+                *at = (*at).min(frame_seq);
+            }
+        }
+        let mut violations = Vec::new();
+        for entry in timeline.entries() {
+            let ObsEvent::ActionTriggered {
+                action,
+                kind,
+                time,
+                frame_seq,
+                ..
+            } = entry.event
+            else {
+                continue;
+            };
+            let Some(&stop_frame) = stopped_at.get(&entry.node) else {
+                continue;
+            };
+            if frame_seq > stop_frame {
+                violations.push(Violation {
+                    invariant: self.name(),
+                    node: entry.node,
+                    frame_seq,
+                    time,
+                    message: format!(
+                        "action#{} ({kind}) triggered after the node's STOP at cascade \
+                         #{stop_frame}",
+                        action.index()
+                    ),
+                    slice: timeline.causal_slice(entry.node, frame_seq),
+                });
+            }
+        }
+        violations
+    }
+}
+
+/// Counters only ever bumped by packet counting and non-negative `INCR`
+/// must never decrease, at the home node or at any subscriber (in-order
+/// control delivery forwards a monotone value monotonically).
+pub struct CounterMonotonic;
+
+impl Invariant for CounterMonotonic {
+    fn name(&self) -> &'static str {
+        "counter-monotonic"
+    }
+
+    fn check(&self, timeline: &DistributedTimeline, tables: &TableSet) -> Vec<Violation> {
+        let mut monotone = vec![true; tables.counters.len()];
+        for action in &tables.actions {
+            let lowering = match action.kind {
+                CompiledActionKind::Assign { counter, .. }
+                | CompiledActionKind::Decr { counter, .. }
+                | CompiledActionKind::Reset { counter }
+                | CompiledActionKind::SetCurTime { counter }
+                | CompiledActionKind::ElapsedTime { counter } => Some(counter),
+                CompiledActionKind::Incr { counter, value } if value < 0 => Some(counter),
+                _ => None,
+            };
+            if let Some(counter) = lowering {
+                if let Some(flag) = monotone.get_mut(counter.index()) {
+                    *flag = false;
+                }
+            }
+        }
+        let mut violations = Vec::new();
+        for entry in timeline.entries() {
+            let ObsEvent::CounterUpdated {
+                counter,
+                old,
+                new,
+                time,
+                frame_seq,
+                ..
+            } = entry.event
+            else {
+                continue;
+            };
+            if monotone.get(counter.index()).copied().unwrap_or(false) && new < old {
+                violations.push(Violation {
+                    invariant: self.name(),
+                    node: entry.node,
+                    frame_seq,
+                    time,
+                    message: format!(
+                        "monotone counter#{} decreased {old} -> {new}",
+                        counter.index()
+                    ),
+                    slice: timeline.causal_slice(entry.node, frame_seq),
+                });
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vw_fsl::{
+        CompiledAction, CompiledCondition, CompiledCounter, CompiledCounterKind, CompiledOperand,
+        CompiledTerm, CondId, CondNode, CounterId, RelOp,
+    };
+
+    /// Two nodes, one counter homed at node0, one term evaluated at
+    /// node0, one condition on that term acting at node1.
+    fn tiny_tables() -> TableSet {
+        TableSet {
+            scenario: "tiny".into(),
+            timeout_ns: None,
+            vars: Vec::new(),
+            filters: Vec::new(),
+            nodes: Vec::new(),
+            counters: vec![CompiledCounter {
+                name: "Sent".into(),
+                kind: CompiledCounterKind::Local,
+                home: NodeId(0),
+                affected_terms: vec![TermId(0)],
+                subscribers: Vec::new(),
+            }],
+            terms: vec![CompiledTerm {
+                lhs: CompiledOperand::Counter(CounterId(0)),
+                op: RelOp::Eq,
+                rhs: CompiledOperand::Const(3),
+                eval_node: NodeId(0),
+                conditions: vec![CondId(0)],
+            }],
+            conditions: vec![CompiledCondition {
+                expr: CondNode::Term(TermId(0)),
+                eval_nodes: vec![NodeId(1)],
+                triggers: Vec::new(),
+                gates: Vec::new(),
+            }],
+            actions: Vec::new(),
+        }
+    }
+
+    fn t(nanos: u64) -> SimTime {
+        SimTime::from_nanos(nanos)
+    }
+
+    fn flip(node: u16, seq: u64, nanos: u64, status: bool) -> ObsEvent {
+        ObsEvent::TermFlipped {
+            time: t(nanos),
+            node: NodeId(node),
+            frame_seq: seq,
+            term: TermId(0),
+            status,
+        }
+    }
+
+    fn fired(node: u16, seq: u64, nanos: u64) -> ObsEvent {
+        ObsEvent::ConditionFired {
+            time: t(nanos),
+            node: NodeId(node),
+            frame_seq: seq,
+            cond: CondId(0),
+        }
+    }
+
+    fn delivered(node: u16, seq: u64, nanos: u64, peer: u16) -> ObsEvent {
+        ObsEvent::ControlDelivered {
+            time: t(nanos),
+            node: NodeId(node),
+            frame_seq: seq,
+            peer: NodeId(peer),
+            peer_seq: 1,
+            ack: 0,
+        }
+    }
+
+    #[test]
+    fn condition_without_supporting_terms_is_flagged() {
+        let tables = tiny_tables();
+        let tl = DistributedTimeline::from_events(&[fired(1, 2, 10)]);
+        let violations = ConditionImpliesTerms.check(&tl, &tables);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].invariant, "condition-implies-terms");
+        assert_eq!(violations[0].node, NodeId(1));
+    }
+
+    #[test]
+    fn condition_backed_by_a_flip_passes() {
+        let tables = tiny_tables();
+        let tl = DistributedTimeline::from_events(&[
+            delivered(1, 2, 9, 0),
+            flip(1, 2, 9, true),
+            fired(1, 2, 10),
+        ]);
+        assert!(ConditionImpliesTerms.check(&tl, &tables).is_empty());
+        // A flip in an *earlier* cascade carries over too.
+        let tl = DistributedTimeline::from_events(&[
+            delivered(1, 1, 5, 0),
+            flip(1, 1, 5, true),
+            fired(1, 3, 10),
+        ]);
+        assert!(ConditionImpliesTerms.check(&tl, &tables).is_empty());
+    }
+
+    #[test]
+    fn interleaved_firing_between_flips_passes() {
+        // The cascade flips the term true then back false; the firing is
+        // justified by the intermediate true value even though the final
+        // cascade state is false.
+        let tables = tiny_tables();
+        let tl = DistributedTimeline::from_events(&[
+            flip(1, 2, 9, true),
+            flip(1, 2, 9, false),
+            fired(1, 2, 10),
+        ]);
+        assert!(ConditionImpliesTerms.check(&tl, &tables).is_empty());
+    }
+
+    #[test]
+    fn remote_flip_requires_a_delivery() {
+        let tables = tiny_tables();
+        // Term 0 evaluates at node0; a flip at node1 without a delivery
+        // from node0 in the same cascade is an orphan.
+        let tl = DistributedTimeline::from_events(&[flip(1, 2, 9, true)]);
+        let violations = RemoteTermDelivery.check(&tl, &tables);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].invariant, "remote-term-delivery");
+        // With the delivery present it passes.
+        let tl = DistributedTimeline::from_events(&[delivered(1, 2, 9, 0), flip(1, 2, 9, true)]);
+        assert!(RemoteTermDelivery.check(&tl, &tables).is_empty());
+        // A local flip needs no delivery.
+        let tl = DistributedTimeline::from_events(&[flip(0, 2, 9, true)]);
+        assert!(RemoteTermDelivery.check(&tl, &tables).is_empty());
+    }
+
+    #[test]
+    fn action_after_stop_is_flagged() {
+        use vw_fsl::ActionId;
+        let tables = tiny_tables();
+        let action = |seq: u64, nanos: u64, kind: ObsActionKind| ObsEvent::ActionTriggered {
+            time: t(nanos),
+            node: NodeId(0),
+            frame_seq: seq,
+            action: ActionId(0),
+            kind,
+        };
+        let tl = DistributedTimeline::from_events(&[
+            action(2, 10, ObsActionKind::Stop),
+            action(3, 11, ObsActionKind::Drop),
+        ]);
+        let violations = NoActionAfterStop.check(&tl, &tables);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].invariant, "no-action-after-stop");
+        // Same-cascade companions of the STOP are fine.
+        let tl = DistributedTimeline::from_events(&[
+            action(2, 10, ObsActionKind::FlagErr),
+            action(2, 10, ObsActionKind::Stop),
+        ]);
+        assert!(NoActionAfterStop.check(&tl, &tables).is_empty());
+    }
+
+    #[test]
+    fn monotone_counter_decrease_is_flagged() {
+        let tables = tiny_tables();
+        let update = |old: i64, new: i64| ObsEvent::CounterUpdated {
+            time: t(10),
+            node: NodeId(0),
+            frame_seq: 2,
+            counter: CounterId(0),
+            old,
+            new,
+        };
+        let tl = DistributedTimeline::from_events(&[update(3, 2)]);
+        let violations = CounterMonotonic.check(&tl, &tables);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].invariant, "counter-monotonic");
+        // Increases pass.
+        let tl = DistributedTimeline::from_events(&[update(2, 3)]);
+        assert!(CounterMonotonic.check(&tl, &tables).is_empty());
+        // A counter targeted by ASSIGN is exempt.
+        let mut tables = tiny_tables();
+        tables.actions.push(CompiledAction {
+            node: NodeId(0),
+            kind: CompiledActionKind::Assign {
+                counter: CounterId(0),
+                value: 0,
+            },
+        });
+        let tl = DistributedTimeline::from_events(&[update(3, 0)]);
+        assert!(CounterMonotonic.check(&tl, &tables).is_empty());
+    }
+
+    #[test]
+    fn checker_runs_all_builtins_and_renders() {
+        let tables = tiny_tables();
+        let tl = DistributedTimeline::from_events(&[fired(1, 2, 10), flip(1, 2, 9, true)]);
+        // The flip sorts before the firing, so condition-implies-terms
+        // passes; the orphan remote flip still trips delivery.
+        let violations = InvariantChecker::with_builtins().check(&tl, &tables);
+        assert_eq!(violations.len(), 1);
+        let text = violations[0].render(&SymbolTable::default());
+        assert!(text.contains("remote-term-delivery"), "{text}");
+        assert!(text.contains("node#1"), "{text}");
+    }
+}

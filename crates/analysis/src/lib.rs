@@ -1,0 +1,40 @@
+//! VirtualWire fault analysis engine: cross-node timeline merge,
+//! invariant checking, and campaign-wide analytics.
+//!
+//! The paper's Fault Analysis Engine counts packets and fires rules
+//! *online*; this crate is the offline half that turns recorded runs
+//! into answers:
+//!
+//! * **Timeline** ([`DistributedTimeline`]) — merges per-engine flight
+//!   recorder streams into one globally ordered view. Sequenced
+//!   control-plane `(seq, ack)` pairs become happens-before edges, each
+//!   node's `frame_seq` keeps its local causal order, and all ties
+//!   break deterministically, so the merge is byte-stable under any
+//!   permutation of the input events.
+//! * **Invariants** ([`InvariantChecker`], [`Invariant`]) — replay the
+//!   merged timeline against rules every correct execution satisfies
+//!   (conditions justified by term state, remote flips backed by
+//!   deliveries, nothing after `STOP`, monotone counters), producing
+//!   typed [`Violation`]s that embed the offending causal slice.
+//! * **Campaign analytics** ([`CampaignAnalyzer`]) — folds per-instance
+//!   metrics into campaign-wide totals, merged histograms and per-axis
+//!   breakdowns, with [`CampaignReport::diff`] flagging regressions
+//!   against a baseline.
+//!
+//! See DESIGN.md §5.11 for the merge order's correctness argument.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod campaign;
+mod invariant;
+mod timeline;
+
+pub use campaign::{
+    AxisBreakdown, AxisGroup, CampaignAnalyzer, CampaignReport, InstanceMetrics, Regression,
+};
+pub use invariant::{
+    builtins, ConditionImpliesTerms, CounterMonotonic, Invariant, InvariantChecker,
+    NoActionAfterStop, RemoteTermDelivery, Violation,
+};
+pub use timeline::{DistributedTimeline, TimelineEntry};

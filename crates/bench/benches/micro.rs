@@ -289,7 +289,8 @@ fn bench_control_plane(c: &mut Criterion) {
 /// next to an actual scenario run.
 fn bench_campaign(c: &mut Criterion) {
     use vw_campaign::{
-        Axis, CampaignResult, CampaignSpec, DigestKey, InstanceOutcome, OutcomeDigest,
+        Axis, CampaignResult, CampaignSpec, DigestKey, InstanceOutcome, MetricsDigest,
+        OutcomeDigest,
     };
 
     const SCRIPT: &str = "
@@ -341,6 +342,7 @@ fn bench_campaign(c: &mut Criterion) {
                     ("node2".to_string(), "Rcvd".to_string(), 29 - drops),
                 ],
                 stats: vec![],
+                metrics: MetricsDigest::default(),
             })
         })
         .collect();

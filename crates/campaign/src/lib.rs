@@ -68,7 +68,8 @@ mod spec;
 
 pub use exec::{run_campaign, run_instances, run_one, ExecConfig, Setup};
 pub use outcome::{
-    CampaignResult, DigestKey, InstanceOutcome, InstanceRecord, OutcomeClass, OutcomeDigest,
+    CampaignResult, DigestKey, InstanceOutcome, InstanceRecord, MetricsDigest, OutcomeClass,
+    OutcomeDigest,
 };
 pub use shrink::{shrink, ShrinkOptions, ShrinkResult};
 pub use spec::{Axis, CampaignError, CampaignSpec, Instance, RunConfig, Sampling};

@@ -11,12 +11,90 @@
 //! keyed and ordered by cross-product index, so the report is
 //! byte-identical regardless of how many worker threads produced it.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 
 use virtualwire::{EngineStats, Report};
+use vw_obs::{Histogram, Metric, MetricsRegistry};
 
 use crate::spec::Instance;
+
+/// Per-node counter leaves worth carrying into the compact metrics
+/// digest: the injected-fault applications and control-plane health
+/// signals a campaign sweeps over. High-churn volume counters
+/// (`classified`, `rules_scanned`, ...) stay out — they already live in
+/// [`EngineStats`].
+const DIGEST_COUNTER_LEAVES: &[&str] = &[
+    "drops",
+    "dups",
+    "delays",
+    "reorders",
+    "modifies",
+    "control_retransmits",
+    "control_stale_degradations",
+];
+
+/// A compact cross-node fold of one run's [`MetricsRegistry`]: the
+/// fault-relevant counters summed across nodes by leaf name, and every
+/// histogram merged across nodes by leaf name. This is the per-instance
+/// input campaign-wide analytics aggregate over.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsDigest {
+    /// `(leaf_name, summed value)`, ascending by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(leaf_name, merged histogram)`, ascending by name.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsDigest {
+    /// Folds a registry into the digest. Gauges are skipped (they carry
+    /// terminal counter values, already digested exactly); counters are
+    /// filtered to the fault-relevant leaves.
+    pub fn from_registry(registry: &MetricsRegistry) -> Self {
+        let mut counters: BTreeMap<&str, u64> = BTreeMap::new();
+        let mut histograms: BTreeMap<&str, Histogram> = BTreeMap::new();
+        for (name, metric) in registry.iter() {
+            let leaf = name.rsplit('.').next().unwrap_or(name);
+            match metric {
+                Metric::Counter(v) => {
+                    if DIGEST_COUNTER_LEAVES.contains(&leaf) {
+                        *counters.entry(leaf).or_insert(0) += v;
+                    }
+                }
+                Metric::Histogram(h) => {
+                    histograms.entry(leaf).or_default().merge(h);
+                }
+                Metric::Gauge(_) => {}
+            }
+        }
+        MetricsDigest {
+            counters: counters
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            histograms: histograms
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        }
+    }
+
+    /// A digested counter's value, if present.
+    pub fn counter(&self, leaf: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(name, _)| name == leaf)
+            .map(|(_, v)| *v)
+    }
+
+    /// A digested histogram, if present.
+    pub fn histogram(&self, leaf: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(name, _)| name == leaf)
+            .map(|(_, h)| h)
+    }
+}
 
 /// The time-free essence of one scenario run.
 ///
@@ -37,6 +115,10 @@ pub struct OutcomeDigest {
     pub counters: Vec<(String, String, i64)>,
     /// `(node_name, stats)` per-node engine counters.
     pub stats: Vec<(String, EngineStats)>,
+    /// Compact cross-node fold of the run's metrics registry. Always
+    /// populated; participates in class membership only when
+    /// [`DigestKey::metrics`] is set.
+    pub metrics: MetricsDigest,
 }
 
 impl OutcomeDigest {
@@ -52,6 +134,7 @@ impl OutcomeDigest {
                 .collect(),
             counters: report.counters.clone(),
             stats: report.stats.clone(),
+            metrics: MetricsDigest::from_registry(&report.metrics),
         }
     }
 
@@ -107,6 +190,20 @@ impl OutcomeDigest {
             }
             out.push_str("]|");
         }
+        if key.metrics {
+            out.push_str("metrics=[");
+            for (name, value) in &self.metrics.counters {
+                let _ = write!(out, "{name}={value};");
+            }
+            for (name, h) in &self.metrics.histograms {
+                let _ = write!(out, "{name}:c{}s{}", h.count(), h.sum());
+                for (floor, n) in h.nonzero_buckets() {
+                    let _ = write!(out, ",{floor}x{n}");
+                }
+                out.push(';');
+            }
+            out.push_str("]|");
+        }
         out
     }
 }
@@ -127,6 +224,10 @@ pub struct DigestKey {
     pub counters: bool,
     /// Include per-node engine stats.
     pub stats: bool,
+    /// Include the compact metrics digest (fault counters and merged
+    /// histograms). Off by default for the same reason as `stats`:
+    /// distribution shapes vary legitimately across swept seeds.
+    pub metrics: bool,
 }
 
 impl Default for DigestKey {
@@ -136,6 +237,7 @@ impl Default for DigestKey {
             stop: true,
             counters: true,
             stats: false,
+            metrics: false,
         }
     }
 }
@@ -264,6 +366,14 @@ impl CampaignResult {
         }
     }
 
+    /// Completed instances with their digests, ascending by index — the
+    /// feed for campaign-wide analytics.
+    pub fn completed(&self) -> impl Iterator<Item = (&InstanceRecord, &OutcomeDigest)> {
+        self.instances
+            .iter()
+            .filter_map(|r| r.outcome.digest().map(|d| (r, d)))
+    }
+
     /// Instances whose outcome satisfies `predicate` (completed runs
     /// only), ascending by index — the feed for the shrinker.
     pub fn matching<P: Fn(&OutcomeDigest) -> bool>(&self, predicate: P) -> Vec<&InstanceRecord> {
@@ -354,6 +464,35 @@ impl CampaignResult {
                         let _ = write!(out, ":{value}");
                     }
                     out.push('}');
+                    if self.key.metrics {
+                        out.push_str(",\"metrics\":{\"counters\":{");
+                        for (j, (name, value)) in d.metrics.counters.iter().enumerate() {
+                            if j > 0 {
+                                out.push(',');
+                            }
+                            json_string(&mut out, name);
+                            let _ = write!(out, ":{value}");
+                        }
+                        out.push_str("},\"histograms\":{");
+                        for (j, (name, h)) in d.metrics.histograms.iter().enumerate() {
+                            if j > 0 {
+                                out.push(',');
+                            }
+                            json_string(&mut out, name);
+                            let _ = write!(
+                                out,
+                                ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+                                 \"p50\":{},\"p99\":{}}}",
+                                h.count(),
+                                h.sum(),
+                                h.min(),
+                                h.max(),
+                                h.percentile(50.0),
+                                h.percentile(99.0),
+                            );
+                        }
+                        out.push_str("}}");
+                    }
                 }
                 InstanceOutcome::Invalid(m)
                 | InstanceOutcome::SetupFailed(m)
@@ -418,6 +557,7 @@ mod tests {
                 .collect(),
             counters: vec![("node2".into(), "Rcvd".into(), rcvd)],
             stats: vec![("node1".into(), EngineStats::default())],
+            metrics: MetricsDigest::default(),
         }
     }
 
@@ -508,6 +648,65 @@ mod tests {
         for line in lines {
             assert!(line.starts_with('{') && line.ends_with('}'));
         }
+    }
+
+    #[test]
+    fn metrics_digest_folds_across_nodes_by_leaf() {
+        let mut registry = MetricsRegistry::new();
+        registry.add_counter("node1.drops", 2);
+        registry.add_counter("node2.drops", 3);
+        registry.add_counter("node1.classified", 999); // not allowlisted
+        registry.set_gauge("node1.counter.CWND", 5); // gauges skipped
+        registry.observe("node1.cascade_depth", 1);
+        registry.observe("node2.cascade_depth", 4);
+        let digest = MetricsDigest::from_registry(&registry);
+        assert_eq!(digest.counter("drops"), Some(5));
+        assert_eq!(digest.counter("classified"), None);
+        let h = digest.histogram("cascade_depth").expect("merged");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 4);
+    }
+
+    #[test]
+    fn metrics_key_splits_classes_only_when_enabled() {
+        let instances: Vec<Instance> = (0..2).map(instance).collect();
+        let mut noisy = digest(true, 29, vec![]);
+        noisy.metrics.counters.push(("drops".into(), 7));
+        let outcomes = vec![
+            InstanceOutcome::Completed(digest(true, 29, vec![])),
+            InstanceOutcome::Completed(noisy),
+        ];
+        let result = CampaignResult::build("t", &instances, outcomes.clone(), DigestKey::default());
+        assert_eq!(result.classes.len(), 1);
+        let keyed = CampaignResult::build(
+            "t",
+            &instances,
+            outcomes,
+            DigestKey {
+                metrics: true,
+                ..DigestKey::default()
+            },
+        );
+        assert_eq!(keyed.classes.len(), 2);
+        // The keyed report carries the digest in its class lines.
+        let jsonl = keyed.to_jsonl();
+        assert!(jsonl.contains("\"metrics\":{\"counters\":{"), "{jsonl}");
+        assert!(jsonl.contains("\"drops\":7"), "{jsonl}");
+        // The unkeyed report stays digest-free (byte-stable with PR-4).
+        assert!(!result.to_jsonl().contains("\"metrics\""));
+    }
+
+    #[test]
+    fn completed_iterates_digests_in_index_order() {
+        let instances: Vec<Instance> = (0..3).map(instance).collect();
+        let outcomes = vec![
+            InstanceOutcome::Completed(digest(true, 29, vec![])),
+            InstanceOutcome::Invalid("no scenario".into()),
+            InstanceOutcome::Completed(digest(false, 28, vec![("node1", "boom")])),
+        ];
+        let result = CampaignResult::build("t", &instances, outcomes, DigestKey::default());
+        let completed: Vec<usize> = result.completed().map(|(r, _)| r.index).collect();
+        assert_eq!(completed, vec![0, 2]);
     }
 
     #[test]

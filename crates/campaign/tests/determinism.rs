@@ -3,7 +3,7 @@
 //! and no matter how many times they run.
 
 use virtualwire::{EngineConfig, Runner, ScriptError};
-use vw_campaign::{run_campaign, Axis, CampaignSpec, ExecConfig, RunConfig};
+use vw_campaign::{run_campaign, Axis, CampaignSpec, DigestKey, ExecConfig, RunConfig};
 use vw_fsl::TableSet;
 use vw_netsim::apps::{UdpFlooder, UdpSink};
 use vw_netsim::{Binding, ControlImpairment, LinkConfig, World};
@@ -87,6 +87,35 @@ fn jsonl_is_byte_identical_across_thread_counts() {
         assert_eq!(
             reference, jsonl,
             "thread count {threads} changed the report"
+        );
+    }
+}
+
+#[test]
+fn metrics_keyed_jsonl_is_byte_identical_across_thread_counts() {
+    // Keying on the metrics digest adds per-class fault counters and
+    // histogram summaries to the report; the bytes must still be
+    // schedule-independent.
+    let spec = spec();
+    let keyed = |threads: usize| ExecConfig {
+        key: DigestKey {
+            metrics: true,
+            ..DigestKey::default()
+        },
+        ..ExecConfig::threads(threads)
+    };
+    let reference = run_campaign(&spec, &setup, &keyed(1)).unwrap().to_jsonl();
+    assert!(
+        reference.contains("\"metrics\":{\"counters\":{"),
+        "metrics digest missing from keyed report:\n{reference}"
+    );
+    for threads in [2, 8] {
+        let jsonl = run_campaign(&spec, &setup, &keyed(threads))
+            .unwrap()
+            .to_jsonl();
+        assert_eq!(
+            reference, jsonl,
+            "thread count {threads} changed the metrics-keyed report"
         );
     }
 }

@@ -278,6 +278,10 @@ pub struct Engine {
     cfg: EngineConfig,
     tables: Option<TableSet>,
     me: Option<NodeId>,
+    /// Scripted node MACs indexed by [`NodeId`], kept outside `tables` so
+    /// peer identity resolves even while `tables` is temporarily taken
+    /// during cascade processing.
+    node_macs: Vec<MacAddr>,
     vars: HashMap<String, u64>,
 
     counter_values: Vec<i64>,
@@ -375,6 +379,7 @@ impl Engine {
             cfg,
             tables: None,
             me: None,
+            node_macs: Vec::new(),
             vars: HashMap::new(),
             counter_values: Vec::new(),
             counter_enabled: Vec::new(),
@@ -420,6 +425,7 @@ impl Engine {
         engine.me = Some(me);
         engine.classifier = Classifier::build(cfg.classifier, &tables);
         engine.counter_dispatch = build_counter_dispatch(&tables, me);
+        engine.node_macs = tables.nodes.iter().map(|n| n.mac).collect();
         engine.tables = Some(tables);
         engine
     }
@@ -529,6 +535,7 @@ impl Engine {
         let nfilters = tables.filters.len();
         self.classifier = Classifier::build(self.cfg.classifier, &tables);
         self.counter_dispatch = build_counter_dispatch(&tables, me);
+        self.node_macs = tables.nodes.iter().map(|n| n.mac).collect();
         self.tables = Some(tables);
         self.me = Some(me);
         self.counter_values = vec![0; ncounters];
@@ -547,7 +554,20 @@ impl Engine {
         let tables = self.tables.take().expect("initialized");
         for (i, term) in tables.terms.iter().enumerate() {
             if term.eval_node == me {
-                self.term_status[i] = self.eval_term(&tables, TermId(i as u16));
+                let status = self.eval_term(&tables, TermId(i as u16));
+                self.term_status[i] = status;
+                // Terms that start out true get a flip record too, so a
+                // replay of the event stream reconstructs the same term
+                // state the engine evaluates conditions against.
+                if status && self.obs_full() {
+                    self.flight.push(ObsEvent::TermFlipped {
+                        time: ctx.now(),
+                        node: me,
+                        frame_seq: self.frame_seq,
+                        term: TermId(i as u16),
+                        status,
+                    });
+                }
             }
         }
         let mut fired = std::mem::take(&mut self.scratch_fired);
@@ -750,6 +770,7 @@ impl Engine {
         }
         let frame = wire::build_sequenced_frame(ctx.mac(), dst, seq, ack, &msg);
         self.send_control(ctx, frame);
+        self.record_control_sent(now, dst, seq, ack);
         if overloaded {
             self.flag_stale_sender(ctx, dst);
         }
@@ -818,8 +839,10 @@ impl Engine {
                 rx.recv.cumulative_ack()
             });
             let frame = wire::build_sequenced_frame(ctx.mac(), mac, front.seq, ack, &front.msg);
+            let retx_seq = front.seq;
             self.stats.control_retransmits += 1;
             self.send_control(ctx, frame);
+            self.record_control_sent(now, mac, retx_seq, ack);
             tx.rto = tx.rto.saturating_add(tx.rto).min(cfg.max_rto);
             tx.next_at = Some(now.saturating_add(tx.rto));
         }
@@ -881,6 +904,39 @@ impl Engine {
         let delay = next.saturating_since(ctx.now());
         ctx.set_timer(delay, TIMER_RETX);
         self.pump_armed_for = Some(next);
+    }
+
+    /// Resolves a peer MAC to its script node id without allocating, if
+    /// the tables are installed and the MAC belongs to a scripted node.
+    /// Uses the persistent MAC map rather than `self.tables`, which is
+    /// `take`n while a cascade runs — exactly when `TERM_STATUS` and
+    /// `CounterUpdate` sends need their peer resolved.
+    fn peer_node_id(&self, mac: MacAddr) -> Option<NodeId> {
+        self.node_macs
+            .iter()
+            .position(|&m| m == mac)
+            .map(|i| NodeId(i as u16))
+    }
+
+    /// Records a [`ObsEvent::ControlSent`] for a sequenced frame (first
+    /// send or retransmission) when the full stream is being recorded.
+    /// The `(node, peer, seq)` triple is one happens-before edge of the
+    /// distributed timeline; retransmissions repeat the triple, which
+    /// downstream merging treats as the same edge.
+    fn record_control_sent(&mut self, time: SimTime, dst: MacAddr, seq: u32, ack: u32) {
+        if !self.obs_full() {
+            return;
+        }
+        if let (Some(me), Some(peer)) = (self.me, self.peer_node_id(dst)) {
+            self.flight.push(ObsEvent::ControlSent {
+                time,
+                node: me,
+                frame_seq: self.frame_seq,
+                peer,
+                peer_seq: seq,
+                ack,
+            });
+        }
     }
 
     /// Resolves a peer MAC to its script node identity, if known.
@@ -1130,6 +1186,7 @@ impl Engine {
         let now = ctx.now();
         let mut released = std::mem::take(&mut self.scratch_ctrl);
         released.clear();
+        let delivered_base;
         {
             let rx = self
                 .peer_rx
@@ -1141,6 +1198,10 @@ impl Engine {
                 self.scratch_ctrl = released;
                 return;
             }
+            // Released messages carry the consecutive sequence numbers
+            // following the pre-admission cumulative ack; remember the
+            // base so each applied message can be recorded with its seq.
+            delivered_base = rx.recv.cumulative_ack();
             match rx.recv.admit(cf.seq, cf.msg, &mut released) {
                 wire::Admission::Applied(_) => {}
                 wire::Admission::Buffered => self.stats.control_reorder_buffered += 1,
@@ -1157,7 +1218,23 @@ impl Engine {
             rx.ack_owed = true;
         }
         self.recompute_pump_next();
-        for msg in released.drain(..) {
+        let record_delivery = self.obs_full();
+        let delivery_identity = if record_delivery {
+            self.me.zip(self.peer_node_id(src))
+        } else {
+            None
+        };
+        for (i, msg) in released.drain(..).enumerate() {
+            if let Some((me, peer)) = delivery_identity {
+                self.flight.push(ObsEvent::ControlDelivered {
+                    time: now,
+                    node: me,
+                    frame_seq: self.frame_seq,
+                    peer,
+                    peer_seq: delivered_base + 1 + i as u32,
+                    ack: cf.ack,
+                });
+            }
             self.dispatch_control(ctx, src, msg);
         }
         self.scratch_ctrl = released;

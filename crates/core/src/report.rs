@@ -141,6 +141,24 @@ impl Report {
         CausalChain::extract(&self.events, node, frame_seq)
     }
 
+    /// One node's slice of the recorded event stream, in that engine's
+    /// recording (= causal) order. This is the per-node input the
+    /// distributed-timeline merger consumes: the report's merged stream
+    /// is a stable time sort of per-engine streams, so filtering by node
+    /// recovers each engine's original order exactly.
+    pub fn events_at(&self, node: NodeId) -> impl Iterator<Item = &ObsEvent> {
+        self.events.iter().filter(move |e| e.node() == node)
+    }
+
+    /// The nodes that recorded at least one event, ascending — the node
+    /// axis of the distributed timeline.
+    pub fn recorded_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.events.iter().map(|e| e.node()).collect();
+        nodes.sort();
+        nodes.dedup();
+        nodes
+    }
+
     /// The recorded packet-fault applications (`DROP`/`DUP`/`DELAY`/
     /// `REORDER`/`MODIFY` hitting a concrete packet), in time order.
     pub fn fault_events(&self) -> impl Iterator<Item = &ObsEvent> {

@@ -296,15 +296,16 @@ impl Runner {
         };
 
         // Merge every engine's flight-recorder stream into one time-ordered
-        // view (the sort is stable, so same-time events keep their per-node
-        // causal order).
-        let mut events: Vec<ObsEvent> = self
+        // view (the merge is stable, so same-time events keep their per-node
+        // causal order). The analysis layer re-derives per-node streams from
+        // this merge, so both sides must share the same primitive.
+        let streams: Vec<&[ObsEvent]> = self
             .engines
             .iter()
             .filter_map(|(device, hook)| world.hook::<Engine>(*device, *hook))
-            .flat_map(|engine| engine.events().iter().copied())
+            .map(|engine| engine.events())
             .collect();
-        events.sort_by_key(|e| e.time());
+        let events = vw_obs::merge_by_time(&streams);
 
         let metrics = self.collect_metrics(world, &stats, &counters);
 

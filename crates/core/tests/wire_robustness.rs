@@ -16,7 +16,7 @@ fn sample_messages(seed: u16) -> Vec<ControlMsg> {
         },
         ControlMsg::TermStatus {
             term: TermId(seed),
-            status: seed % 2 == 0,
+            status: seed.is_multiple_of(2),
         },
         ControlMsg::FlagError {
             node: NodeId(seed),
@@ -353,7 +353,7 @@ mod versioned {
                 if let Admission::Applied(k) = adm {
                     prop_assert_eq!(k, out.len());
                 }
-                applied.extend(out.drain(..));
+                applied.append(&mut out);
             }
             // Every message applied exactly once, in sequence order.
             prop_assert_eq!(&applied, &msgs);

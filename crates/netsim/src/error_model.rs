@@ -500,7 +500,6 @@ mod tests {
             delay: 0.2,
             delay_ns: 1000,
             reorder_window_ns: 2000,
-            ..ControlImpairment::none()
         };
         let run = || {
             let mut rng = StdRng::seed_from_u64(99);

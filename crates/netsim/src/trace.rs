@@ -88,13 +88,21 @@ pub struct TraceRecord {
 }
 
 impl TraceRecord {
-    /// One-line rendering in a loosely tcpdump-flavored format.
+    /// One-line rendering in a loosely tcpdump-flavored format, with the
+    /// device shown by its raw id (`dev3`). Prefer
+    /// [`TraceSink::render_record`], which resolves registered names.
     pub fn render(&self) -> String {
+        self.render_as(&self.device.to_string())
+    }
+
+    /// Like [`render`](Self::render) but with a caller-resolved device
+    /// label (a topology name such as `node2` instead of `dev3`).
+    pub fn render_as(&self, device: &str) -> String {
         match &self.frame {
             Some(f) => format!(
                 "{} {} {} {} > {} type {} len {} {}",
                 self.time,
-                self.device,
+                device,
                 self.kind,
                 f.src(),
                 f.dst(),
@@ -102,7 +110,7 @@ impl TraceRecord {
                 f.len(),
                 self.note
             ),
-            None => format!("{} {} {} {}", self.time, self.device, self.kind, self.note),
+            None => format!("{} {} {} {}", self.time, device, self.kind, self.note),
         }
     }
 }
@@ -120,6 +128,8 @@ pub struct TraceSink {
     records: Vec<TraceRecord>,
     enabled: bool,
     capture_frames: bool,
+    /// Topology names indexed by [`DeviceId`] index; `""` = unregistered.
+    names: Vec<String>,
 }
 
 impl TraceSink {
@@ -129,6 +139,7 @@ impl TraceSink {
             records: Vec::new(),
             enabled: true,
             capture_frames: true,
+            names: Vec::new(),
         }
     }
 
@@ -138,7 +149,42 @@ impl TraceSink {
             records: Vec::new(),
             enabled: false,
             capture_frames: false,
+            names: Vec::new(),
         }
+    }
+
+    /// Registers a stable topology name for a device, so renders and
+    /// downstream analysis identify it as e.g. `node2` rather than the
+    /// construction-order-dependent `dev3`. Identity metadata is kept even
+    /// when capture is disabled and survives [`clear`](Self::clear).
+    pub fn register_device(&mut self, device: DeviceId, name: &str) {
+        let index = device.index();
+        if self.names.len() <= index {
+            self.names.resize(index + 1, String::new());
+        }
+        self.names[index] = name.to_string();
+    }
+
+    /// The registered name of a device, if any.
+    pub fn device_name(&self, device: DeviceId) -> Option<&str> {
+        self.names
+            .get(device.index())
+            .map(String::as_str)
+            .filter(|n| !n.is_empty())
+    }
+
+    /// The display label for a device: its registered topology name, or
+    /// the raw `dev{N}` id when none was registered.
+    pub fn device_label(&self, device: DeviceId) -> String {
+        match self.device_name(device) {
+            Some(name) => name.to_string(),
+            None => device.to_string(),
+        }
+    }
+
+    /// Renders one record with its device resolved to a registered name.
+    pub fn render_record(&self, record: &TraceRecord) -> String {
+        record.render_as(&self.device_label(record.device))
     }
 
     /// Whether records are being captured at all.
@@ -225,11 +271,12 @@ impl TraceSink {
             .count()
     }
 
-    /// Renders the whole capture as text, one record per line.
+    /// Renders the whole capture as text, one record per line, resolving
+    /// device ids to registered topology names.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for r in &self.records {
-            out.push_str(&r.render());
+            out.push_str(&self.render_record(r));
             out.push('\n');
         }
         out
@@ -361,6 +408,42 @@ mod tests {
         assert!(text.contains("link-loss"));
         assert!(text.contains("unlucky"));
         assert!(text.contains("hello"));
+    }
+
+    #[test]
+    fn registered_names_resolve_in_renders() {
+        let mut sink = TraceSink::new();
+        sink.register_device(DeviceId::from_index(2), "node2");
+        sink.record(
+            SimTime::ZERO,
+            DeviceId::from_index(2),
+            TraceKind::Note,
+            None,
+            "named",
+        );
+        sink.record(
+            SimTime::ZERO,
+            DeviceId::from_index(5),
+            TraceKind::Note,
+            None,
+            "anon",
+        );
+        assert_eq!(sink.device_name(DeviceId::from_index(2)), Some("node2"));
+        assert_eq!(sink.device_name(DeviceId::from_index(5)), None);
+        assert_eq!(sink.device_label(DeviceId::from_index(5)), "dev5");
+        let text = sink.render();
+        assert!(text.contains("node2 note named"));
+        assert!(text.contains("dev5 note anon"));
+        // The raw per-record render keeps the id-based fallback.
+        assert!(sink.records()[0].render().contains("dev2"));
+    }
+
+    #[test]
+    fn names_survive_clear_and_disabled_capture() {
+        let mut sink = TraceSink::disabled();
+        sink.register_device(DeviceId::from_index(0), "node1");
+        sink.clear();
+        assert_eq!(sink.device_name(DeviceId::from_index(0)), Some("node1"));
     }
 
     #[test]

@@ -142,6 +142,7 @@ impl World {
             failed: false,
             promiscuous: false,
         }));
+        self.trace.register_device(id, name);
         id
     }
 
@@ -153,6 +154,7 @@ impl World {
             ports: (0..ports).map(|_| Port::new()).collect(),
             fdb: HashMap::new(),
         }));
+        self.trace.register_device(id, name);
         id
     }
 
@@ -164,6 +166,7 @@ impl World {
             name: name.to_string(),
             ports: (0..ports).map(|_| Port::new()).collect(),
         }));
+        self.trace.register_device(id, name);
         id
     }
 

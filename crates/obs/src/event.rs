@@ -190,6 +190,42 @@ pub enum ObsEvent {
         /// The stale peer.
         peer: NodeId,
     },
+    /// A sequenced control-plane message left this node (first send or
+    /// retransmission). Together with [`ObsEvent::ControlDelivered`] at
+    /// the peer, the `(node, peer, seq)` triple forms one happens-before
+    /// edge of the distributed timeline.
+    ControlSent {
+        /// When.
+        time: SimTime,
+        /// The sending node.
+        node: NodeId,
+        /// Classification ordinal the send is causally tied to.
+        frame_seq: u64,
+        /// The destination node.
+        peer: NodeId,
+        /// The message's sequence number in the per-peer stream (>0).
+        peer_seq: u32,
+        /// The cumulative ack piggybacked on the frame.
+        ack: u32,
+    },
+    /// A sequenced control-plane message was admitted in-order and
+    /// applied at this node (reorder-buffered releases included; dups and
+    /// rejects never record).
+    ControlDelivered {
+        /// When.
+        time: SimTime,
+        /// The receiving node.
+        node: NodeId,
+        /// Classification ordinal the delivery is causally tied to.
+        frame_seq: u64,
+        /// The originating node.
+        peer: NodeId,
+        /// The delivered message's sequence number in the peer's stream.
+        peer_seq: u32,
+        /// The cumulative ack carried by the frame that completed
+        /// delivery.
+        ack: u32,
+    },
 }
 
 impl ObsEvent {
@@ -201,7 +237,9 @@ impl ObsEvent {
             | ObsEvent::TermFlipped { time, .. }
             | ObsEvent::ConditionFired { time, .. }
             | ObsEvent::ActionTriggered { time, .. }
-            | ObsEvent::PeerDegraded { time, .. } => time,
+            | ObsEvent::PeerDegraded { time, .. }
+            | ObsEvent::ControlSent { time, .. }
+            | ObsEvent::ControlDelivered { time, .. } => time,
         }
     }
 
@@ -213,7 +251,9 @@ impl ObsEvent {
             | ObsEvent::TermFlipped { node, .. }
             | ObsEvent::ConditionFired { node, .. }
             | ObsEvent::ActionTriggered { node, .. }
-            | ObsEvent::PeerDegraded { node, .. } => node,
+            | ObsEvent::PeerDegraded { node, .. }
+            | ObsEvent::ControlSent { node, .. }
+            | ObsEvent::ControlDelivered { node, .. } => node,
         }
     }
 
@@ -225,7 +265,9 @@ impl ObsEvent {
             | ObsEvent::TermFlipped { frame_seq, .. }
             | ObsEvent::ConditionFired { frame_seq, .. }
             | ObsEvent::ActionTriggered { frame_seq, .. }
-            | ObsEvent::PeerDegraded { frame_seq, .. } => frame_seq,
+            | ObsEvent::PeerDegraded { frame_seq, .. }
+            | ObsEvent::ControlSent { frame_seq, .. }
+            | ObsEvent::ControlDelivered { frame_seq, .. } => frame_seq,
         }
     }
 
@@ -238,6 +280,8 @@ impl ObsEvent {
             ObsEvent::ConditionFired { .. } => "condition",
             ObsEvent::ActionTriggered { .. } => "action",
             ObsEvent::PeerDegraded { .. } => "degraded",
+            ObsEvent::ControlSent { .. } => "ctrl-sent",
+            ObsEvent::ControlDelivered { .. } => "ctrl-delivered",
         }
     }
 
@@ -307,6 +351,30 @@ impl ObsEvent {
                 peer,
             } => format!(
                 "{time} {} #{frame_seq} peer {} stale: remote terms frozen at last-known status",
+                symbols.node(node),
+                symbols.node(peer),
+            ),
+            ObsEvent::ControlSent {
+                time,
+                node,
+                frame_seq,
+                peer,
+                peer_seq,
+                ack,
+            } => format!(
+                "{time} {} #{frame_seq} control seq {peer_seq} (ack {ack}) -> {}",
+                symbols.node(node),
+                symbols.node(peer),
+            ),
+            ObsEvent::ControlDelivered {
+                time,
+                node,
+                frame_seq,
+                peer,
+                peer_seq,
+                ack,
+            } => format!(
+                "{time} {} #{frame_seq} control seq {peer_seq} (ack {ack}) delivered from {}",
                 symbols.node(node),
                 symbols.node(peer),
             ),
@@ -401,6 +469,11 @@ impl EventLog {
         &self.events
     }
 
+    /// Iterates the recorded events in recording order.
+    pub fn iter(&self) -> impl Iterator<Item = &ObsEvent> {
+        self.events.iter()
+    }
+
     /// Number of recorded events.
     pub fn len(&self) -> usize {
         self.events.len()
@@ -415,6 +488,19 @@ impl EventLog {
     pub fn clear(&mut self) {
         self.events.clear();
     }
+}
+
+/// Merges per-engine event streams into one time-ordered view.
+///
+/// The sort is stable, so events recorded at the same instant keep their
+/// per-stream (= per-node causal) order, and streams are concatenated in
+/// the order given, so the merge is deterministic for a fixed stream
+/// list. This is the hook report assembly and the analysis layer share:
+/// both views of "the run's events" come from the same merge.
+pub fn merge_by_time(streams: &[&[ObsEvent]]) -> Vec<ObsEvent> {
+    let mut merged: Vec<ObsEvent> = streams.iter().flat_map(|s| s.iter().copied()).collect();
+    merged.sort_by_key(|e| e.time());
+    merged
 }
 
 /// The causal chain of one classification: every event a single frame's
@@ -538,6 +624,62 @@ mod tests {
         log.clear();
         assert!(log.is_empty());
         assert_eq!(log.level(), ObsLevel::Full);
+    }
+
+    #[test]
+    fn merge_by_time_is_stable_per_stream() {
+        let a = [ev(0, 1, 10), ev(0, 2, 10), ev(0, 3, 30)];
+        let b = [ev(1, 1, 10), ev(1, 2, 20)];
+        let merged = merge_by_time(&[&a, &b]);
+        assert_eq!(merged.len(), 5);
+        assert!(merged.windows(2).all(|w| w[0].time() <= w[1].time()));
+        // Same-time events keep stream order: all of a's t=10 events
+        // precede b's, and a's #1 precedes a's #2.
+        let seqs_at_10: Vec<(u16, u64)> = merged
+            .iter()
+            .filter(|e| e.time() == SimTime::from_nanos(10))
+            .map(|e| (e.node().0, e.frame_seq()))
+            .collect();
+        assert_eq!(seqs_at_10, vec![(0, 1), (0, 2), (1, 1)]);
+    }
+
+    #[test]
+    fn control_event_accessors_and_render() {
+        let symbols = SymbolTable {
+            nodes: vec!["node1".into(), "node2".into()],
+            filters: vec![],
+            counters: vec![],
+        };
+        let sent = ObsEvent::ControlSent {
+            time: SimTime::from_nanos(5),
+            node: NodeId(0),
+            frame_seq: 7,
+            peer: NodeId(1),
+            peer_seq: 3,
+            ack: 2,
+        };
+        assert_eq!(sent.kind_label(), "ctrl-sent");
+        assert_eq!(sent.node(), NodeId(0));
+        assert_eq!(sent.frame_seq(), 7);
+        let line = sent.render(&symbols);
+        assert!(
+            line.contains("seq 3") && line.contains("-> node2"),
+            "{line}"
+        );
+        let delivered = ObsEvent::ControlDelivered {
+            time: SimTime::from_nanos(9),
+            node: NodeId(1),
+            frame_seq: 4,
+            peer: NodeId(0),
+            peer_seq: 3,
+            ack: 2,
+        };
+        assert_eq!(delivered.kind_label(), "ctrl-delivered");
+        let line = delivered.render(&symbols);
+        assert!(
+            line.contains("delivered from node1") && line.contains("node2"),
+            "{line}"
+        );
     }
 
     #[test]

@@ -32,5 +32,7 @@ mod event;
 mod metrics;
 pub mod pcap;
 
-pub use event::{CausalChain, EventLog, ObsActionKind, ObsEvent, ObsLevel, SymbolTable};
+pub use event::{
+    merge_by_time, CausalChain, EventLog, ObsActionKind, ObsEvent, ObsLevel, SymbolTable,
+};
 pub use metrics::{Histogram, Metric, MetricsRegistry};

@@ -91,6 +91,52 @@ impl Histogram {
         self.count == 0
     }
 
+    /// The value at percentile `p` (in `[0, 100]`), or 0 if empty.
+    ///
+    /// Resolution is the histogram's: the rank-`⌈p/100·count⌉`
+    /// observation is located in its log₂ bucket and the **bucket upper
+    /// bound** is returned (bucket 0 → 0, bucket *i* → `2^i − 1`),
+    /// clamped to the largest observation actually seen. The estimate is
+    /// therefore conservative — never below the true percentile, and at
+    /// most one power of two above it — which is the right bias for
+    /// regression gates ("p99 got worse" is never reported as better by
+    /// bucketing).
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        // ceil(p/100 * count), computed in f64 (count and rank both fit
+        // comfortably below 2^53 for any realistic run), at least rank 1.
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = match i {
+                    0 => 0,
+                    64 => u64::MAX,
+                    _ => (1u64 << i) - 1,
+                };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one: buckets, count and sum add;
+    /// min/max take the tighter envelope. Merging an empty histogram is a
+    /// no-op; merging *into* an empty one copies `other`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, &o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Non-empty buckets as `(bucket_floor, count)` pairs, where
     /// `bucket_floor` is the smallest value the bucket can hold.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
@@ -313,6 +359,86 @@ mod tests {
         assert_eq!(empty.min(), 0);
         assert_eq!(empty.mean(), 0.0);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn percentiles_use_bucket_upper_bounds_clamped_to_max() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        // Rank 50 → value 50 → bucket of bit length 6 → upper bound 63.
+        assert_eq!(h.percentile(50.0), 63);
+        // Rank 90 → value 90 → bucket upper bound 127, clamped to max 100.
+        assert_eq!(h.percentile(90.0), 100);
+        assert_eq!(h.percentile(99.0), 100);
+        // p=0 still resolves rank 1 (value 1 → upper bound 1).
+        assert_eq!(h.percentile(0.0), 1);
+        assert_eq!(h.percentile(100.0), 100);
+    }
+
+    #[test]
+    fn percentile_edge_buckets() {
+        let mut h = Histogram::new();
+        h.observe(0);
+        assert_eq!(h.percentile(50.0), 0, "bucket 0 holds exactly the value 0");
+        h.observe(u64::MAX);
+        assert_eq!(h.percentile(1.0), 0);
+        assert_eq!(h.percentile(100.0), u64::MAX);
+        // A single mid-range observation: upper bound clamps to it.
+        let mut one = Histogram::new();
+        one.observe(1000);
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(one.percentile(p), 1000);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_percentile_is_zero() {
+        let empty = Histogram::new();
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(empty.percentile(p), 0);
+        }
+    }
+
+    #[test]
+    fn merge_adds_buckets_and_tracks_envelope() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1u64, 2, 3] {
+            a.observe(v);
+        }
+        for v in [100u64, 200] {
+            b.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.sum(), 306);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 200);
+        assert_eq!(a.percentile(100.0), 200);
+        // Merge must agree with observing everything into one histogram.
+        let mut c = Histogram::new();
+        for v in [1u64, 2, 3, 100, 200] {
+            c.observe(v);
+        }
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = Histogram::new();
+        a.observe(7);
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, before, "merging an empty histogram changes nothing");
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before, "merging into empty copies the other side");
+        let mut both = Histogram::new();
+        both.merge(&Histogram::new());
+        assert!(both.is_empty());
+        assert_eq!(both.min(), 0);
     }
 
     #[test]

@@ -15,7 +15,8 @@
 
 use std::time::Instant;
 
-use virtualwire::{EngineConfig, Runner, ScriptError};
+use virtualwire::{CostModel, EngineConfig, ObsLevel, Runner, ScriptError};
+use vw_analysis::CampaignAnalyzer;
 use vw_campaign::{
     run_campaign, shrink, Axis, CampaignSpec, ExecConfig, Instance, RunConfig, ShrinkOptions,
 };
@@ -67,7 +68,19 @@ fn setup(tables: &TableSet, run: &RunConfig) -> Result<(World, Runner), ScriptEr
     for &n in &nodes {
         world.connect(n, sw, LinkConfig::fast_ethernet());
     }
-    let runner = Runner::try_install(&mut world, tables.clone(), EngineConfig::default())?;
+    // Faults-level recording keeps the per-packet hot path untouched but
+    // populates the cascade-depth and classify-to-action histograms the
+    // campaign analyzer aggregates below; the calibrated cost model gives
+    // those latencies the paper-testbed scale instead of all-zeros.
+    let runner = Runner::try_install(
+        &mut world,
+        tables.clone(),
+        EngineConfig {
+            obs: ObsLevel::Faults,
+            cost: CostModel::calibrated(),
+            ..EngineConfig::default()
+        },
+    )?;
     runner.settle(&mut world);
     world.add_protocol(
         nodes[1],
@@ -117,14 +130,27 @@ fn main() {
     println!("campaign `{}`: {} instances", spec.name, total);
 
     // Sweep the thread counts, checking both the speedup and the
-    // determinism story: every pool size must render identical JSONL.
+    // determinism story: every pool size must render identical JSONL —
+    // for the deduped outcomes AND for the analyzer's aggregate.
     let mut baseline: Option<(String, f64)> = None;
+    let mut aggregate_baseline: Option<String> = None;
     for threads in [1usize, 2, 4, 8] {
         let started = Instant::now();
         let result =
             run_campaign(&spec, &setup, &ExecConfig::threads(threads)).expect("campaign runs");
         let elapsed = started.elapsed().as_secs_f64();
         let jsonl = result.to_jsonl();
+        let aggregate = CampaignAnalyzer::new()
+            .push_result(&result)
+            .analyze()
+            .to_jsonl();
+        match &aggregate_baseline {
+            None => aggregate_baseline = Some(aggregate),
+            Some(reference) => assert_eq!(
+                reference, &aggregate,
+                "aggregate analytics must be byte-identical at any thread count"
+            ),
+        }
         let rate = total as f64 / elapsed;
         match &baseline {
             None => {
@@ -154,8 +180,42 @@ fn main() {
     print!("{jsonl}");
 
     // Re-run once more (any thread count — they're all equivalent) to get
-    // a result object to mine for a failing instance.
+    // a result object to mine for analytics and a failing instance.
     let result = run_campaign(&spec, &setup, &ExecConfig::threads(4)).unwrap();
+
+    // Campaign-wide analytics: fold all 216 instances into one aggregate
+    // with per-axis breakdowns and merged latency distributions.
+    let report = CampaignAnalyzer::new().push_result(&result).analyze();
+    println!("\n--- campaign analytics ---");
+    print!("{}", report.render());
+    assert!(
+        report.breakdown("seed").is_some() && report.breakdown("impairment").is_some(),
+        "the aggregate must break totals down per sweep axis"
+    );
+
+    // The regression workflow: pretend a code change fattened the
+    // classify-to-action tail, then diff against the healthy baseline.
+    let mut degraded = report.clone();
+    for (name, hist) in &mut degraded.histograms {
+        if name == "classify_to_action_ns" {
+            let tail = 50 * hist.max();
+            for _ in 0..hist.count() / 4 {
+                hist.observe(tail);
+            }
+        }
+    }
+    let regressions = degraded.diff(&report, 0.10);
+    println!("\n--- diff vs healthy baseline (injected 50x tail latency) ---");
+    for r in &regressions {
+        println!("{}", r.render());
+    }
+    assert!(
+        regressions
+            .iter()
+            .any(|r| r.metric.contains("classify_to_action_ns")),
+        "a 50x tail must trip the p99 regression gate"
+    );
+
     let failing = result
         .matching(|d| d.has_error_containing("double fault"))
         .first()

@@ -1,19 +1,21 @@
 //! The "before VirtualWire" workflow, automated: capture a packet trace of
-//! a faulted run and inspect it — then contrast with the online analysis
-//! the engines already did.
+//! a faulted run, export it as a standard pcap, and inspect it — then
+//! contrast with the online analysis the engines already did.
 //!
 //! The paper's introduction complains that testing Rether meant "collecting
 //! tcpdump traces and inspecting them manually or through some simple
 //! testcase specific filter programs". The simulator records an equivalent
-//! trace for free; this example dumps it tcpdump-style next to the
-//! engine-generated report, so you can see both what the FAE concluded and
+//! trace for free; this example routes it through the `vw-obs` pcap
+//! exporter (the bytes open in Wireshark/tcpdump), parses the capture back
+//! to prove it round-trips, and dumps the filtered records tcpdump-style
+//! next to the engine-generated report — both what the FAE concluded and
 //! the raw evidence it concluded it from.
 //!
 //! ```text
 //! cargo run --example trace_dump
 //! ```
 
-use virtualwire::{compile_script, EngineConfig, Runner};
+use virtualwire::{compile_script, pcap, EngineConfig, Runner};
 use vw_netsim::apps::{UdpFlooder, UdpSink};
 use vw_netsim::{Binding, LinkConfig, SimDuration, TraceKind, World};
 use vw_packet::EtherType;
@@ -68,7 +70,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let report = runner.run(&mut world, SimDuration::from_secs(1));
 
-    println!("=== packet trace (UDP data + fault events only) ===");
+    // The tcpdump replacement: one pcap export, readable by any standard
+    // tool, round-tripped through the parser to show nothing was lost.
+    let capture = pcap::export_trace(world.trace());
+    let packets = pcap::parse(&capture)?;
+    println!(
+        "=== pcap export: {} bytes, {} packets (nanosecond libpcap, LINKTYPE_ETHERNET) ===",
+        capture.len(),
+        packets.len()
+    );
+    let out = std::env::temp_dir().join("virtualwire_trace_dump.pcap");
+    std::fs::write(&out, &capture)?;
+    println!("wrote {} — open it in Wireshark or tcpdump", out.display());
+
+    println!("\n=== packet trace (UDP data + fault events only) ===");
     for record in world.trace().records() {
         let is_udp = record
             .frame
@@ -76,18 +91,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .is_some_and(|f| f.udp().is_some_and(|u| u.dst_port() == 0x6363));
         let is_fault = matches!(record.kind, TraceKind::HookConsume | TraceKind::Note);
         if is_udp || is_fault {
-            println!("{}", record.render());
+            // render_record resolves device ids to topology names
+            // (node1/node2/sw0) via the sink's registry.
+            println!("{}", world.trace().render_record(record));
         }
     }
 
-    println!("\n=== and a hexdump of the first captured datagram ===");
-    if let Some(frame) = world
-        .trace()
-        .records()
-        .iter()
-        .find_map(|r| r.frame.as_ref().filter(|f| f.udp().is_some()))
-    {
-        print!("{}", frame.hexdump());
+    println!("\n=== and a hexdump of the first parsed pcap packet ===");
+    if let Some(packet) = packets.iter().find(|p| p.bytes.len() > 42) {
+        for (i, chunk) in packet.bytes.chunks(16).enumerate() {
+            print!("{:04x}  ", i * 16);
+            for b in chunk {
+                print!("{b:02x} ");
+            }
+            println!();
+        }
     }
 
     println!("\n=== what the FAE already knew without any of that ===");

@@ -25,6 +25,17 @@ cargo test -q -p virtualwire --test control_plane_reliability
 echo "==> example smoke: obs_flight_recorder"
 cargo run -q --release --example obs_flight_recorder > /dev/null
 
+echo "==> example smoke: trace_dump (pcap export round-trip)"
+cargo run -q --release --example trace_dump > /dev/null
+
+# Fault analysis engine: cross-node timeline merge, invariant checking
+# (zero violations on clean runs, seeded orphan detected), and campaign
+# analytics determinism + regression diff.
+echo "==> analysis"
+cargo test -q -p vw-analysis
+cargo test -q --test analysis_suite
+cargo run -q --release --example fault_analysis > /dev/null
+
 # Campaign engine: a small sweep must dedup into multiple outcome classes
 # and the shrinker must halve a failing instance's rule count; the
 # determinism suite pins byte-identical JSONL across thread counts. The
@@ -34,7 +45,7 @@ cargo test -q -p vw-campaign --test campaign_smoke --test determinism
 cargo run -q --release --example campaign_sweep > /dev/null
 
 echo "==> cargo clippy"
-cargo clippy --all-targets -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo fmt --check"
 cargo fmt --check
