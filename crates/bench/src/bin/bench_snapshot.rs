@@ -1,0 +1,115 @@
+//! CLI front-end of the perf-trajectory snapshot harness.
+//!
+//! ```text
+//! bench_snapshot [--quick] [--label TEXT] [--bench N] [--out FILE]
+//!                [--baseline FILE] [--enforce-conservation]
+//! bench_snapshot --check FILE
+//! bench_snapshot --soak N
+//! ```
+//!
+//! Without `--out` the JSON goes to stdout. `--baseline` embeds the
+//! `"metrics"` object of a previously emitted snapshot so one file can
+//! carry a before/after pair. `--check` validates an emitted file's
+//! schema instead of running anything (the CI leg). With
+//! `--enforce-conservation` the process exits non-zero if any
+//! conservation probe found frames in limbo.
+
+use std::process::ExitCode;
+
+use vw_bench::snapshot;
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut enforce = false;
+    let mut label = String::from("snapshot");
+    let mut bench_no: u32 = 0;
+    let mut out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut soak: Option<u32> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--enforce-conservation" => enforce = true,
+            "--label" => label = args.next().unwrap_or_default(),
+            "--bench" => bench_no = args.next().and_then(|v| v.parse().ok()).unwrap_or(0),
+            "--out" => out = args.next(),
+            "--baseline" => baseline = args.next(),
+            "--check" => check = args.next(),
+            "--soak" => soak = args.next().and_then(|v| v.parse().ok()),
+            other => {
+                eprintln!("bench_snapshot: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Soak mode keeps one process busy on the full-stack leg so an
+    // external sampling profiler has something long-lived to attach to.
+    if let Some(n) = soak {
+        let mut best = f64::INFINITY;
+        for _ in 0..n {
+            let leg = snapshot::soak_full_stack();
+            best = best.min(leg.ns_per_frame());
+        }
+        eprintln!("  soak best: {best:.0} ns/frame over {n} runs");
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = check {
+        let json = match std::fs::read_to_string(&path) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("bench_snapshot: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match snapshot::validate_json(&json) {
+            Ok(()) => {
+                eprintln!("bench_snapshot: {path} schema OK");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("bench_snapshot: {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let baseline_metrics = baseline.and_then(|path| {
+        let json = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        snapshot::extract_metrics_object(&json)
+    });
+
+    let snap = snapshot::run(quick, &label);
+    let json = snap.to_json(bench_no, baseline_metrics.as_deref());
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"))
+        }
+        None => print!("{json}"),
+    }
+
+    for leg in &snap.legs {
+        eprintln!(
+            "  {:<12} {:>9.3}s  {:>12.0} events/s  {:>9.0} ns/frame",
+            leg.name,
+            leg.wall_s,
+            leg.events_per_sec(),
+            leg.ns_per_frame()
+        );
+    }
+    eprintln!(
+        "  conservation: limbo={} malformed_reorders={}",
+        snap.conservation.limbo, snap.conservation.malformed_reorders
+    );
+
+    if enforce && !snap.conservation.clean() {
+        eprintln!("bench_snapshot: frame-conservation violation (frames left in limbo)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

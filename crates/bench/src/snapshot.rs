@@ -1,0 +1,620 @@
+//! The perf-trajectory snapshot harness behind `scripts/bench_snapshot`.
+//!
+//! Every invocation runs the same three workloads wall-clock-timed —
+//! the full-stack tower scenario, the FIE micro scenario, and a small
+//! campaign sweep — plus a pair of frame-conservation probes, and
+//! renders the results as a machine-readable `BENCH_<n>.json`. Committing
+//! one snapshot per perf-relevant PR gives the repo a durable trajectory:
+//! any future change can be judged against the numbers recorded here.
+//!
+//! The serde stub under `vendor/` cannot serialize, so the JSON is
+//! rendered by hand — the same approach the obs metrics exporter takes.
+
+use std::time::Instant;
+
+use virtualwire::{compile_script, EngineConfig, Report, Runner};
+use vw_fsl::TableSet;
+use vw_netsim::apps::{UdpFlooder, UdpSink};
+use vw_netsim::{Binding, ErrorModel, LinkConfig, SimDuration, World};
+use vw_packet::EtherType;
+use vw_rether::{RetherConfig, RetherNode};
+use vw_rll::RllConfig;
+use vw_tcpstack::{Endpoint, TcpConfig, TcpStack};
+
+/// Schema version of the emitted JSON; bump when keys change meaning.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One timed workload: raw inputs plus the derived rates.
+#[derive(Debug, Clone)]
+pub struct Leg {
+    /// Metric-key prefix (`full_stack`, `fie`, `campaign`).
+    pub name: &'static str,
+    /// Wall-clock seconds for the measured region (best of `runs`).
+    pub wall_s: f64,
+    /// Simulator events processed in the measured region.
+    pub events: u64,
+    /// Frames classified by the engines (or campaign instances).
+    pub frames: u64,
+}
+
+impl Leg {
+    /// Events handled per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.events as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Wall-clock nanoseconds per classified frame (or per instance).
+    pub fn ns_per_frame(&self) -> f64 {
+        if self.frames > 0 {
+            self.wall_s * 1e9 / self.frames as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Outcome of the frame-conservation probes: scenarios that end with
+/// faults still in flight must not lose frames beyond what the script
+/// injected.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Conservation {
+    /// Frames still held by a DELAY or REORDER buffer when the report
+    /// was assembled (post-teardown this must be zero).
+    pub limbo: u64,
+    /// Malformed REORDER release orders encountered.
+    pub malformed_reorders: u64,
+}
+
+impl Conservation {
+    /// True when no frame was left behind or mis-released.
+    pub fn clean(&self) -> bool {
+        self.limbo == 0
+    }
+}
+
+/// A complete snapshot: the three timed legs plus conservation probes
+/// and peak RSS.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Free-form label (usually the PR or commit being measured).
+    pub label: String,
+    /// `"quick"` (CI smoke) or `"full"`.
+    pub mode: &'static str,
+    /// The timed workloads.
+    pub legs: Vec<Leg>,
+    /// Frame-conservation probe results.
+    pub conservation: Conservation,
+    /// Peak resident set size in bytes, when the platform exposes it.
+    pub peak_rss_bytes: Option<u64>,
+}
+
+/// Runs every leg and assembles a [`Snapshot`].
+pub fn run(quick: bool, label: &str) -> Snapshot {
+    let runs = if quick { 1 } else { 3 };
+    let legs = vec![
+        best_of(runs, || full_stack_leg(quick)),
+        best_of(runs, || fie_leg(quick)),
+        best_of(runs, || campaign_leg(quick)),
+    ];
+    let conservation = conservation_probes();
+    Snapshot {
+        label: label.to_string(),
+        mode: if quick { "quick" } else { "full" },
+        legs,
+        conservation,
+        peak_rss_bytes: peak_rss_bytes(),
+    }
+}
+
+/// One full-stack leg run, exposed for the CLI's `--soak` profiling mode.
+pub fn soak_full_stack() -> Leg {
+    full_stack_leg(false)
+}
+
+fn best_of(runs: u32, mut leg: impl FnMut() -> Leg) -> Leg {
+    let mut best = leg();
+    for _ in 1..runs {
+        let next = leg();
+        if next.wall_s < best.wall_s {
+            best = next;
+        }
+    }
+    best
+}
+
+/// The full tower: TCP over Rether token ring over per-node engines over
+/// the RLL, on a lossy shared bus — the same layering as the
+/// `full_stack` integration test, wall-clock timed with tracing off.
+fn full_stack_leg(quick: bool) -> Leg {
+    let segments: u64 = if quick { 30 } else { 600 };
+    let script = format!(
+        r#"
+        FILTER_TABLE
+        tr_token: (12 2 0x9900), (14 2 0x0001)
+        TCP_data: (34 2 0x6000), (36 2 0x4000), (47 1 0x10 0x10)
+        END
+        NODE_TABLE
+        node1 02:00:00:00:00:01 192.168.1.1
+        node2 02:00:00:00:00:02 192.168.1.2
+        node3 02:00:00:00:00:03 192.168.1.3
+        END
+        SCENARIO FullTower 2sec
+        Data: (TCP_data, node1, node3, RECV)
+        (TRUE) >> ENABLE_CNTR(Data);
+        ((Data = {segments})) >> STOP;
+        END
+    "#
+    );
+    let tables = compile_script(&script).unwrap();
+    let mut world = World::new(99);
+    world.trace_mut().set_enabled(false);
+    let nodes = Runner::create_hosts(&mut world, &tables);
+    let hub = world.add_hub("bus", 4);
+    for &n in &nodes {
+        world.connect(
+            n,
+            hub,
+            LinkConfig::ethernet_10m().errors(ErrorModel::lossy(0.05)),
+        );
+    }
+    let ring: Vec<_> = tables.nodes.iter().map(|n| n.mac).collect();
+    for (i, &node) in nodes.iter().enumerate() {
+        let cfg = RetherConfig {
+            token_ack_timeout: SimDuration::from_millis(60),
+            regen_base: SimDuration::from_millis(800),
+            nrt_quantum_bytes: 8 * 1024,
+            ..RetherConfig::new(ring.clone())
+        };
+        let mut rether = RetherNode::new(cfg, ring[i]);
+        rether.reserve_rt(16 * 1024);
+        world.add_hook(node, Box::new(rether));
+    }
+    let runner = Runner::install_with_rll(
+        &mut world,
+        tables,
+        EngineConfig::default(),
+        RllConfig {
+            max_retries: 200,
+            ..RllConfig::default()
+        },
+    );
+    runner.settle(&mut world);
+
+    let tcp_cfg = TcpConfig::default();
+    let mut server = TcpStack::new(world.host_mac(nodes[2]), world.host_ip(nodes[2]));
+    server.listen(0x4000, tcp_cfg);
+    world.add_protocol(
+        nodes[2],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(server),
+    );
+    let mut client = TcpStack::new(world.host_mac(nodes[0]), world.host_ip(nodes[0]));
+    let h = client.connect(
+        tcp_cfg,
+        0x6000,
+        Endpoint {
+            mac: world.host_mac(nodes[2]),
+            ip: world.host_ip(nodes[2]),
+            port: 0x4000,
+        },
+    );
+    client.send(h, &vec![0xABu8; (segments * 1000) as usize]);
+    world.add_protocol(
+        nodes[0],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(client),
+    );
+
+    let events_before = world.events_processed();
+    let started = Instant::now();
+    let report = runner.run(&mut world, SimDuration::from_secs(60));
+    let wall_s = started.elapsed().as_secs_f64();
+    Leg {
+        name: "full_stack",
+        wall_s,
+        events: world.events_processed() - events_before,
+        frames: report.total_stats().classified,
+    }
+}
+
+/// The FIE micro scenario: a monitored UDP flow through two engines over
+/// a switch until a scripted STOP, with a DROP fault mid-flow. Isolates
+/// the per-frame engine + simulator cost without Rether/TCP on top.
+fn fie_leg(quick: bool) -> Leg {
+    let stop: u64 = if quick { 200 } else { 20_000 };
+    let script = format!(
+        r#"
+        FILTER_TABLE
+        udp_data: (23 1 0x11), (36 2 0x6363)
+        END
+        NODE_TABLE
+        node1 02:00:00:00:00:01 192.168.1.2
+        node2 02:00:00:00:00:02 192.168.1.3
+        END
+        SCENARIO FieMicro
+        Sent: (udp_data, node1, node2, SEND)
+        (TRUE) >> ENABLE_CNTR(Sent);
+        ((Sent = 40)) >> DROP(udp_data, node1, node2, SEND);
+        ((Sent = {stop})) >> STOP;
+        END
+    "#
+    );
+    let tables = compile_script(&script).unwrap();
+    let mut world = World::new(7);
+    world.trace_mut().set_enabled(false);
+    let nodes = Runner::create_hosts(&mut world, &tables);
+    let sw = world.add_switch("sw0", 4);
+    for &n in &nodes {
+        world.connect(n, sw, LinkConfig::fast_ethernet());
+    }
+    let runner = Runner::install(&mut world, tables, EngineConfig::default());
+    runner.settle(&mut world);
+    world.add_protocol(
+        nodes[1],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(UdpSink::new(0x6363)),
+    );
+    let flooder = UdpFlooder::new(
+        world.host_mac(nodes[1]),
+        world.host_ip(nodes[1]),
+        0x6363,
+        9000,
+        10_000_000,
+        120,
+        (stop + 10) * 120,
+    );
+    world.add_protocol(
+        nodes[0],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(flooder),
+    );
+    let events_before = world.events_processed();
+    let started = Instant::now();
+    let report = runner.run(&mut world, SimDuration::from_secs(10));
+    let wall_s = started.elapsed().as_secs_f64();
+    Leg {
+        name: "fie",
+        wall_s,
+        events: world.events_processed() - events_before,
+        frames: report.total_stats().classified,
+    }
+}
+
+/// A small fault-space sweep through the campaign engine: thresholds x
+/// seeds x control impairments, single-threaded so instances/sec tracks
+/// per-instance cost rather than the host's core count.
+fn campaign_leg(quick: bool) -> Leg {
+    use vw_campaign::{run_campaign, Axis, CampaignSpec, ExecConfig, RunConfig};
+    use vw_netsim::ControlImpairment;
+
+    const DATAGRAMS: u64 = 240;
+    let script = r#"
+        FILTER_TABLE
+        udp_data: (23 1 0x11), (36 2 0x6363)
+        END
+        NODE_TABLE
+        node1 02:00:00:00:00:01 192.168.1.2
+        node2 02:00:00:00:00:02 192.168.1.3
+        END
+        SCENARIO SweepDrop 500msec
+        Sent: (udp_data, node1, node2, SEND)
+        Rcvd: (udp_data, node1, node2, RECV)
+        (TRUE) >> ENABLE_CNTR(Sent);
+        (TRUE) >> ENABLE_CNTR(Rcvd);
+        ((Sent = 40)) >> DROP(udp_data, node1, node2, SEND);
+        ((Sent = 240)) >> STOP;
+        END
+    "#;
+    let program = vw_fsl::parse(script).unwrap();
+    let thresholds: Vec<i64> = if quick {
+        vec![20, 60]
+    } else {
+        vec![20, 40, 60, 80, 100, 160]
+    };
+    let seeds: Vec<u64> = if quick { vec![1, 2] } else { vec![1, 2, 3, 4] };
+    let spec = CampaignSpec::new("bench_snapshot_sweep", program)
+        .axis(Axis::threshold_at("Sent", 0, thresholds))
+        .axis(Axis::seeds(seeds))
+        .axis(Axis::impairments(vec![
+            ControlImpairment::none(),
+            ControlImpairment::dropping(0.05),
+        ]));
+    let total = spec.total() as u64;
+
+    let setup = |tables: &TableSet, run: &RunConfig| {
+        let mut world = World::with_impairment(run.seed, run.impairment);
+        world.trace_mut().set_enabled(false);
+        let nodes = Runner::create_hosts(&mut world, tables);
+        let sw = world.add_switch("sw0", 4);
+        for &n in &nodes {
+            world.connect(n, sw, LinkConfig::fast_ethernet());
+        }
+        let runner = Runner::try_install(&mut world, tables.clone(), EngineConfig::default())?;
+        runner.settle(&mut world);
+        world.add_protocol(
+            nodes[1],
+            Binding::EtherType(EtherType::IPV4),
+            Box::new(UdpSink::new(0x6363)),
+        );
+        let flooder = UdpFlooder::new(
+            world.host_mac(nodes[1]),
+            world.host_ip(nodes[1]),
+            0x6363,
+            9000,
+            2_000_000,
+            200,
+            DATAGRAMS * 200,
+        );
+        world.add_protocol(
+            nodes[0],
+            Binding::EtherType(EtherType::IPV4),
+            Box::new(flooder),
+        );
+        Ok((world, runner))
+    };
+
+    let started = Instant::now();
+    let result = run_campaign(&spec, &setup, &ExecConfig::threads(1)).expect("campaign runs");
+    let wall_s = started.elapsed().as_secs_f64();
+    assert_eq!(
+        result.completed().count(),
+        spec.total(),
+        "all instances complete"
+    );
+    Leg {
+        name: "campaign",
+        wall_s,
+        events: total,
+        frames: total,
+    }
+}
+
+/// Frame-conservation probes: scenarios that end with a fault still in
+/// flight. A DELAY held past STOP and a REORDER buffer that never fills
+/// must both be flushed at teardown, not silently lost.
+fn conservation_probes() -> Conservation {
+    let mut c = Conservation::default();
+    for script in [
+        // DELAY-at-STOP: the held frame is still waiting when STOP fires.
+        r#"
+        SCENARIO DelayAtStop
+        Sent: (udp_data, node1, node2, SEND)
+        (TRUE) >> ENABLE_CNTR(Sent);
+        ((Sent = 3)) >> DELAY(udp_data, node1, node2, SEND, 500msec);
+        ((Sent = 5)) >> STOP;
+        END
+        "#,
+        // Partial REORDER: only two of three slots fill before STOP.
+        r#"
+        SCENARIO PartialReorder
+        Sent: (udp_data, node1, node2, SEND)
+        (TRUE) >> ENABLE_CNTR(Sent);
+        ((Sent > 3)) >> REORDER(udp_data, node1, node2, SEND, 3, (2 1 0));
+        ((Sent = 5)) >> STOP;
+        END
+        "#,
+    ] {
+        let report = run_probe(script);
+        let total = report.total_stats();
+        c.limbo += total.faults_in_limbo;
+        c.malformed_reorders += total.reorder_malformed;
+    }
+    c
+}
+
+fn run_probe(scenario: &str) -> Report {
+    let script = format!(
+        r#"
+        FILTER_TABLE
+        udp_data: (23 1 0x11), (36 2 0x6363)
+        END
+        NODE_TABLE
+        node1 02:00:00:00:00:01 192.168.1.2
+        node2 02:00:00:00:00:02 192.168.1.3
+        END
+        {scenario}
+    "#
+    );
+    let tables = compile_script(&script).unwrap();
+    let mut world = World::new(11);
+    world.trace_mut().set_enabled(false);
+    let nodes = Runner::create_hosts(&mut world, &tables);
+    let sw = world.add_switch("sw0", 4);
+    for &n in &nodes {
+        world.connect(n, sw, LinkConfig::fast_ethernet());
+    }
+    let runner = Runner::install(&mut world, tables, EngineConfig::default());
+    runner.settle(&mut world);
+    world.add_protocol(
+        nodes[1],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(UdpSink::new(0x6363)),
+    );
+    let flooder = UdpFlooder::new(
+        world.host_mac(nodes[1]),
+        world.host_ip(nodes[1]),
+        0x6363,
+        9000,
+        2_000_000,
+        200,
+        10 * 200,
+    );
+    world.add_protocol(
+        nodes[0],
+        Binding::EtherType(EtherType::IPV4),
+        Box::new(flooder),
+    );
+    runner.run(&mut world, SimDuration::from_secs(2))
+}
+
+/// Peak resident set size from `/proc/self/status` (`VmHWM`), Linux only.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+impl Snapshot {
+    /// The flat metric map rendered under `"metrics"`.
+    pub fn metrics(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        for leg in &self.legs {
+            out.push((format!("{}.wall_s", leg.name), leg.wall_s));
+            out.push((format!("{}.events", leg.name), leg.events as f64));
+            out.push((format!("{}.frames", leg.name), leg.frames as f64));
+            out.push((format!("{}.events_per_sec", leg.name), leg.events_per_sec()));
+            if leg.name == "campaign" {
+                out.push((
+                    "campaign.instances_per_sec".to_string(),
+                    leg.events_per_sec(),
+                ));
+            } else {
+                out.push((format!("{}.ns_per_frame", leg.name), leg.ns_per_frame()));
+            }
+        }
+        if let Some(rss) = self.peak_rss_bytes {
+            out.push(("peak_rss_bytes".to_string(), rss as f64));
+        }
+        out
+    }
+
+    /// Renders the snapshot as a `BENCH_<n>.json` document. When
+    /// `baseline` (the `"metrics"` object of a pre-change run, verbatim
+    /// JSON) is given it is embedded so the file carries both
+    /// measurements.
+    pub fn to_json(&self, bench_no: u32, baseline: Option<&str>) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema\": {SCHEMA_VERSION},\n"));
+        s.push_str(&format!("  \"bench\": {bench_no},\n"));
+        s.push_str(&format!("  \"label\": \"{}\",\n", escape(&self.label)));
+        s.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        s.push_str("  \"metrics\": {\n");
+        let metrics = self.metrics();
+        for (i, (k, v)) in metrics.iter().enumerate() {
+            let comma = if i + 1 < metrics.len() { "," } else { "" };
+            s.push_str(&format!("    \"{k}\": {}{comma}\n", fmt_f64(*v)));
+        }
+        s.push_str("  },\n");
+        s.push_str(&format!(
+            "  \"conservation\": {{ \"limbo\": {}, \"malformed_reorders\": {} }}",
+            self.conservation.limbo, self.conservation.malformed_reorders
+        ));
+        if let Some(base) = baseline {
+            s.push_str(",\n  \"baseline\": ");
+            s.push_str(base.trim());
+        }
+        s.push_str("\n}\n");
+        s
+    }
+}
+
+/// Formats a float with enough precision to diff, without exponent forms
+/// JSON parsers choke on.
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Extracts the `"metrics": { ... }` object (balanced braces, verbatim
+/// text) from a previously emitted snapshot, for `--baseline` embedding.
+pub fn extract_metrics_object(json: &str) -> Option<String> {
+    let key = "\"metrics\"";
+    let at = json.find(key)?;
+    let open = json[at..].find('{')? + at;
+    let mut depth = 0usize;
+    for (i, ch) in json[open..].char_indices() {
+        match ch {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(json[open..=open + i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Validates that an emitted snapshot carries every required key — the
+/// CI schema check.
+pub fn validate_json(json: &str) -> Result<(), String> {
+    for key in [
+        "\"schema\"",
+        "\"bench\"",
+        "\"mode\"",
+        "\"metrics\"",
+        "\"full_stack.events_per_sec\"",
+        "\"full_stack.ns_per_frame\"",
+        "\"fie.ns_per_frame\"",
+        "\"campaign.instances_per_sec\"",
+        "\"conservation\"",
+    ] {
+        if !json.contains(key) {
+            return Err(format!("snapshot JSON is missing {key}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_extraction_round_trips() {
+        let snap = Snapshot {
+            label: "t".into(),
+            mode: "quick",
+            legs: vec![Leg {
+                name: "full_stack",
+                wall_s: 0.5,
+                events: 100,
+                frames: 50,
+            }],
+            conservation: Conservation::default(),
+            peak_rss_bytes: Some(1024),
+        };
+        let json = snap.to_json(6, None);
+        let metrics = extract_metrics_object(&json).unwrap();
+        assert!(metrics.starts_with('{') && metrics.ends_with('}'));
+        assert!(metrics.contains("\"full_stack.ns_per_frame\""));
+        let with_base = snap.to_json(6, Some(&metrics));
+        assert!(with_base.contains("\"baseline\""));
+    }
+
+    #[test]
+    fn leg_rates() {
+        let leg = Leg {
+            name: "fie",
+            wall_s: 2.0,
+            events: 1000,
+            frames: 500,
+        };
+        assert_eq!(leg.events_per_sec(), 500.0);
+        assert_eq!(leg.ns_per_frame(), 4_000_000.0);
+    }
+
+    #[test]
+    fn validation_catches_missing_keys() {
+        assert!(validate_json("{}").is_err());
+    }
+}

@@ -137,8 +137,10 @@ struct Bucket {
     offset: u32,
     len: u32,
     mask: Option<u64>,
-    /// Masked literal value → filter ids, ascending.
-    candidates: HashMap<u64, Vec<u16>>,
+    /// Masked literal value → filter ids, ascending. Sorted by key and
+    /// binary-searched: buckets hold a handful of distinct literals, and
+    /// a probe per frame must not pay a sip-hash per bucket.
+    candidates: Vec<(u64, Vec<u16>)>,
 }
 
 /// The compiled dispatch index behind [`ClassifierMode::Indexed`].
@@ -182,18 +184,20 @@ impl ClassifierIndex {
                             offset: tuple.offset,
                             len: tuple.len,
                             mask: tuple.mask,
-                            candidates: HashMap::new(),
+                            candidates: Vec::new(),
                         });
                         index.buckets.last_mut().expect("just pushed")
                     }
                 };
             // Filters are visited in ascending id order, so each candidate
             // list stays sorted by construction.
-            bucket
+            match bucket
                 .candidates
-                .entry(key_value)
-                .or_default()
-                .push(i as u16);
+                .binary_search_by_key(&key_value, |(k, _)| *k)
+            {
+                Ok(pos) => bucket.candidates[pos].1.push(i as u16),
+                Err(pos) => bucket.candidates.insert(pos, (key_value, vec![i as u16])),
+            }
         }
         index
     }
@@ -228,10 +232,13 @@ impl ClassifierIndex {
                 actual = actual << 8 | u64::from(*b);
             }
             let key = actual & bucket.mask.unwrap_or(u64::MAX);
-            if let Some(ids) = bucket.candidates.get(&key) {
-                scratch
-                    .candidates
-                    .extend(ids.iter().map(|&id| u32::from(id) << 1 | 1));
+            if let Ok(pos) = bucket.candidates.binary_search_by_key(&key, |(k, _)| *k) {
+                scratch.candidates.extend(
+                    bucket.candidates[pos]
+                        .1
+                        .iter()
+                        .map(|&id| u32::from(id) << 1 | 1),
+                );
             }
         }
         scratch

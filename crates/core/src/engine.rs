@@ -34,7 +34,7 @@
 //!   true exactly while the first SYNACK is being processed, so exactly
 //!   one SYNACK is dropped.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use vw_fsl::{
     ActionId, CompiledActionKind, CompiledCounterKind, CompiledOperand, CondId, CounterId, Dir,
@@ -201,6 +201,20 @@ pub struct EngineStats {
     /// Peers degraded for staleness (remote terms frozen at last-known
     /// status and a diagnostic flagged).
     pub control_stale_degradations: u64,
+    /// Frames currently held by an in-flight DELAY or a partially filled
+    /// REORDER buffer. Non-zero in a final report means frames were lost
+    /// beyond what the scenario injected (a conservation violation).
+    pub faults_in_limbo: u64,
+    /// REORDER releases whose order was not a permutation of the batch
+    /// (out-of-range, duplicated, or missing indices). The frames are
+    /// still conserved — unmentioned ones are released in arrival order.
+    pub reorder_malformed: u64,
+    /// Frames still held at run end that engine teardown flushed back
+    /// into the chain instead of losing.
+    pub teardown_flushed: u64,
+    /// MODIFY SET writes skipped because the window fell outside the
+    /// frame.
+    pub modify_oob: u64,
 }
 
 /// Timer token: the control-plane pump (retransmissions + staleness).
@@ -319,6 +333,9 @@ pub struct Engine {
     next_delay_token: u64,
     /// REORDER buffers, keyed by action.
     reorder_bufs: HashMap<ActionId, Vec<(Frame, Dir)>>,
+    /// MODIFY SET actions whose write already fell off the end of a frame
+    /// once — the diagnostic is flagged at most once per action.
+    oob_flagged: HashSet<ActionId>,
 
     /// Errors flagged locally, plus (on the control node) remotely.
     errors: Vec<FlaggedError>,
@@ -399,6 +416,7 @@ impl Engine {
             held: HashMap::new(),
             next_delay_token: 0,
             reorder_bufs: HashMap::new(),
+            oob_flagged: HashSet::new(),
             errors: Vec::new(),
             stopped: None,
             last_match: SimTime::ZERO,
@@ -1624,7 +1642,27 @@ impl Engine {
                             &vw_fsl::ModifyPattern::Set { offset, len, value } => {
                                 let bytes = value.to_be_bytes();
                                 let n = (len as usize).min(8);
-                                frame.set_bytes(offset as usize, &bytes[8 - n..]);
+                                if !frame.set_bytes(offset as usize, &bytes[8 - n..]) {
+                                    // The write window falls off the end
+                                    // of the frame: skip it loudly (once
+                                    // per action) rather than truncating
+                                    // or panicking.
+                                    self.stats.modify_oob += 1;
+                                    if self.oob_flagged.insert(*action) {
+                                        self.errors.push(FlaggedError {
+                                            node: me,
+                                            node_name: tables.nodes[me.index()].name.clone(),
+                                            condition: None,
+                                            message: format!(
+                                                "MODIFY SET writes {n} byte(s) at offset \
+                                                 {offset}, outside the {}-byte frame; \
+                                                 write skipped",
+                                                frame.len()
+                                            ),
+                                            time: ctx.now(),
+                                        });
+                                    }
+                                }
                             }
                         }
                     }
@@ -1634,22 +1672,35 @@ impl Engine {
                         let delay = SimDuration::from_nanos(duration_ns).quantize_to_jiffies();
                         self.next_delay_token += 1;
                         let token = TIMER_DELAY_BASE + self.next_delay_token;
+                        self.stats.faults_in_limbo += 1;
                         self.held.insert(token, (frame, dir));
                         ctx.set_timer(delay, token);
                         return Verdict::Replace(Vec::new());
                     }
                     CompiledActionKind::Reorder { count, order, .. } => {
                         self.stats.reorders += 1;
+                        self.stats.faults_in_limbo += 1;
                         let buffer = self.reorder_bufs.entry(*action).or_default();
                         buffer.push((frame, dir));
                         if buffer.len() >= *count as usize {
                             let batch = std::mem::take(buffer);
-                            let released: Vec<Frame> = order
-                                .iter()
-                                .filter_map(|&i| batch.get(i as usize))
-                                .map(|(f, _)| f.clone())
-                                .collect();
-                            return Verdict::Replace(released);
+                            let released = release_reorder_batch(batch, order, &mut self.stats);
+                            let mut pass = Vec::with_capacity(released.len());
+                            for (f, fdir) in released {
+                                if fdir == dir {
+                                    pass.push(f);
+                                } else {
+                                    // A frame buffered while traveling the
+                                    // other direction cannot ride this
+                                    // chain traversal; re-emit it on its
+                                    // own path instead of flipping it.
+                                    match fdir {
+                                        Dir::Send => ctx.send(f),
+                                        Dir::Recv => ctx.deliver_up(f),
+                                    }
+                                }
+                            }
+                            return Verdict::Replace(pass);
                         }
                         return Verdict::Replace(Vec::new());
                     }
@@ -1695,6 +1746,40 @@ fn gate_action_kind(kind: &CompiledActionKind) -> Option<ObsActionKind> {
         CompiledActionKind::Modify { .. } => Some(ObsActionKind::Modify),
         _ => None,
     }
+}
+
+/// Releases a full REORDER batch: the permuted frames first (each
+/// in-range, first-mention index wins), then every frame the order never
+/// mentioned, in arrival order. A malformed order — out-of-range,
+/// duplicated, or missing indices — is counted, but must never lose a
+/// frame: REORDER permutes traffic, it does not consume it.
+fn release_reorder_batch(
+    batch: Vec<(Frame, Dir)>,
+    order: &[u32],
+    stats: &mut EngineStats,
+) -> Vec<(Frame, Dir)> {
+    let n = batch.len();
+    let mut slots: Vec<Option<(Frame, Dir)>> = batch.into_iter().map(Some).collect();
+    let mut released = Vec::with_capacity(n);
+    let mut malformed = false;
+    for &i in order {
+        match slots.get_mut(i as usize).and_then(Option::take) {
+            Some(entry) => released.push(entry),
+            None => malformed = true,
+        }
+    }
+    let mut leftover = false;
+    for slot in &mut slots {
+        if let Some(entry) = slot.take() {
+            released.push(entry);
+            leftover = true;
+        }
+    }
+    if malformed || leftover {
+        stats.reorder_malformed += 1;
+    }
+    stats.faults_in_limbo = stats.faults_in_limbo.saturating_sub(released.len() as u64);
+    released
 }
 
 /// Converts the simulated clock into the engine's signed counter domain
@@ -1780,12 +1865,48 @@ impl Hook for Engine {
                 if let Some((frame, dir)) = self.held.remove(&token) {
                     // Release a delayed packet without re-classifying it
                     // (Figure 4(b): "[released packet]").
+                    self.stats.faults_in_limbo = self.stats.faults_in_limbo.saturating_sub(1);
                     match dir {
                         Dir::Send => ctx.send(frame),
                         Dir::Recv => ctx.deliver_up(frame),
                     }
                 }
             }
+        }
+    }
+
+    fn on_teardown(&mut self, ctx: &mut Context<'_>) {
+        // Flush frames still parked by DELAY timers or never-filled
+        // REORDER buffers so nothing silently vanishes at run end.
+        // Iteration is sorted (delay tokens allocate monotonically;
+        // action ids are ordered) so the flush order is deterministic.
+        let mut held: Vec<(u64, (Frame, Dir))> = self.held.drain().collect();
+        held.sort_by_key(|(token, _)| *token);
+        let mut reorders: Vec<(ActionId, Vec<(Frame, Dir)>)> = self.reorder_bufs.drain().collect();
+        reorders.sort_by_key(|(action, _)| *action);
+
+        let mut flushed = 0u64;
+        let mut release = |frame: Frame, dir: Dir, ctx: &mut Context<'_>| {
+            flushed += 1;
+            match dir {
+                Dir::Send => ctx.send(frame),
+                Dir::Recv => ctx.deliver_up(frame),
+            }
+        };
+        for (_, (frame, dir)) in held {
+            release(frame, dir, ctx);
+        }
+        for (_, batch) in reorders {
+            for (frame, dir) in batch {
+                release(frame, dir, ctx);
+            }
+        }
+        if flushed > 0 {
+            self.stats.teardown_flushed += flushed;
+            self.stats.faults_in_limbo = self.stats.faults_in_limbo.saturating_sub(flushed);
+            ctx.trace_note_lazy(|| {
+                format!("virtualwire: teardown flushed {flushed} in-flight frame(s)")
+            });
         }
     }
 }

@@ -191,6 +191,10 @@ impl Report {
             total.control_dup_suppressed += s.control_dup_suppressed;
             total.control_reorder_buffered += s.control_reorder_buffered;
             total.control_stale_degradations += s.control_stale_degradations;
+            total.faults_in_limbo += s.faults_in_limbo;
+            total.reorder_malformed += s.reorder_malformed;
+            total.teardown_flushed += s.teardown_flushed;
+            total.modify_oob += s.modify_oob;
             total.max_cascade_depth = total.max_cascade_depth.max(s.max_cascade_depth);
         }
         total

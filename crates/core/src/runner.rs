@@ -226,7 +226,12 @@ impl Runner {
                 break StopReason::DeadlineReached;
             }
         };
-        self.report(world, stop, world.now().saturating_since(started))
+        let duration = world.now().saturating_since(started);
+        // Flush frames still parked in DELAY/REORDER buffers (and any
+        // other hook state) before reading the report, so run-end frame
+        // accounting balances.
+        world.teardown();
+        self.report(world, stop, duration)
     }
 
     /// The most recent packet-definition match across all engines.
@@ -366,6 +371,18 @@ impl Runner {
                 &format!("{node}.control_stale_degradations"),
                 s.control_stale_degradations,
             );
+            // Conservation diagnostics: recorded only when non-zero so
+            // clean runs keep their established metric shape.
+            for (key, value) in [
+                ("faults_in_limbo", s.faults_in_limbo),
+                ("reorder_malformed", s.reorder_malformed),
+                ("teardown_flushed", s.teardown_flushed),
+                ("modify_oob", s.modify_oob),
+            ] {
+                if value > 0 {
+                    metrics.add_counter(&format!("{node}.{key}"), value);
+                }
+            }
             metrics.set_gauge(
                 &format!("{node}.max_cascade_depth"),
                 i64::from(s.max_cascade_depth),

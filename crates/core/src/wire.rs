@@ -488,7 +488,7 @@ pub fn build_sequenced_frame(
         .dst(dst)
         .ethertype(EtherType::VW_CONTROL)
         .payload_owned(encode_sequenced(seq, ack, msg))
-        .build()
+        .build_take()
 }
 
 /// Parses a control frame's versioned payload, header included.

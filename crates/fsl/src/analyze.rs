@@ -220,6 +220,17 @@ fn analyze_scenario(
                 }
                 _ => {}
             }
+            if let Action::Modify {
+                pattern: crate::ast::ModifyPattern::Set { len, .. },
+                ..
+            } = action
+            {
+                if *len == 0 || *len > 8 {
+                    errors.push(FslError::general(format!(
+                        "{scen}: MODIFY SET length {len} is outside the supported 1..=8 bytes"
+                    )));
+                }
+            }
             if let Action::Reorder { count, order, .. } = action {
                 let mut sorted: Vec<u32> = order.clone();
                 sorted.sort_unstable();
@@ -341,6 +352,23 @@ mod tests {
         );
         let es = errs(&src);
         assert!(es.iter().any(|e| e.contains("not a permutation")));
+    }
+
+    #[test]
+    fn modify_set_len_checked() {
+        let src = format!(
+            "{PREAMBLE}
+            SCENARIO S
+            C: (pkt, a, b, RECV)
+            ((C = 1)) >> MODIFY(pkt, a, b, SEND, (14 9 0xBEEF));
+            END"
+        );
+        let es = errs(&src);
+        assert!(
+            es.iter()
+                .any(|e| e.contains("MODIFY SET length 9 is outside")),
+            "{es:?}"
+        );
     }
 
     #[test]

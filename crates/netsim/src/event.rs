@@ -1,12 +1,13 @@
 //! The discrete-event queue.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use vw_packet::Frame;
 
 use crate::id::{DeviceId, HandlerRef, PortRef, TimerId};
 use crate::time::SimTime;
+use crate::timer_wheel::TimerWheel;
 
 /// The kinds of events the simulator processes.
 #[derive(Debug)]
@@ -73,10 +74,26 @@ impl Ord for Event {
 
 /// A deterministic priority queue of events: earliest time first, FIFO
 /// within a timestamp.
+///
+/// Internally three lanes share one sequence counter, so the merged pop
+/// order is byte-identical to a single heap's:
+///
+/// - a **ready lane** (`VecDeque`) for events pushed at the queue's
+///   current time — zero-delay injections land here with O(1) push/pop
+///   instead of churning the heap (pushed times are nondecreasing because
+///   the clock is monotone, so the front is always the lane's minimum);
+/// - a **timer wheel** for handler timers, which are numerous and almost
+///   always cancelled before firing (see [`TimerWheel`]);
+/// - the **heap** for everything else in the future.
 #[derive(Debug, Default)]
 pub(crate) struct EventQueue {
     heap: BinaryHeap<Event>,
+    ready: VecDeque<Event>,
+    timers: TimerWheel<EventKind>,
     next_seq: u64,
+    /// Time of the most recent pop: the queue's notion of "now", used to
+    /// route at-or-before-now pushes into the ready lane.
+    now: SimTime,
 }
 
 impl EventQueue {
@@ -86,28 +103,99 @@ impl EventQueue {
 
     pub fn push(&mut self, time: SimTime, kind: EventKind) {
         self.next_seq += 1;
-        self.heap.push(Event {
+        let event = Event {
             time,
             seq: self.next_seq,
             kind,
-        });
+        };
+        if time <= self.now {
+            self.ready.push_back(event);
+        } else {
+            self.heap.push(event);
+        }
+    }
+
+    /// Parks a timer event in the wheel instead of the heap. Pop order is
+    /// unaffected (the lanes share the sequence counter); only the cost
+    /// profile changes.
+    pub fn push_timer(&mut self, time: SimTime, kind: EventKind) {
+        if time <= self.now {
+            // A zero-delay timer is ready now; the wheel's base never
+            // runs ahead of `now`, so the ready lane is both cheaper and
+            // simpler.
+            self.push(time, kind);
+            return;
+        }
+        self.next_seq += 1;
+        self.timers.insert(time, self.next_seq, kind);
+    }
+
+    /// Which lane holds the next event, by `(time, seq)`.
+    fn min_lane(&self) -> Option<(Lane, SimTime)> {
+        let mut best: Option<(Lane, SimTime, u64)> = None;
+        if let Some(e) = self.ready.front() {
+            best = Some((Lane::Ready, e.time, e.seq));
+        }
+        if let Some(e) = self.heap.peek() {
+            if best.is_none_or(|(_, t, s)| (e.time, e.seq) < (t, s)) {
+                best = Some((Lane::Heap, e.time, e.seq));
+            }
+        }
+        if let Some((time, seq)) = self.timers.peek() {
+            if best.is_none_or(|(_, t, s)| (time, seq) < (t, s)) {
+                best = Some((Lane::Wheel, time, seq));
+            }
+        }
+        best.map(|(lane, t, _)| (lane, t))
+    }
+
+    fn pop_lane(&mut self, lane: Lane) -> Option<Event> {
+        let event = match lane {
+            Lane::Ready => self.ready.pop_front()?,
+            Lane::Heap => self.heap.pop()?,
+            Lane::Wheel => {
+                let (time, seq, kind) = self.timers.pop()?;
+                Event { time, seq, kind }
+            }
+        };
+        self.now = event.time;
+        Some(event)
     }
 
     pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop()
+        let (lane, _) = self.min_lane()?;
+        self.pop_lane(lane)
+    }
+
+    /// Pops the next event only if it is due at `time` exactly — the
+    /// run loops use this to drain a whole timestamp batch after a single
+    /// [`peek_time`](Self::peek_time). One lane scan per event.
+    pub fn pop_at(&mut self, time: SimTime) -> Option<Event> {
+        let (lane, t) = self.min_lane()?;
+        if t != time {
+            return None;
+        }
+        self.pop_lane(lane)
     }
 
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.min_lane().map(|(_, t)| t)
     }
 
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.ready.len() + self.timers.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Lane {
+    Ready,
+    Heap,
+    Wheel,
 }
 
 #[cfg(test)]

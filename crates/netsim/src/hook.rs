@@ -74,6 +74,12 @@ pub trait Hook: Any {
     /// (immediately after installation, or on a
     /// [`World::poke`](crate::World::poke)).
     fn on_start(&mut self, _ctx: &mut Context<'_>) {}
+
+    /// Called once when the world tears down at the end of a run
+    /// ([`World::teardown`](crate::World::teardown)). Hooks holding frames
+    /// (delay lines, reorder buffers) should release or account for them
+    /// here; effects are applied synchronously and no further events run.
+    fn on_teardown(&mut self, _ctx: &mut Context<'_>) {}
 }
 
 /// A hook that passes everything through unchanged; useful as a placeholder

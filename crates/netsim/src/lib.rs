@@ -57,6 +57,7 @@ mod id;
 mod link;
 mod protocol;
 pub mod time;
+mod timer_wheel;
 mod trace;
 mod world;
 

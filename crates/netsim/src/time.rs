@@ -248,8 +248,13 @@ impl fmt::Display for SimDuration {
 /// ```
 pub fn serialization_time(bytes: usize, bits_per_sec: u64) -> SimDuration {
     assert!(bits_per_sec > 0, "line rate must be positive");
-    let bits = bytes as u128 * 8;
-    let nanos = (bits * 1_000_000_000).div_ceil(bits_per_sec as u128);
+    let bits = bytes as u64 * 8;
+    // Frame-sized inputs stay in u64 (128-bit division is an out-of-line
+    // libcall on the per-transmission hot path); absurd sizes fall back.
+    if let Some(scaled) = bits.checked_mul(1_000_000_000) {
+        return SimDuration::from_nanos(scaled.div_ceil(bits_per_sec));
+    }
+    let nanos = (bits as u128 * 1_000_000_000).div_ceil(bits_per_sec as u128);
     SimDuration::from_nanos(nanos as u64)
 }
 

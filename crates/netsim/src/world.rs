@@ -28,6 +28,28 @@ pub const WIRE_OVERHEAD_BYTES: usize = 24;
 /// on the wire.
 pub const MIN_FRAME_BYTES: usize = 60;
 
+/// Multiplicative-mix hasher for dense integer ids. The timer-cancel set
+/// is touched on every timer set/cancel/fire, where sip-hashing a `u64`
+/// is pure overhead; the set is never iterated, so ordering is moot.
+#[derive(Default)]
+struct IdHasher(u64);
+
+impl std::hash::Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0.rotate_left(8) ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+    fn write_u64(&mut self, x: u64) {
+        self.0 = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type IdBuildHasher = std::hash::BuildHasherDefault<IdHasher>;
+
 /// A deterministic discrete-event simulation of a LAN testbed.
 ///
 /// The `World` owns every device, link, handler and the event queue. Build
@@ -61,7 +83,7 @@ pub struct World {
     now: SimTime,
     rng: StdRng,
     next_timer_id: u64,
-    cancelled_timers: HashSet<TimerId>,
+    cancelled_timers: HashSet<TimerId, IdBuildHasher>,
     trace: TraceSink,
     stop_reason: Option<String>,
     /// Impairment applied to VirtualWire control frames (`0x88B5`) on
@@ -70,6 +92,10 @@ pub struct World {
     host_count: u32,
     events_processed: u64,
     last_frame_activity: SimTime,
+    /// Recycled effect buffers: every handler invocation needs a
+    /// `Vec<Effect>`, and most push at least one effect — reusing the
+    /// buffers keeps the per-frame dispatch allocation-free.
+    spare_effects: Vec<Vec<Effect>>,
 }
 
 impl fmt::Debug for World {
@@ -103,13 +129,14 @@ impl World {
             now: SimTime::ZERO,
             rng: StdRng::seed_from_u64(seed),
             next_timer_id: 0,
-            cancelled_timers: HashSet::new(),
+            cancelled_timers: HashSet::default(),
             trace: TraceSink::new(),
             stop_reason: None,
             control_impairment: crate::error_model::ControlImpairment::none(),
             host_count: 0,
             events_processed: 0,
             last_frame_activity: SimTime::ZERO,
+            spare_effects: Vec::new(),
         }
     }
 
@@ -441,6 +468,21 @@ impl World {
         true
     }
 
+    /// Processes every event due at exactly `time` (including events that
+    /// handlers push at that same timestamp while the batch drains).
+    /// Stops early if a stop is requested.
+    fn step_batch(&mut self, time: SimTime) {
+        while self.stop_reason.is_none() {
+            let Some(event) = self.queue.pop_at(time) else {
+                return;
+            };
+            debug_assert!(event.time >= self.now, "time went backwards");
+            self.now = event.time;
+            self.events_processed += 1;
+            self.handle(event.kind);
+        }
+    }
+
     /// Runs until the clock reaches `deadline` (events at exactly
     /// `deadline` are processed) or a stop is requested. The clock is
     /// advanced to `deadline` even if the queue drains first.
@@ -448,7 +490,9 @@ impl World {
         while self.stop_reason.is_none() {
             match self.queue.peek_time() {
                 Some(t) if t <= deadline => {
-                    self.step();
+                    // Drain the whole timestamp in one go: one peek per
+                    // batch instead of one per event.
+                    self.step_batch(t);
                 }
                 _ => break,
             }
@@ -470,13 +514,51 @@ impl World {
         while self.stop_reason.is_none() {
             match self.queue.peek_time() {
                 Some(t) if t <= max_time => {
-                    self.step();
+                    self.step_batch(t);
                 }
                 Some(_) => return false,
                 None => return true,
             }
         }
         self.queue.is_empty()
+    }
+
+    /// Tears the world down at the end of a run: every hook gets one
+    /// [`Hook::on_teardown`] call (in device order, stack-to-wire within
+    /// each host) so frames still parked in delay lines or reorder
+    /// buffers can be released or accounted for.
+    ///
+    /// Effects are applied synchronously — immediate sends reach the NIC
+    /// queue and immediate `deliver_up`s reach the local stack — but no
+    /// further queued events are processed: the wire is done. Deferred
+    /// effects are enqueued but never fire. Idempotent only in the sense
+    /// that hooks are expected to have nothing left to flush on a second
+    /// call; the runner calls it exactly once.
+    pub fn teardown(&mut self) {
+        let device_count = self.devices.len();
+        for d in 0..device_count {
+            let node = DeviceId::from_index(d);
+            let chain_len = match self.devices[d].as_host() {
+                Some(h) => h.hooks.len(),
+                None => continue,
+            };
+            for idx in 0..chain_len {
+                let Some(mut hook) = self.take_hook(node, idx) else {
+                    continue;
+                };
+                let effects = {
+                    let mut ctx = self.make_ctx_for(
+                        node,
+                        CtxOrigin::Hook(idx),
+                        HandlerRef::Hook(HookId::from_index(idx)),
+                    );
+                    hook.on_teardown(&mut ctx);
+                    std::mem::take(&mut ctx.effects)
+                };
+                self.put_hook(node, idx, hook);
+                self.apply_effects(node, CtxOrigin::Hook(idx), effects);
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -569,17 +651,7 @@ impl World {
             }
             None => {
                 // Flood to all other connected ports.
-                for p in 0..nports {
-                    if p == ingress.port {
-                        continue;
-                    }
-                    let connected = self.devices[ingress.device.index()]
-                        .port(p)
-                        .is_some_and(|port| port.link.is_some());
-                    if connected {
-                        self.port_send(PortRef::new(ingress.device, p), frame.clone());
-                    }
-                }
+                self.flood(ingress, nports, frame);
             }
         }
     }
@@ -589,6 +661,13 @@ impl World {
             Device::Hub(h) => h.ports.len() as u16,
             _ => unreachable!("hub_repeat on non-hub"),
         };
+        self.flood(ingress, nports, frame);
+    }
+
+    /// Repeats `frame` out of every connected port except `ingress.port`,
+    /// moving (not cloning) it into the final copy.
+    fn flood(&mut self, ingress: PortRef, nports: u16, frame: Frame) {
+        let mut last: Option<u16> = None;
         for p in 0..nports {
             if p == ingress.port {
                 continue;
@@ -597,8 +676,13 @@ impl World {
                 .port(p)
                 .is_some_and(|port| port.link.is_some());
             if connected {
-                self.port_send(PortRef::new(ingress.device, p), frame.clone());
+                if let Some(prev) = last.replace(p) {
+                    self.port_send(PortRef::new(ingress.device, prev), frame.clone());
+                }
             }
+        }
+        if let Some(p) = last {
+            self.port_send(PortRef::new(ingress.device, p), frame);
         }
     }
 
@@ -643,23 +727,27 @@ impl World {
         use crate::error_model::LinkOutcome;
         match error_model.apply(&mut frame, &mut self.rng) {
             LinkOutcome::Lost => {
-                self.trace.record(
-                    self.now,
-                    from.device,
-                    TraceKind::LinkLoss,
-                    Some(&frame),
-                    format!("on {link_id}"),
-                );
-            }
-            outcome => {
-                if let LinkOutcome::Corrupted { bits_flipped } = outcome {
+                if self.trace.is_enabled() {
                     self.trace.record(
                         self.now,
                         from.device,
-                        TraceKind::LinkCorrupt,
+                        TraceKind::LinkLoss,
                         Some(&frame),
-                        format!("{bits_flipped} bits flipped on {link_id}"),
+                        format!("on {link_id}"),
                     );
+                }
+            }
+            outcome => {
+                if let LinkOutcome::Corrupted { bits_flipped } = outcome {
+                    if self.trace.is_enabled() {
+                        self.trace.record(
+                            self.now,
+                            from.device,
+                            TraceKind::LinkCorrupt,
+                            Some(&frame),
+                            format!("{bits_flipped} bits flipped on {link_id}"),
+                        );
+                    }
                 }
                 // Control-plane impairment: applied only to 0x88B5 frames
                 // and only on their final hop (the receiving peer is a
@@ -801,7 +889,13 @@ impl World {
         let (verdict, effects, charged, name) = {
             let mut ctx = self.make_ctx(node, CtxOrigin::Hook(idx));
             let verdict = hook.on_outbound(&mut ctx, frame);
-            let name = hook.name().to_string();
+            // The name is only read by the Consume trace record; skip the
+            // per-frame allocation on the overwhelmingly common paths.
+            let name = if ctx.trace_enabled && matches!(verdict, Verdict::Consume) {
+                hook.name().to_string()
+            } else {
+                String::new()
+            };
             (verdict, std::mem::take(&mut ctx.effects), ctx.charged, name)
         };
         self.put_hook(node, idx, hook);
@@ -835,7 +929,11 @@ impl World {
         let (verdict, effects, charged, name) = {
             let mut ctx = self.make_ctx(node, CtxOrigin::Hook(idx));
             let verdict = hook.on_inbound(&mut ctx, frame);
-            let name = hook.name().to_string();
+            let name = if ctx.trace_enabled && matches!(verdict, Verdict::Consume) {
+                hook.name().to_string()
+            } else {
+                String::new()
+            };
             (verdict, std::mem::take(&mut ctx.effects), ctx.charged, name)
         };
         self.put_hook(node, idx, hook);
@@ -857,40 +955,52 @@ impl World {
         hook_name: &str,
         dir: ChainDir,
     ) {
-        let frames = match verdict {
-            Verdict::Accept(f) => vec![f],
+        match verdict {
+            // The common single-frame verdict continues without the Vec
+            // the Replace path needs.
+            Verdict::Accept(f) => self.continue_frame(node, f, charged, dir),
             Verdict::Consume => {
                 self.trace
                     .record(self.now, node, TraceKind::HookConsume, None, hook_name);
-                return;
             }
-            Verdict::Replace(fs) => fs,
-        };
-        for frame in frames {
-            match dir {
-                ChainDir::Outbound { next } => {
-                    if charged == SimDuration::ZERO {
-                        self.outbound_step(node, next, frame);
-                    } else {
-                        self.queue.push(
-                            self.now.saturating_add(charged),
-                            EventKind::OutboundChain {
-                                node,
-                                idx: next,
-                                frame,
-                            },
-                        );
-                    }
+            Verdict::Replace(fs) => {
+                for frame in fs {
+                    self.continue_frame(node, frame, charged, dir);
                 }
-                ChainDir::Inbound { next } => {
-                    if charged == SimDuration::ZERO {
-                        self.inbound_step(node, next, frame);
-                    } else {
-                        self.queue.push(
-                            self.now.saturating_add(charged),
-                            EventKind::InboundChain { node, next, frame },
-                        );
-                    }
+            }
+        }
+    }
+
+    fn continue_frame(
+        &mut self,
+        node: DeviceId,
+        frame: Frame,
+        charged: SimDuration,
+        dir: ChainDir,
+    ) {
+        match dir {
+            ChainDir::Outbound { next } => {
+                if charged == SimDuration::ZERO {
+                    self.outbound_step(node, next, frame);
+                } else {
+                    self.queue.push(
+                        self.now.saturating_add(charged),
+                        EventKind::OutboundChain {
+                            node,
+                            idx: next,
+                            frame,
+                        },
+                    );
+                }
+            }
+            ChainDir::Inbound { next } => {
+                if charged == SimDuration::ZERO {
+                    self.inbound_step(node, next, frame);
+                } else {
+                    self.queue.push(
+                        self.now.saturating_add(charged),
+                        EventKind::InboundChain { node, next, frame },
+                    );
                 }
             }
         }
@@ -901,24 +1011,48 @@ impl World {
             .record(self.now, node, TraceKind::HostRecv, Some(&frame), "");
         self.last_frame_activity = self.now;
         let ethertype = frame.ethertype();
-        let matches: Vec<ProtocolId> = match self.devices[node.index()].as_host() {
-            Some(h) => h
-                .protocols
-                .iter()
-                .enumerate()
-                .filter(|(_, (binding, slot))| slot.is_some() && binding.matches(ethertype))
-                .map(|(i, _)| ProtocolId::from_index(i))
-                .collect(),
+        let (slots, remaining) = match self.devices[node.index()].as_host() {
+            Some(h) => {
+                let matching = h
+                    .protocols
+                    .iter()
+                    .filter(|(binding, slot)| slot.is_some() && binding.matches(ethertype))
+                    .count();
+                (h.protocols.len(), matching)
+            }
             None => return,
         };
-        for id in matches {
+        let mut frame = Some(frame);
+        let mut remaining = remaining;
+        for i in 0..slots {
+            if remaining == 0 {
+                break;
+            }
+            let id = ProtocolId::from_index(i);
+            // Re-check the binding each round: handler effects run between
+            // deliveries and the snapshot above must not go stale.
+            let matches = self.devices[node.index()]
+                .as_host()
+                .and_then(|h| h.protocols.get(i))
+                .is_some_and(|(binding, slot)| slot.is_some() && binding.matches(ethertype));
+            if !matches {
+                continue;
+            }
             let Some(mut proto) = self.take_protocol(node, id) else {
                 continue;
+            };
+            remaining -= 1;
+            // The last matching protocol takes the frame by move; only
+            // fan-out to several protocols pays for clones.
+            let this_frame = if remaining == 0 {
+                frame.take().expect("frame moves out exactly once")
+            } else {
+                frame.as_ref().expect("frame still present").clone()
             };
             let effects = {
                 let mut ctx =
                     self.make_ctx_for(node, CtxOrigin::Protocol, HandlerRef::Protocol(id));
-                proto.on_frame(&mut ctx, frame.clone());
+                proto.on_frame(&mut ctx, this_frame);
                 std::mem::take(&mut ctx.effects)
             };
             self.put_protocol(node, id, proto);
@@ -990,8 +1124,8 @@ impl World {
     // Effects
     // ------------------------------------------------------------------
 
-    fn apply_effects(&mut self, node: DeviceId, origin: CtxOrigin, effects: Vec<Effect>) {
-        for effect in effects {
+    fn apply_effects(&mut self, node: DeviceId, origin: CtxOrigin, mut effects: Vec<Effect>) {
+        for effect in effects.drain(..) {
             match effect {
                 Effect::Send { frame, after } => {
                     let idx = match origin {
@@ -1047,7 +1181,7 @@ impl World {
                     at,
                     handler,
                 } => {
-                    self.queue.push(
+                    self.queue.push_timer(
                         at,
                         EventKind::Timer {
                             node,
@@ -1068,6 +1202,9 @@ impl World {
                     self.request_stop(reason);
                 }
             }
+        }
+        if self.spare_effects.len() < 64 {
+            self.spare_effects.push(effects);
         }
     }
 
@@ -1126,6 +1263,7 @@ impl World {
             Some(h) => (h.mac, h.ip),
             None => (MacAddr::ZERO, Ipv4Addr::UNSPECIFIED),
         };
+        let effects = self.spare_effects.pop().unwrap_or_default();
         let World {
             ref mut rng,
             ref mut next_timer_id,
@@ -1142,7 +1280,7 @@ impl World {
             handler,
             rng,
             next_timer: next_timer_id,
-            effects: Vec::new(),
+            effects,
             charged: SimDuration::ZERO,
             trace_enabled: trace.is_enabled(),
         }

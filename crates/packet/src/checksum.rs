@@ -26,15 +26,28 @@ pub fn checksum(data: &[u8]) -> u16 {
 /// assert_eq!(checksum(data), finish(sum_words(a) + sum_words(b)));
 /// ```
 pub fn sum_words(data: &[u8]) -> u32 {
-    let mut sum = 0u32;
-    let mut chunks = data.chunks_exact(2);
+    // Eight bytes per iteration: each u64 load is four 16-bit words summed
+    // into independent lanes of a u64 accumulator, so the loop runs at
+    // word width instead of byte-pair width. Lane sums cannot overflow:
+    // each addend is < 2^16 and inputs are frame-sized.
+    let mut wide = 0u64;
+    let mut chunks = data.chunks_exact(8);
     for chunk in &mut chunks {
-        sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+        let w = u64::from_be_bytes(chunk.try_into().expect("8-byte chunk"));
+        wide += (w >> 48) + ((w >> 32) & 0xffff) + ((w >> 16) & 0xffff) + (w & 0xffff);
     }
-    if let [last] = chunks.remainder() {
-        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    let mut tail = chunks.remainder().chunks_exact(2);
+    for chunk in &mut tail {
+        wide += u64::from(u16::from_be_bytes([chunk[0], chunk[1]]));
     }
-    sum
+    if let [last] = tail.remainder() {
+        wide += u64::from(u16::from_be_bytes([*last, 0]));
+    }
+    // Fold to u32 so partial sums still combine with plain `+`.
+    while wide >> 32 != 0 {
+        wide = (wide & 0xffff_ffff) + (wide >> 32);
+    }
+    wide as u32
 }
 
 /// Folds carries and complements a partial sum produced by [`sum_words`].

@@ -108,7 +108,9 @@ impl EthernetBuilder {
 
     /// Sets the payload bytes.
     pub fn payload(mut self, payload: &[u8]) -> Self {
-        self.payload = payload.to_vec();
+        let mut buf = crate::arena::take_buffer(payload.len());
+        buf.extend_from_slice(payload);
+        self.payload = buf;
         self
     }
 
@@ -120,12 +122,30 @@ impl EthernetBuilder {
 
     /// Assembles the frame.
     pub fn build(&self) -> Frame {
-        let mut bytes = Vec::with_capacity(ETHERNET_HEADER_LEN + self.payload.len());
+        let mut bytes = crate::arena::take_buffer(ETHERNET_HEADER_LEN + self.payload.len());
         bytes.extend_from_slice(&self.dst.octets());
         bytes.extend_from_slice(&self.src.octets());
         bytes.extend_from_slice(&self.ethertype.value().to_be_bytes());
         bytes.extend_from_slice(&self.payload);
         Frame::from_bytes(bytes).expect("built frame always has a header")
+    }
+
+    /// Assembles the frame, consuming the builder and returning its
+    /// payload buffer to the [`arena`](crate::arena). Per-frame
+    /// encapsulation paths use this so the staging buffer is reused
+    /// instead of freed.
+    pub fn build_take(mut self) -> Frame {
+        let payload = std::mem::take(&mut self.payload);
+        let frame = {
+            let mut bytes = crate::arena::take_buffer(ETHERNET_HEADER_LEN + payload.len());
+            bytes.extend_from_slice(&self.dst.octets());
+            bytes.extend_from_slice(&self.src.octets());
+            bytes.extend_from_slice(&self.ethertype.value().to_be_bytes());
+            bytes.extend_from_slice(&payload);
+            Frame::from_bytes(bytes).expect("built frame always has a header")
+        };
+        crate::arena::recycle_buffer(payload);
+        frame
     }
 }
 

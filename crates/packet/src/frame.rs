@@ -34,9 +34,26 @@ use crate::{EtherType, MacAddr, ParseError};
 /// assert_eq!(frame.ethertype(), EtherType::RETHER);
 /// assert!(frame.dst().is_broadcast());
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Frame {
     bytes: Vec<u8>,
+}
+
+impl Clone for Frame {
+    fn clone(&self) -> Self {
+        // Fan-out points (hub repeat, switch flood, DUP) clone frames on
+        // the hot path; take the copy's buffer from the arena instead of
+        // the allocator.
+        let mut bytes = crate::arena::take_buffer(self.bytes.len());
+        bytes.extend_from_slice(&self.bytes);
+        Frame { bytes }
+    }
+}
+
+impl Drop for Frame {
+    fn drop(&mut self) {
+        crate::arena::recycle_buffer(std::mem::take(&mut self.bytes));
+    }
 }
 
 impl Frame {
@@ -62,8 +79,10 @@ impl Frame {
     }
 
     /// Consumes the frame, returning the underlying buffer.
-    pub fn into_bytes(self) -> Vec<u8> {
-        self.bytes
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        // Take the buffer out so `Drop` (which recycles into the arena)
+        // sees an empty, capacity-zero vector and leaves it alone.
+        std::mem::take(&mut self.bytes)
     }
 
     /// Total frame length in bytes.

@@ -239,14 +239,22 @@ impl Ipv4Builder {
 
     /// Sets the transport payload.
     pub fn payload(mut self, payload: &[u8]) -> Self {
-        self.payload = payload.to_vec();
+        let mut buf = crate::arena::take_buffer(payload.len());
+        buf.extend_from_slice(payload);
+        self.payload = buf;
+        self
+    }
+
+    /// Sets the transport payload from an owned buffer, avoiding a copy.
+    pub fn payload_owned(mut self, payload: Vec<u8>) -> Self {
+        self.payload = payload;
         self
     }
 
     /// Assembles the IP packet (header + payload) with a valid checksum.
     pub fn build_packet(&self) -> Vec<u8> {
         let total_len = (IPV4_HEADER_LEN + self.payload.len()) as u16;
-        let mut packet = Vec::with_capacity(total_len as usize);
+        let mut packet = crate::arena::take_buffer(total_len as usize);
         packet.push(0x45); // version 4, IHL 5
         packet.push(0x00); // DSCP/ECN
         packet.extend_from_slice(&total_len.to_be_bytes());
@@ -260,6 +268,15 @@ impl Ipv4Builder {
         let sum = checksum::checksum(&packet[..IPV4_HEADER_LEN]);
         packet[10..12].copy_from_slice(&sum.to_be_bytes());
         packet.extend_from_slice(&self.payload);
+        packet
+    }
+
+    /// Assembles the IP packet, consuming the builder and returning its
+    /// payload buffer to the [`arena`](crate::arena). The per-segment
+    /// transport builders use this so the staging buffer is reused.
+    pub fn build_packet_take(mut self) -> Vec<u8> {
+        let packet = self.build_packet();
+        crate::arena::recycle_buffer(std::mem::take(&mut self.payload));
         packet
     }
 }

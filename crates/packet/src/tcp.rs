@@ -343,7 +343,7 @@ impl TcpBuilder {
 
     /// Assembles the frame, computing IP and TCP checksums.
     pub fn build(&self) -> Frame {
-        let mut segment = Vec::with_capacity(TCP_HEADER_LEN + self.payload.len());
+        let mut segment = crate::arena::take_buffer(TCP_HEADER_LEN + self.payload.len());
         segment.extend_from_slice(&self.src_port.to_be_bytes());
         segment.extend_from_slice(&self.dst_port.to_be_bytes());
         segment.extend_from_slice(&self.seq.to_be_bytes());
@@ -367,14 +367,14 @@ impl TcpBuilder {
             .dst(self.dst_ip)
             .protocol(IpProtocol::TCP)
             .ident(self.ident)
-            .payload(&segment)
-            .build_packet();
+            .payload_owned(segment)
+            .build_packet_take();
         EthernetBuilder::new()
             .src(self.src_mac)
             .dst(self.dst_mac)
             .ethertype(EtherType::IPV4)
             .payload_owned(packet)
-            .build()
+            .build_take()
     }
 }
 

@@ -186,7 +186,7 @@ impl UdpBuilder {
     /// Assembles the frame, computing IP and UDP checksums.
     pub fn build(&self) -> Frame {
         let udp_len = (UDP_HEADER_LEN + self.payload.len()) as u16;
-        let mut datagram = Vec::with_capacity(udp_len as usize);
+        let mut datagram = crate::arena::take_buffer(udp_len as usize);
         datagram.extend_from_slice(&self.src_port.to_be_bytes());
         datagram.extend_from_slice(&self.dst_port.to_be_bytes());
         datagram.extend_from_slice(&udp_len.to_be_bytes());
@@ -208,14 +208,14 @@ impl UdpBuilder {
             .dst(self.dst_ip)
             .protocol(IpProtocol::UDP)
             .ident(self.ident)
-            .payload(&datagram)
-            .build_packet();
+            .payload_owned(datagram)
+            .build_packet_take();
         EthernetBuilder::new()
             .src(self.src_mac)
             .dst(self.dst_mac)
             .ethertype(EtherType::IPV4)
             .payload_owned(packet)
-            .build()
+            .build_take()
     }
 }
 

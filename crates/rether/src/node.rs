@@ -227,12 +227,13 @@ impl RetherNode {
         if self.rank() == 0 {
             self.cycle = self.cycle.wrapping_add(1);
         }
-        let token = Token {
-            generation: self.generation,
-            cycle: self.cycle,
-            ring: self.ring.clone(),
-        };
-        ctx.send(wire::build_token(self.mac, dst, &token));
+        ctx.send(wire::build_token_parts(
+            self.mac,
+            dst,
+            self.generation,
+            self.cycle,
+            &self.ring,
+        ));
         self.stats.tokens_passed += 1;
         let timer = ctx.set_timer(self.cfg.token_ack_timeout, TIMER_ACK);
         self.state = TokenState::AwaitingAck {
@@ -289,12 +290,13 @@ impl RetherNode {
         };
         if sends < self.cfg.token_send_limit {
             // Retransmit the token.
-            let token = Token {
-                generation: self.generation,
-                cycle: self.cycle,
-                ring: self.ring.clone(),
-            };
-            ctx.send(wire::build_token(self.mac, dst, &token));
+            ctx.send(wire::build_token_parts(
+                self.mac,
+                dst,
+                self.generation,
+                self.cycle,
+                &self.ring,
+            ));
             self.stats.token_retransmissions += 1;
             let timer = ctx.set_timer(self.cfg.token_ack_timeout, TIMER_ACK);
             self.state = TokenState::AwaitingAck {

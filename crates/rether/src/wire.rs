@@ -31,12 +31,24 @@ pub struct Token {
 
 /// Builds a token frame from `src` to `dst`.
 pub fn build_token(src: MacAddr, dst: MacAddr, token: &Token) -> Frame {
-    let mut payload = Vec::with_capacity(2 + 4 + 4 + 1 + token.ring.len() * 6);
+    build_token_parts(src, dst, token.generation, token.cycle, &token.ring)
+}
+
+/// Builds a token frame without requiring an assembled [`Token`], so a
+/// sender holding the ring by reference need not clone it first.
+pub fn build_token_parts(
+    src: MacAddr,
+    dst: MacAddr,
+    generation: u32,
+    cycle: u32,
+    ring: &[MacAddr],
+) -> Frame {
+    let mut payload = vw_packet::arena::take_buffer(2 + 4 + 4 + 1 + ring.len() * 6);
     payload.extend_from_slice(&OPCODE_TOKEN.to_be_bytes());
-    payload.extend_from_slice(&token.generation.to_be_bytes());
-    payload.extend_from_slice(&token.cycle.to_be_bytes());
-    payload.push(token.ring.len() as u8);
-    for mac in &token.ring {
+    payload.extend_from_slice(&generation.to_be_bytes());
+    payload.extend_from_slice(&cycle.to_be_bytes());
+    payload.push(ring.len() as u8);
+    for mac in ring {
         payload.extend_from_slice(&mac.octets());
     }
     EthernetBuilder::new()
@@ -44,12 +56,12 @@ pub fn build_token(src: MacAddr, dst: MacAddr, token: &Token) -> Frame {
         .dst(dst)
         .ethertype(EtherType::RETHER)
         .payload_owned(payload)
-        .build()
+        .build_take()
 }
 
 /// Builds a token acknowledgment from `src` to `dst` echoing `generation`.
 pub fn build_token_ack(src: MacAddr, dst: MacAddr, generation: u32) -> Frame {
-    let mut payload = Vec::with_capacity(6);
+    let mut payload = vw_packet::arena::take_buffer(6);
     payload.extend_from_slice(&OPCODE_TOKEN_ACK.to_be_bytes());
     payload.extend_from_slice(&generation.to_be_bytes());
     EthernetBuilder::new()
@@ -57,7 +69,7 @@ pub fn build_token_ack(src: MacAddr, dst: MacAddr, generation: u32) -> Frame {
         .dst(dst)
         .ethertype(EtherType::RETHER)
         .payload_owned(payload)
-        .build()
+        .build_take()
 }
 
 /// A parsed Rether control frame.

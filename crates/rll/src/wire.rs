@@ -98,7 +98,7 @@ pub fn build_ack(src: MacAddr, dst: MacAddr, ack: u32) -> Frame {
 }
 
 fn build(src: MacAddr, dst: MacAddr, shim: RllShim, payload: &[u8]) -> Frame {
-    let mut body = Vec::with_capacity(SHIM_LEN + payload.len());
+    let mut body = vw_packet::arena::take_buffer(SHIM_LEN + payload.len());
     body.push(shim.opcode.to_byte());
     body.push(0); // reserved: keeps later fields 16-bit aligned
     body.extend_from_slice(&shim.seq.to_be_bytes());
@@ -113,7 +113,7 @@ fn build(src: MacAddr, dst: MacAddr, shim: RllShim, payload: &[u8]) -> Frame {
         .dst(dst)
         .ethertype(EtherType::RLL)
         .payload_owned(body)
-        .build()
+        .build_take()
 }
 
 /// Parses and integrity-checks an RLL frame, returning the shim and the
@@ -159,7 +159,7 @@ pub fn decapsulate(outer: &Frame, shim: &RllShim, payload: &[u8]) -> Frame {
         .dst(outer.dst())
         .ethertype(shim.inner_ethertype)
         .payload(payload)
-        .build()
+        .build_take()
 }
 
 #[cfg(test)]

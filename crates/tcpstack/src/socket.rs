@@ -7,7 +7,6 @@
 //! without a simulator.
 
 use std::collections::BTreeMap;
-use std::collections::VecDeque;
 use std::net::Ipv4Addr;
 
 use vw_netsim::{SimDuration, SimTime};
@@ -138,9 +137,11 @@ pub struct TcpSocket {
     snd_nxt: u32,
     rcv_nxt: u32,
 
-    /// Sent-or-unsent application bytes; `buf_seq` is the sequence number
-    /// of `send_buf[0]`.
-    send_buf: VecDeque<u8>,
+    /// Sent-or-unsent application bytes. Acked bytes are trimmed by
+    /// advancing `send_head` (compacting lazily), so the live region is
+    /// `send_buf[send_head..]` and `buf_seq` is its first sequence number.
+    send_buf: Vec<u8>,
+    send_head: usize,
     buf_seq: u32,
     /// In-order received bytes awaiting the application.
     recv_buf: Vec<u8>,
@@ -195,7 +196,8 @@ impl TcpSocket {
             snd_una: iss,
             snd_nxt: iss.wrapping_add(1), // SYN consumes one
             rcv_nxt: 0,
-            send_buf: VecDeque::new(),
+            send_buf: Vec::new(),
+            send_head: 0,
             buf_seq: iss.wrapping_add(1),
             recv_buf: Vec::new(),
             ooo: BTreeMap::new(),
@@ -269,12 +271,17 @@ impl TcpSocket {
 
     /// Bytes queued but not yet acknowledged.
     pub fn unacked_len(&self) -> usize {
-        self.send_buf.len()
+        self.send_len()
     }
 
     /// `true` once every queued byte (and FIN, if any) is acknowledged.
     pub fn send_complete(&self) -> bool {
-        self.send_buf.is_empty() && (!self.fin_queued || self.fin_acked())
+        self.send_len() == 0 && (!self.fin_queued || self.fin_acked())
+    }
+
+    /// Length of the live (unacknowledged) region of the send buffer.
+    fn send_len(&self) -> usize {
+        self.send_buf.len() - self.send_head
     }
 
     fn fin_acked(&self) -> bool {
@@ -290,7 +297,7 @@ impl TcpSocket {
 
     /// Queues application data for transmission.
     pub fn send_data(&mut self, data: &[u8]) {
-        self.send_buf.extend(data.iter().copied());
+        self.send_buf.extend_from_slice(data);
     }
 
     /// Takes everything received in order so far.
@@ -372,7 +379,7 @@ impl TcpSocket {
             let flight = self.snd_nxt.wrapping_sub(self.snd_una);
             // Next unsent byte's offset into send_buf.
             let sent = self.snd_nxt.wrapping_sub(self.buf_seq) as usize;
-            let unsent = self.send_buf.len().saturating_sub(sent);
+            let unsent = self.send_len().saturating_sub(sent);
             if unsent > 0 && !self.fin_sent() {
                 let room = window.saturating_sub(flight);
                 if room == 0 {
@@ -382,9 +389,10 @@ impl TcpSocket {
                 if len == 0 {
                     break;
                 }
-                let payload: Vec<u8> = self.send_buf.iter().skip(sent).take(len).copied().collect();
+                let payload = self.copy_send_range(sent, len);
                 let seq = self.snd_nxt;
                 self.emit(seq, self.rcv_nxt, TcpFlags::ACK | TcpFlags::PSH, &payload);
+                vw_packet::arena::recycle_buffer(payload);
                 self.stats.data_segments_sent += 1;
                 self.snd_nxt = self.snd_nxt.wrapping_add(len as u32);
                 if self.rtt_probe.is_none() {
@@ -417,7 +425,7 @@ impl TcpSocket {
 
     fn fin_ready_to_send(&self) -> bool {
         let sent = self.snd_nxt.wrapping_sub(self.buf_seq) as usize;
-        self.fin_queued && !self.fin_sent() && sent >= self.send_buf.len()
+        self.fin_queued && !self.fin_sent() && sent >= self.send_len()
     }
 
     // ------------------------------------------------------------------
@@ -482,12 +490,16 @@ impl TcpSocket {
                 // Trim acknowledged bytes from the send buffer (the FIN
                 // octet is not in the buffer).
                 let data_acked = {
-                    let buf_end = self.buf_seq.wrapping_add(self.send_buf.len() as u32);
+                    let buf_end = self.buf_seq.wrapping_add(self.send_len() as u32);
                     let data_ack_to = if seq_le(ack, buf_end) { ack } else { buf_end };
                     data_ack_to.wrapping_sub(self.buf_seq)
                 };
-                for _ in 0..data_acked {
-                    self.send_buf.pop_front();
+                self.send_head += data_acked as usize;
+                // Compact once the dead prefix outweighs the live bytes, so
+                // trimming stays amortized O(1) per acked byte.
+                if self.send_head > self.send_buf.len() - self.send_head {
+                    self.send_buf.drain(..self.send_head);
+                    self.send_head = 0;
                 }
                 self.buf_seq = self.buf_seq.wrapping_add(data_acked);
                 self.stats.bytes_acked += u64::from(data_acked);
@@ -642,23 +654,27 @@ impl TcpSocket {
         let in_flight_data = self.snd_nxt.wrapping_sub(self.snd_una) as usize;
         let len = in_flight_data
             .min(self.cfg.mss as usize)
-            .min(self.send_buf.len().saturating_sub(offset));
+            .min(self.send_len().saturating_sub(offset));
         if len == 0 {
             return;
         }
-        let payload: Vec<u8> = self
-            .send_buf
-            .iter()
-            .skip(offset)
-            .take(len)
-            .copied()
-            .collect();
+        let payload = self.copy_send_range(offset, len);
         self.emit(
             self.snd_una,
             self.rcv_nxt,
             TcpFlags::ACK | TcpFlags::PSH,
             &payload,
         );
+        vw_packet::arena::recycle_buffer(payload);
+    }
+
+    /// Copies `len` live send-buffer bytes starting `offset` bytes past
+    /// `buf_seq` into a pooled buffer with a single memcpy.
+    fn copy_send_range(&self, offset: usize, len: usize) -> Vec<u8> {
+        let mut payload = vw_packet::arena::take_buffer(len);
+        let start = self.send_head + offset;
+        payload.extend_from_slice(&self.send_buf[start..start + len]);
+        payload
     }
 }
 

@@ -44,6 +44,16 @@ echo "==> campaign-smoke"
 cargo test -q -p vw-campaign --test campaign_smoke --test determinism
 cargo run -q --release --example campaign_sweep > /dev/null
 
+# Bench smoke: the perf-trajectory harness must run end to end in quick
+# mode, emit schema-valid JSON, and observe zero frame-conservation
+# diagnostics (no injected fault may lose or garble frames) in the
+# example scenarios it drives.
+echo "==> bench-smoke"
+cargo build -q --release -p vw-bench --bin bench_snapshot
+./target/release/bench_snapshot --quick --enforce-conservation \
+    --label ci-smoke --out target/bench_smoke.json > /dev/null
+./target/release/bench_snapshot --check target/bench_smoke.json
+
 echo "==> cargo clippy"
 cargo clippy --workspace --all-targets -- -D warnings
 
