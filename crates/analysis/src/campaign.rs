@@ -27,6 +27,11 @@ pub struct InstanceMetrics {
     pub counters: BTreeMap<String, u64>,
     /// Histograms by name.
     pub histograms: BTreeMap<String, Histogram>,
+    /// Host wall-clock time the instance took to execute, if the
+    /// executor measured it. Unlike every other field this is *not*
+    /// deterministic across runs — it feeds the profiling aggregates
+    /// ([`CampaignReport::wall_ns`]), never the outcome digests.
+    pub wall_ns: Option<u64>,
 }
 
 impl InstanceMetrics {
@@ -114,6 +119,11 @@ pub struct CampaignReport {
     pub histograms: Vec<(String, Histogram)>,
     /// One breakdown per sweep axis, in sweep-axis order.
     pub breakdowns: Vec<AxisBreakdown>,
+    /// Distribution of per-instance host wall-clock durations, over the
+    /// instances that carried one. Empty when the executor did not time
+    /// instances. Wall times are profiling data: they vary run to run,
+    /// so they live beside — never inside — the deterministic metrics.
+    pub wall_ns: Histogram,
 }
 
 /// Folds per-instance metrics into a [`CampaignReport`].
@@ -143,6 +153,7 @@ impl CampaignAnalyzer {
                 passed: digest.passed,
                 counters: digest.metrics.counters.iter().cloned().collect(),
                 histograms: digest.metrics.histograms.iter().cloned().collect(),
+                wall_ns: record.wall_ns,
             });
         }
         self
@@ -157,9 +168,13 @@ impl CampaignAnalyzer {
         // first appearance, which for a cross-product sweep is the axis's
         // declared value order.
         let mut axes: Vec<AxisBreakdown> = Vec::new();
+        let mut wall_ns = Histogram::default();
         for instance in &self.instances {
             if instance.passed {
                 passed += 1;
+            }
+            if let Some(ns) = instance.wall_ns {
+                wall_ns.observe(ns);
             }
             for (name, v) in &instance.counters {
                 *counters.entry(name.clone()).or_insert(0) += v;
@@ -211,6 +226,7 @@ impl CampaignAnalyzer {
             counters: counters.into_iter().collect(),
             histograms: histograms.into_iter().collect(),
             breakdowns: axes,
+            wall_ns,
         }
     }
 }
@@ -235,6 +251,15 @@ impl CampaignReport {
     /// The breakdown along one axis, if present.
     pub fn breakdown(&self, axis: &str) -> Option<&AxisBreakdown> {
         self.breakdowns.iter().find(|b| b.axis == axis)
+    }
+
+    /// `(max, mean)` per-instance wall-clock duration in nanoseconds, or
+    /// `None` when no instance carried a duration.
+    pub fn wall_ns_aggregates(&self) -> Option<(u64, u64)> {
+        if self.wall_ns.is_empty() {
+            return None;
+        }
+        Some((self.wall_ns.max(), self.wall_ns.mean() as u64))
     }
 
     /// Flags metrics that regressed from `baseline` to `self` by more
@@ -308,6 +333,10 @@ impl CampaignReport {
                 h.percentile(99.0),
             );
         }
+        // Wall-clock aggregates are deliberately absent here: to_jsonl is
+        // the deterministic artifact (byte-identical across runs and
+        // thread counts), and host wall times are neither. They surface
+        // via `wall_ns_aggregates()` and the human `render()` instead.
         for breakdown in &self.breakdowns {
             for group in &breakdown.groups {
                 out.push_str("{\"axis\":");
@@ -349,6 +378,15 @@ impl CampaignReport {
                 h.percentile(50.0),
                 h.percentile(99.0),
                 h.max(),
+            );
+        }
+        if let Some((max, mean)) = self.wall_ns_aggregates() {
+            let _ = writeln!(
+                out,
+                "  instance wall: n={} mean={}ns max={}ns",
+                self.wall_ns.count(),
+                mean,
+                max
             );
         }
         for breakdown in &self.breakdowns {
@@ -460,6 +498,35 @@ mod tests {
         assert!(regressions[0].render().contains("p99"));
         // A same-shape aggregate has no regressions.
         assert!(current.diff(&current, 0.2).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_aggregates_surface_max_and_mean() {
+        let mut analyzer = CampaignAnalyzer::new();
+        let mut a = instance("1", 0, true, &[]);
+        a.wall_ns = Some(1_000);
+        let mut b = instance("2", 0, true, &[]);
+        b.wall_ns = Some(3_000);
+        let c = instance("3", 0, true, &[]); // untimed: skipped, not zero
+        analyzer.push(a).push(b).push(c);
+        let report = analyzer.analyze();
+        assert_eq!(report.wall_ns.count(), 2);
+        assert_eq!(report.wall_ns_aggregates(), Some((3_000, 2_000)));
+        assert!(report
+            .render()
+            .contains("instance wall: n=2 mean=2000ns max=3000ns"));
+        // The JSONL export stays wall-free: it is the deterministic
+        // artifact, and wall times differ on every run.
+        assert!(!report.to_jsonl().contains("wall"));
+    }
+
+    #[test]
+    fn untimed_campaigns_omit_wall_aggregates() {
+        let mut analyzer = CampaignAnalyzer::new();
+        analyzer.push(instance("1", 0, true, &[]));
+        let report = analyzer.analyze();
+        assert_eq!(report.wall_ns_aggregates(), None);
+        assert!(!report.render().contains("instance wall"));
     }
 
     #[test]

@@ -366,9 +366,60 @@ fn bench_campaign(c: &mut Criterion) {
     group.finish();
 }
 
+/// A small fixed computation to wrap spans around, heavy enough that the
+/// optimizer cannot fold it away but light enough that span overhead is
+/// visible next to it.
+fn trace_probe_work(n: u64) -> u64 {
+    (0..n).fold(0u64, |acc, i| acc ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// The span cost contract of DESIGN.md §Self-profiling: with the
+/// collector disabled a span call site is one thread-local flag check
+/// (`span_disabled` must track `baseline_no_span`); `span_enabled` shows
+/// what actually recording costs; and a scenario-level pair bounds the
+/// whole-run perturbation of leaving instrumentation compiled in.
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_overhead");
+    group.bench_function("baseline_no_span", |b| {
+        b.iter(|| black_box(trace_probe_work(black_box(64))))
+    });
+    group.bench_function("span_disabled", |b| {
+        assert!(!vw_trace::is_enabled());
+        b.iter(|| {
+            let _s = vw_trace::span("probe", vw_trace::Category::Other);
+            black_box(trace_probe_work(black_box(64)))
+        })
+    });
+    group.bench_function("span_enabled", |b| {
+        vw_trace::enable(1 << 16);
+        b.iter(|| {
+            let _s = vw_trace::span("probe", vw_trace::Category::Other);
+            black_box(trace_probe_work(black_box(64)))
+        });
+        black_box(vw_trace::disable().len());
+    });
+    // Whole-scenario view: the instrumented engine run with the
+    // collector off vs actively recording.
+    group.bench_function("engine_run_untraced", |b| {
+        b.iter(|| black_box(run_obs_scenario(ObsLevel::Off, false).0))
+    });
+    group.bench_function("engine_run_traced", |b| {
+        b.iter(|| {
+            vw_trace::enable(1 << 18);
+            let classified = {
+                let _run = vw_trace::span("run", vw_trace::Category::Run);
+                run_obs_scenario(ObsLevel::Off, false).0
+            };
+            black_box(vw_trace::disable().len());
+            black_box(classified)
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_classify, bench_classifier_modes, bench_fsl_frontend, bench_rll_window, bench_obs_overhead, bench_control_plane, bench_campaign
+    targets = bench_classify, bench_classifier_modes, bench_fsl_frontend, bench_rll_window, bench_obs_overhead, bench_control_plane, bench_campaign, bench_trace_overhead
 }
 criterion_main!(benches);

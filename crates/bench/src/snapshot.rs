@@ -22,7 +22,9 @@ use vw_rll::RllConfig;
 use vw_tcpstack::{Endpoint, TcpConfig, TcpStack};
 
 /// Schema version of the emitted JSON; bump when keys change meaning.
-pub const SCHEMA_VERSION: u32 = 1;
+/// v2 added `"phase_breakdown"` (per-category self-time attribution of
+/// one traced full-stack leg).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One timed workload: raw inputs plus the derived rates.
 #[derive(Debug, Clone)]
@@ -88,6 +90,9 @@ pub struct Snapshot {
     pub legs: Vec<Leg>,
     /// Frame-conservation probe results.
     pub conservation: Conservation,
+    /// Per-category self-time attribution from one *additional* traced
+    /// full-stack run (the timed legs above run untraced).
+    pub phase_breakdown: vw_trace::PhaseBreakdown,
     /// Peak resident set size in bytes, when the platform exposes it.
     pub peak_rss_bytes: Option<u64>,
 }
@@ -101,13 +106,32 @@ pub fn run(quick: bool, label: &str) -> Snapshot {
         best_of(runs, || campaign_leg(quick)),
     ];
     let conservation = conservation_probes();
+    let phase_breakdown = traced_phase_breakdown(quick);
     Snapshot {
         label: label.to_string(),
         mode: if quick { "quick" } else { "full" },
         legs,
         conservation,
+        phase_breakdown,
         peak_rss_bytes: peak_rss_bytes(),
     }
+}
+
+/// Runs one extra full-stack leg with span collection on and folds the
+/// trace into a per-category self-time attribution. The Chrome export is
+/// round-tripped through the crate's JSON parser on the way, so every
+/// snapshot also proves the trace file loads. The timed legs stay
+/// untraced; this leg's wall time is never reported as a rate.
+pub fn traced_phase_breakdown(quick: bool) -> vw_trace::PhaseBreakdown {
+    vw_trace::enable(1 << 19);
+    {
+        let _run = vw_trace::span("run", vw_trace::Category::Run);
+        let _ = full_stack_leg(quick);
+    }
+    let trace = vw_trace::disable();
+    vw_trace::validate_chrome_json(&trace.to_chrome_json())
+        .expect("traced leg must export loadable Chrome JSON");
+    trace.phase_breakdown()
 }
 
 /// One full-stack leg run, exposed for the CLI's `--soak` profiling mode.
@@ -506,8 +530,12 @@ impl Snapshot {
         }
         s.push_str("  },\n");
         s.push_str(&format!(
-            "  \"conservation\": {{ \"limbo\": {}, \"malformed_reorders\": {} }}",
+            "  \"conservation\": {{ \"limbo\": {}, \"malformed_reorders\": {} }},\n",
             self.conservation.limbo, self.conservation.malformed_reorders
+        ));
+        s.push_str(&format!(
+            "  \"phase_breakdown\": {}",
+            self.phase_breakdown.to_json()
         ));
         if let Some(base) = baseline {
             s.push_str(",\n  \"baseline\": ");
@@ -567,6 +595,7 @@ pub fn validate_json(json: &str) -> Result<(), String> {
         "\"fie.ns_per_frame\"",
         "\"campaign.instances_per_sec\"",
         "\"conservation\"",
+        "\"phase_breakdown\"",
     ] {
         if !json.contains(key) {
             return Err(format!("snapshot JSON is missing {key}"));
@@ -591,12 +620,14 @@ mod tests {
                 frames: 50,
             }],
             conservation: Conservation::default(),
+            phase_breakdown: vw_trace::PhaseBreakdown::default(),
             peak_rss_bytes: Some(1024),
         };
         let json = snap.to_json(6, None);
         let metrics = extract_metrics_object(&json).unwrap();
         assert!(metrics.starts_with('{') && metrics.ends_with('}'));
         assert!(metrics.contains("\"full_stack.ns_per_frame\""));
+        assert!(json.contains("\"phase_breakdown\": {\"wall_ns\":0"));
         let with_base = snap.to_json(6, Some(&metrics));
         assert!(with_base.contains("\"baseline\""));
     }

@@ -1,0 +1,44 @@
+//! Acceptance pin for the traced snapshot leg: the per-category self
+//! times must account for (almost exactly) the whole measured region,
+//! and the Chrome export of a real run must load.
+//!
+//! With a single root span bracketing the run, `Σ self_ns == root
+//! duration` holds by construction; the 5% tolerance below only absorbs
+//! ring evictions and clock jitter, so a regression in the attribution
+//! walk shows up immediately.
+
+use vw_bench::snapshot;
+use vw_trace::Category;
+
+#[test]
+fn traced_leg_self_times_partition_wall_time() {
+    let pb = snapshot::traced_phase_breakdown(true);
+    assert!(pb.wall_ns > 0, "traced leg produced an empty trace");
+
+    // Every instrumented layer of the tower shows up: the event loop,
+    // the Figure 4(b) engine pipeline, and the TCP stack.
+    for cat in [
+        Category::Run,
+        Category::Event,
+        Category::Classify,
+        Category::Cascade,
+        Category::Action,
+        Category::Tcp,
+    ] {
+        assert!(
+            pb.get(cat).is_some_and(|s| s.spans > 0),
+            "no spans recorded for category {cat}:\n{}",
+            pb.to_table()
+        );
+    }
+
+    let total = pb.total_self_ns() as f64;
+    let wall = pb.wall_ns as f64;
+    let error = (total - wall).abs() / wall;
+    assert!(
+        error < 0.05,
+        "self times sum to {total} but wall is {wall} ({:.1}% off):\n{}",
+        100.0 * error,
+        pb.to_table()
+    );
+}

@@ -11,13 +11,16 @@
 //! thread count.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use virtualwire::{Runner, ScriptError};
 use vw_fsl::TableSet;
 use vw_netsim::{SimDuration, World};
 
 use crate::outcome::{CampaignResult, DigestKey, InstanceOutcome, OutcomeDigest};
+use crate::progress::{NullProgress, ProgressEvent, ProgressSink};
 use crate::spec::{CampaignError, CampaignSpec, Instance, RunConfig};
 
 /// A per-instance testbed factory.
@@ -78,6 +81,29 @@ impl ExecConfig {
 /// become outcome variants so one bad point in the sweep can't take the
 /// pool down.
 pub fn run_one<S: Setup>(instance: &Instance, setup: &S, deadline: SimDuration) -> InstanceOutcome {
+    run_one_timed(instance, setup, deadline).0
+}
+
+/// [`run_one`], also measuring the instance's wall-clock duration in
+/// nanoseconds (saturated to `u64`). The duration is diagnostic only —
+/// it never participates in outcome digests.
+pub fn run_one_timed<S: Setup>(
+    instance: &Instance,
+    setup: &S,
+    deadline: SimDuration,
+) -> (InstanceOutcome, u64) {
+    let _span = vw_trace::span("instance", vw_trace::Category::Campaign);
+    let started = Instant::now();
+    let outcome = run_one_inner(instance, setup, deadline);
+    let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    (outcome, wall_ns)
+}
+
+fn run_one_inner<S: Setup>(
+    instance: &Instance,
+    setup: &S,
+    deadline: SimDuration,
+) -> InstanceOutcome {
     let tables = match vw_fsl::compile(&instance.program) {
         Ok(mut sets) if sets.len() == 1 => sets.remove(0),
         Ok(sets) => {
@@ -126,10 +152,25 @@ pub fn run_campaign<S: Setup>(
     setup: &S,
     cfg: &ExecConfig,
 ) -> Result<CampaignResult, CampaignError> {
+    run_campaign_with_progress(spec, setup, cfg, &NullProgress)
+}
+
+/// [`run_campaign`] with a live [`ProgressSink`] observing the workers.
+///
+/// The sink sees instances as they finish on their worker threads — in
+/// scheduling order, which is *not* deterministic across runs — but it
+/// only ever observes: the returned [`CampaignResult`] (and its JSONL)
+/// is bit-for-bit the one `run_campaign` would have produced.
+pub fn run_campaign_with_progress<S: Setup>(
+    spec: &CampaignSpec,
+    setup: &S,
+    cfg: &ExecConfig,
+    sink: &dyn ProgressSink,
+) -> Result<CampaignResult, CampaignError> {
     let instances = spec.enumerate()?;
-    let outcomes = run_instances(&instances, setup, cfg);
-    Ok(CampaignResult::build(
-        &spec.name, &instances, outcomes, cfg.key,
+    let timed = run_instances_timed(&instances, setup, cfg, sink);
+    Ok(CampaignResult::build_timed(
+        &spec.name, &instances, timed, cfg.key,
     ))
 }
 
@@ -141,32 +182,72 @@ pub fn run_instances<S: Setup>(
     setup: &S,
     cfg: &ExecConfig,
 ) -> Vec<InstanceOutcome> {
+    run_instances_timed(instances, setup, cfg, &NullProgress)
+        .into_iter()
+        .map(|(outcome, _)| outcome)
+        .collect()
+}
+
+/// [`run_instances`] with per-instance wall-clock durations (ns) and a
+/// progress sink. Sharding is identical to [`run_instances`]; the sink
+/// and the timings ride alongside the result path without touching it.
+pub fn run_instances_timed<S: Setup>(
+    instances: &[Instance],
+    setup: &S,
+    cfg: &ExecConfig,
+    sink: &dyn ProgressSink,
+) -> Vec<(InstanceOutcome, u64)> {
     let threads = cfg.threads.max(1).min(instances.len().max(1));
-    if threads <= 1 {
-        return instances
+    let started = Instant::now();
+    let finished = AtomicUsize::new(0);
+    let total = instances.len();
+    let notify = |shard: usize, index: usize, outcome: &InstanceOutcome, wall_ns: u64| {
+        let completed = finished.fetch_add(1, Ordering::Relaxed) + 1;
+        sink.on_instance(&ProgressEvent {
+            shard,
+            index,
+            kind: outcome.kind(),
+            wall: std::time::Duration::from_nanos(wall_ns),
+            completed,
+            total,
+            elapsed: started.elapsed(),
+        });
+    };
+    let result = if threads <= 1 {
+        instances
             .iter()
-            .map(|i| run_one(i, setup, cfg.deadline))
-            .collect();
-    }
-    let collected: Mutex<Vec<(usize, InstanceOutcome)>> =
-        Mutex::new(Vec::with_capacity(instances.len()));
-    std::thread::scope(|scope| {
-        for w in 0..threads {
-            let collected = &collected;
-            let setup = &setup;
-            scope.spawn(move || {
-                let mut local = Vec::new();
-                for (pos, instance) in instances.iter().enumerate().skip(w).step_by(threads) {
-                    local.push((pos, run_one(instance, *setup, cfg.deadline)));
-                }
-                collected.lock().unwrap().extend(local);
-            });
-        }
-    });
-    let mut pairs = collected.into_inner().unwrap();
-    pairs.sort_by_key(|(pos, _)| *pos);
-    debug_assert_eq!(pairs.len(), instances.len());
-    pairs.into_iter().map(|(_, outcome)| outcome).collect()
+            .map(|i| {
+                let (outcome, wall_ns) = run_one_timed(i, setup, cfg.deadline);
+                notify(0, i.index, &outcome, wall_ns);
+                (outcome, wall_ns)
+            })
+            .collect()
+    } else {
+        let collected: Mutex<Vec<(usize, (InstanceOutcome, u64))>> =
+            Mutex::new(Vec::with_capacity(instances.len()));
+        std::thread::scope(|scope| {
+            for w in 0..threads {
+                let collected = &collected;
+                let setup = &setup;
+                let notify = &notify;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    for (pos, instance) in instances.iter().enumerate().skip(w).step_by(threads) {
+                        let (outcome, wall_ns) = run_one_timed(instance, *setup, cfg.deadline);
+                        notify(w, instance.index, &outcome, wall_ns);
+                        local.push((pos, (outcome, wall_ns)));
+                    }
+                    collected.lock().unwrap().extend(local);
+                });
+            }
+        });
+        let mut pairs = collected.into_inner().unwrap();
+        pairs.sort_by_key(|(pos, _)| *pos);
+        debug_assert_eq!(pairs.len(), instances.len());
+        pairs.into_iter().map(|(_, timed)| timed).collect()
+    };
+    sink.on_finish(total, started.elapsed());
+    result
 }
 
 #[cfg(test)]

@@ -63,13 +63,18 @@
 
 mod exec;
 mod outcome;
+mod progress;
 mod shrink;
 mod spec;
 
-pub use exec::{run_campaign, run_instances, run_one, ExecConfig, Setup};
+pub use exec::{
+    run_campaign, run_campaign_with_progress, run_instances, run_instances_timed, run_one,
+    run_one_timed, ExecConfig, Setup,
+};
 pub use outcome::{
     CampaignResult, DigestKey, InstanceOutcome, InstanceRecord, MetricsDigest, OutcomeClass,
     OutcomeDigest,
 };
+pub use progress::{NullProgress, PeriodicProgress, ProgressEvent, ProgressFormat, ProgressSink};
 pub use shrink::{shrink, ShrinkOptions, ShrinkResult};
 pub use spec::{Axis, CampaignError, CampaignSpec, Instance, RunConfig, Sampling};

@@ -228,6 +228,13 @@ pub struct DigestKey {
     /// histograms). Off by default for the same reason as `stats`:
     /// distribution shapes vary legitimately across swept seeds.
     pub metrics: bool,
+    /// Render per-class wall-clock duration aggregates (max/mean over
+    /// member instances) in the JSONL report. Unlike every other field,
+    /// this only affects *rendering*, never class membership — wall
+    /// times are nondeterministic, so hashing them would shatter dedup.
+    /// Off by default, which keeps the report byte-identical across
+    /// thread counts and runs.
+    pub durations: bool,
 }
 
 impl Default for DigestKey {
@@ -238,6 +245,7 @@ impl Default for DigestKey {
             counters: true,
             stats: false,
             metrics: false,
+            durations: false,
         }
     }
 }
@@ -295,6 +303,10 @@ pub struct InstanceRecord {
     pub labels: Vec<(String, String)>,
     /// The outcome.
     pub outcome: InstanceOutcome,
+    /// Wall-clock duration of the run in nanoseconds, when the executor
+    /// measured it. Diagnostic only: never part of the digest key, and
+    /// rendered in JSONL only when [`DigestKey::durations`] is set.
+    pub wall_ns: Option<u64>,
 }
 
 /// A set of instances whose outcomes agree on the digest key.
@@ -334,11 +346,43 @@ impl CampaignResult {
         outcomes: Vec<InstanceOutcome>,
         key: DigestKey,
     ) -> Self {
+        Self::build_inner(
+            name,
+            instances,
+            outcomes.into_iter().map(|o| (o, None)),
+            key,
+        )
+    }
+
+    /// [`build`](Self::build) with per-instance wall-clock durations
+    /// (nanoseconds) carried alongside each outcome. Durations never
+    /// affect class membership; they surface in JSONL only behind
+    /// [`DigestKey::durations`] and feed analyzer aggregates.
+    pub fn build_timed(
+        name: &str,
+        instances: &[Instance],
+        outcomes: Vec<(InstanceOutcome, u64)>,
+        key: DigestKey,
+    ) -> Self {
+        Self::build_inner(
+            name,
+            instances,
+            outcomes.into_iter().map(|(o, ns)| (o, Some(ns))),
+            key,
+        )
+    }
+
+    fn build_inner(
+        name: &str,
+        instances: &[Instance],
+        outcomes: impl ExactSizeIterator<Item = (InstanceOutcome, Option<u64>)>,
+        key: DigestKey,
+    ) -> Self {
         assert_eq!(instances.len(), outcomes.len(), "one outcome per instance");
         let mut records = Vec::with_capacity(outcomes.len());
         let mut classes: Vec<OutcomeClass> = Vec::new();
         let mut by_key: HashMap<String, usize> = HashMap::new();
-        for (instance, outcome) in instances.iter().zip(outcomes) {
+        for (instance, (outcome, wall_ns)) in instances.iter().zip(outcomes) {
             let key_string = outcome.key_string(&key);
             match by_key.get(&key_string) {
                 Some(&class) => classes[class].members.push(instance.index),
@@ -356,6 +400,7 @@ impl CampaignResult {
                 index: instance.index,
                 labels: instance.labels.clone(),
                 outcome,
+                wall_ns,
             });
         }
         CampaignResult {
@@ -364,6 +409,23 @@ impl CampaignResult {
             instances: records,
             classes,
         }
+    }
+
+    /// `(max, mean)` wall-clock nanoseconds over instances that carry a
+    /// duration, or `None` if none do — the "is something wedged" signal
+    /// for long sweeps.
+    pub fn wall_ns_aggregates(&self) -> Option<(u64, u64)> {
+        let mut max = 0u64;
+        let mut sum = 0u128;
+        let mut n = 0u64;
+        for r in &self.instances {
+            if let Some(ns) = r.wall_ns {
+                max = max.max(ns);
+                sum += u128::from(ns);
+                n += 1;
+            }
+        }
+        (n > 0).then(|| (max, (sum / u128::from(n)) as u64))
     }
 
     /// Completed instances with their digests, ascending by index — the
@@ -407,13 +469,19 @@ impl CampaignResult {
         let (completed, invalid, setup_failed, crashed) = self.kind_counts();
         out.push_str("{\"campaign\":");
         json_string(&mut out, &self.name);
-        let _ = writeln!(
+        let _ = write!(
             out,
             ",\"instances\":{},\"classes\":{},\"completed\":{completed},\
-             \"invalid\":{invalid},\"setup_failed\":{setup_failed},\"crashed\":{crashed}}}",
+             \"invalid\":{invalid},\"setup_failed\":{setup_failed},\"crashed\":{crashed}",
             self.instances.len(),
             self.classes.len(),
         );
+        if self.key.durations {
+            if let Some((max, mean)) = self.wall_ns_aggregates() {
+                let _ = write!(out, ",\"wall_ns\":{{\"max\":{max},\"mean\":{mean}}}");
+            }
+        }
+        out.push_str("}\n");
         for (i, class) in self.classes.iter().enumerate() {
             let _ = write!(
                 out,
@@ -437,6 +505,31 @@ impl CampaignResult {
                     json_string(&mut out, value);
                 }
                 out.push('}');
+            }
+            if self.key.durations {
+                // Max/mean wall time over the class's members. Members
+                // are a subset of `instances` (ascending by index, as is
+                // `instances` itself), so one merged walk suffices.
+                let mut max = 0u64;
+                let mut sum = 0u128;
+                let mut n = 0u64;
+                let mut records = self.instances.iter();
+                for &member in &class.members {
+                    if let Some(r) = records.find(|r| r.index == member) {
+                        if let Some(ns) = r.wall_ns {
+                            max = max.max(ns);
+                            sum += u128::from(ns);
+                            n += 1;
+                        }
+                    }
+                }
+                if n > 0 {
+                    let _ = write!(
+                        out,
+                        ",\"wall_ns\":{{\"max\":{max},\"mean\":{}}}",
+                        (sum / u128::from(n)) as u64
+                    );
+                }
             }
             out.push_str(",\"kind\":");
             json_string(&mut out, class.outcome.kind());
@@ -694,6 +787,66 @@ mod tests {
         assert!(jsonl.contains("\"drops\":7"), "{jsonl}");
         // The unkeyed report stays digest-free (byte-stable with PR-4).
         assert!(!result.to_jsonl().contains("\"metrics\""));
+    }
+
+    #[test]
+    fn durations_render_only_when_keyed_and_never_split_classes() {
+        let instances: Vec<Instance> = (0..3).map(instance).collect();
+        let outcomes = vec![
+            (InstanceOutcome::Completed(digest(true, 29, vec![])), 100),
+            (InstanceOutcome::Completed(digest(true, 29, vec![])), 300),
+            (InstanceOutcome::Completed(digest(false, 28, vec![])), 50),
+        ];
+        // Same digests, wildly different wall times: still one class.
+        let plain =
+            CampaignResult::build_timed("t", &instances, outcomes.clone(), DigestKey::default());
+        assert_eq!(plain.classes.len(), 2);
+        assert_eq!(plain.wall_ns_aggregates(), Some((300, 150)));
+        assert!(
+            !plain.to_jsonl().contains("wall_ns"),
+            "durations are off by default (byte-stable reports)"
+        );
+        let keyed = CampaignResult::build_timed(
+            "t",
+            &instances,
+            outcomes,
+            DigestKey {
+                durations: true,
+                ..DigestKey::default()
+            },
+        );
+        assert_eq!(keyed.classes.len(), 2, "durations never affect membership");
+        let jsonl = keyed.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert!(
+            lines[0].contains("\"wall_ns\":{\"max\":300,\"mean\":150}"),
+            "{jsonl}"
+        );
+        // Class 0 holds instances 0 and 1 (100ns, 300ns).
+        assert!(
+            lines[1].contains("\"wall_ns\":{\"max\":300,\"mean\":200}"),
+            "{jsonl}"
+        );
+        assert!(
+            lines[2].contains("\"wall_ns\":{\"max\":50,\"mean\":50}"),
+            "{jsonl}"
+        );
+    }
+
+    #[test]
+    fn untimed_build_renders_no_durations_even_when_keyed() {
+        let instances: Vec<Instance> = (0..1).map(instance).collect();
+        let result = CampaignResult::build(
+            "t",
+            &instances,
+            vec![InstanceOutcome::Completed(digest(true, 29, vec![]))],
+            DigestKey {
+                durations: true,
+                ..DigestKey::default()
+            },
+        );
+        assert_eq!(result.wall_ns_aggregates(), None);
+        assert!(!result.to_jsonl().contains("wall_ns"));
     }
 
     #[test]

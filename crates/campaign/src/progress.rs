@@ -1,0 +1,295 @@
+//! Live campaign progress reporting.
+//!
+//! A sweep of hundreds of instances used to run completely silent until
+//! the final JSONL landed. A [`ProgressSink`] observes the executor from
+//! the worker threads as instances finish; the bundled
+//! [`PeriodicProgress`] rate-limits those observations into stderr text
+//! or JSONL records — instances completed (overall and per shard),
+//! instances/sec, outcome-kind counts so far, and an ETA.
+//!
+//! Sinks are strictly observers: they receive copies of scheduling facts
+//! and write to their own output stream, never into the result path, so
+//! enabling one cannot perturb the campaign's byte-identical-at-any-
+//! thread-count determinism pin. (The *report lines themselves* are
+//! wall-clock dependent and unordered across shards — they are telemetry,
+//! not fixtures.)
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// What the executor tells a sink when one instance finishes.
+#[derive(Debug, Clone)]
+pub struct ProgressEvent {
+    /// Worker shard (`0..threads`) that ran the instance.
+    pub shard: usize,
+    /// The instance's cross-product index.
+    pub index: usize,
+    /// Outcome kind tag (`completed` / `invalid` / `setup_failed` /
+    /// `crashed`).
+    pub kind: &'static str,
+    /// This instance's wall-clock duration.
+    pub wall: Duration,
+    /// Instances finished so far, across all shards (this one included).
+    pub completed: usize,
+    /// Total instances in the run.
+    pub total: usize,
+    /// Wall clock elapsed since the executor started.
+    pub elapsed: Duration,
+}
+
+/// Observer for executor progress. Implementations are called from
+/// worker threads concurrently and must synchronize internally (hence
+/// `Sync`). They must not block for long — the worker waits.
+pub trait ProgressSink: Sync {
+    /// One instance finished.
+    fn on_instance(&self, event: &ProgressEvent);
+
+    /// The whole run finished (always called once, even for empty runs).
+    fn on_finish(&self, total: usize, elapsed: Duration) {
+        let _ = (total, elapsed);
+    }
+}
+
+/// The default sink: ignores everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullProgress;
+
+impl ProgressSink for NullProgress {
+    fn on_instance(&self, _event: &ProgressEvent) {}
+}
+
+/// Output flavour for [`PeriodicProgress`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgressFormat {
+    /// One human-readable line per report.
+    Text,
+    /// One JSON object per report (hand-rolled, same dialect as the
+    /// campaign JSONL).
+    Jsonl,
+}
+
+struct ProgressState {
+    writer: Box<dyn Write + Send>,
+    last_emit: Option<Instant>,
+    kinds: BTreeMap<&'static str, usize>,
+    shards: BTreeMap<usize, usize>,
+}
+
+/// A rate-limited progress reporter: at most one report per `every`
+/// interval (plus a final summary from `on_finish`), as text or JSONL.
+pub struct PeriodicProgress {
+    every: Duration,
+    format: ProgressFormat,
+    state: Mutex<ProgressState>,
+}
+
+impl PeriodicProgress {
+    /// Reports to `writer` in `format`, at most every `every`. A zero
+    /// interval reports on every instance.
+    pub fn new(writer: Box<dyn Write + Send>, format: ProgressFormat, every: Duration) -> Self {
+        PeriodicProgress {
+            every,
+            format,
+            state: Mutex::new(ProgressState {
+                writer,
+                last_emit: None,
+                kinds: BTreeMap::new(),
+                shards: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Human-readable lines on stderr, at most every `every`.
+    pub fn stderr(every: Duration) -> Self {
+        Self::new(Box::new(std::io::stderr()), ProgressFormat::Text, every)
+    }
+
+    fn render(
+        format: ProgressFormat,
+        state: &ProgressState,
+        completed: usize,
+        total: usize,
+        elapsed: Duration,
+        done: bool,
+    ) -> String {
+        let secs = elapsed.as_secs_f64();
+        let rate = if secs > 0.0 {
+            completed as f64 / secs
+        } else {
+            0.0
+        };
+        let eta = if rate > 0.0 {
+            (total.saturating_sub(completed)) as f64 / rate
+        } else {
+            0.0
+        };
+        match format {
+            ProgressFormat::Text => {
+                let mut shards = String::new();
+                for (i, (shard, n)) in state.shards.iter().enumerate() {
+                    if i > 0 {
+                        shards.push(' ');
+                    }
+                    shards.push_str(&format!("s{shard}:{n}"));
+                }
+                let mut kinds = String::new();
+                for (kind, n) in &state.kinds {
+                    kinds.push_str(&format!(" {kind}={n}"));
+                }
+                format!(
+                    "campaign: {}{completed}/{total} ({:.1}%) | {rate:.1} inst/s | eta {eta:.1}s |{kinds} | shards [{shards}]\n",
+                    if done { "done " } else { "" },
+                    if total == 0 {
+                        100.0
+                    } else {
+                        100.0 * completed as f64 / total as f64
+                    },
+                )
+            }
+            ProgressFormat::Jsonl => {
+                let mut out = format!(
+                    "{{\"progress\":{{\"done\":{done},\"completed\":{completed},\"total\":{total},\
+                     \"rate_per_s\":{rate:.3},\"eta_s\":{eta:.3},\"kinds\":{{"
+                );
+                for (i, (kind, n)) in state.kinds.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("\"{kind}\":{n}"));
+                }
+                out.push_str("},\"shards\":{");
+                for (i, (shard, n)) in state.shards.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("\"{shard}\":{n}"));
+                }
+                out.push_str("}}}\n");
+                out
+            }
+        }
+    }
+}
+
+impl ProgressSink for PeriodicProgress {
+    fn on_instance(&self, event: &ProgressEvent) {
+        let mut state = self.state.lock().unwrap();
+        *state.kinds.entry(event.kind).or_insert(0) += 1;
+        *state.shards.entry(event.shard).or_insert(0) += 1;
+        let now = Instant::now();
+        let due = state
+            .last_emit
+            .is_none_or(|last| now.duration_since(last) >= self.every);
+        if !due {
+            return;
+        }
+        state.last_emit = Some(now);
+        let line = Self::render(
+            self.format,
+            &state,
+            event.completed,
+            event.total,
+            event.elapsed,
+            false,
+        );
+        let _ = state.writer.write_all(line.as_bytes());
+        let _ = state.writer.flush();
+    }
+
+    fn on_finish(&self, total: usize, elapsed: Duration) {
+        let mut state = self.state.lock().unwrap();
+        let line = Self::render(self.format, &state, total, total, elapsed, true);
+        let _ = state.writer.write_all(line.as_bytes());
+        let _ = state.writer.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A `Write` handle into a shared buffer, so tests can hand the sink
+    /// a `Box<dyn Write + Send>` and still read what it wrote.
+    #[derive(Clone, Default)]
+    pub(crate) struct SharedBuf(pub Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn event(shard: usize, index: usize, kind: &'static str, completed: usize) -> ProgressEvent {
+        ProgressEvent {
+            shard,
+            index,
+            kind,
+            wall: Duration::from_millis(2),
+            completed,
+            total: 4,
+            elapsed: Duration::from_millis(10 * completed as u64),
+        }
+    }
+
+    #[test]
+    fn text_reports_counts_rate_and_shards() {
+        let buf = SharedBuf::default();
+        let sink =
+            PeriodicProgress::new(Box::new(buf.clone()), ProgressFormat::Text, Duration::ZERO);
+        sink.on_instance(&event(0, 0, "completed", 1));
+        sink.on_instance(&event(1, 1, "crashed", 2));
+        sink.on_finish(4, Duration::from_millis(40));
+        let out = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("1/4 (25.0%)"), "{out}");
+        assert!(lines[1].contains("completed=1 crashed=1"), "{out}");
+        assert!(lines[1].contains("[s0:1 s1:1]"), "{out}");
+        assert!(lines[2].starts_with("campaign: done 4/4"), "{out}");
+        assert!(lines[2].contains("100.0 inst/s"), "{out}");
+    }
+
+    #[test]
+    fn jsonl_reports_are_valid_json_objects() {
+        let buf = SharedBuf::default();
+        let sink =
+            PeriodicProgress::new(Box::new(buf.clone()), ProgressFormat::Jsonl, Duration::ZERO);
+        sink.on_instance(&event(0, 0, "completed", 1));
+        sink.on_finish(4, Duration::from_millis(40));
+        let out = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        for line in out.lines() {
+            let doc = vw_trace::Json::parse(line).expect("progress line parses");
+            let progress = doc.as_obj().unwrap()["progress"].as_obj().unwrap();
+            assert!(progress.contains_key("completed"));
+            assert!(progress.contains_key("rate_per_s"));
+            assert!(progress["kinds"].as_obj().is_some());
+        }
+        assert!(out.lines().last().unwrap().contains("\"done\":true"));
+    }
+
+    #[test]
+    fn rate_limit_suppresses_intermediate_reports() {
+        let buf = SharedBuf::default();
+        let sink = PeriodicProgress::new(
+            Box::new(buf.clone()),
+            ProgressFormat::Text,
+            Duration::from_secs(3600),
+        );
+        for i in 0..10 {
+            sink.on_instance(&event(0, i, "completed", i + 1));
+        }
+        sink.on_finish(10, Duration::from_millis(100));
+        let out = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        // First event emits (nothing emitted yet), the rest are inside
+        // the interval; on_finish always emits.
+        assert_eq!(out.lines().count(), 2, "{out}");
+        assert!(out.lines().last().unwrap().contains("completed=10"));
+    }
+}

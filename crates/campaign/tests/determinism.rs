@@ -3,7 +3,10 @@
 //! and no matter how many times they run.
 
 use virtualwire::{EngineConfig, Runner, ScriptError};
-use vw_campaign::{run_campaign, Axis, CampaignSpec, DigestKey, ExecConfig, RunConfig};
+use vw_campaign::{
+    run_campaign, run_campaign_with_progress, Axis, CampaignSpec, DigestKey, ExecConfig,
+    PeriodicProgress, ProgressFormat, RunConfig,
+};
 use vw_fsl::TableSet;
 use vw_netsim::apps::{UdpFlooder, UdpSink};
 use vw_netsim::{Binding, ControlImpairment, LinkConfig, World};
@@ -118,6 +121,56 @@ fn metrics_keyed_jsonl_is_byte_identical_across_thread_counts() {
             "thread count {threads} changed the metrics-keyed report"
         );
     }
+}
+
+#[test]
+fn progress_reporting_leaves_the_report_byte_identical() {
+    // A live sink observes workers in nondeterministic scheduling order;
+    // it must not be able to perturb the deduped report. Use a zero
+    // interval (report every instance) and a sink that actually writes,
+    // to maximize the interleaving it could inject.
+    struct Discard;
+    impl std::io::Write for Discard {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    let spec = spec();
+    let reference = run_campaign(&spec, &setup, &ExecConfig::threads(1))
+        .unwrap()
+        .to_jsonl();
+    for threads in [1, 2, 8] {
+        let sink = PeriodicProgress::new(
+            Box::new(Discard),
+            ProgressFormat::Jsonl,
+            std::time::Duration::ZERO,
+        );
+        let jsonl = run_campaign_with_progress(&spec, &setup, &ExecConfig::threads(threads), &sink)
+            .unwrap()
+            .to_jsonl();
+        assert_eq!(
+            reference, jsonl,
+            "progress sink at {threads} threads changed the report"
+        );
+    }
+}
+
+#[test]
+fn timed_reports_stay_deterministic_because_durations_are_unkeyed() {
+    // Wall-clock durations differ on every run; with `durations` off
+    // (the default) they must never reach the report bytes even though
+    // the executor now always measures them.
+    let spec = spec();
+    let cfg = ExecConfig::threads(4);
+    let a = run_campaign(&spec, &setup, &cfg).unwrap();
+    assert!(
+        a.instances.iter().all(|r| r.wall_ns.is_some()),
+        "executor records per-instance wall time"
+    );
+    assert!(!a.to_jsonl().contains("wall_ns"));
 }
 
 #[test]

@@ -666,6 +666,7 @@ impl Engine {
         tables: &TableSet,
         worklist: &mut Vec<CounterId>,
     ) {
+        let _span = vw_trace::span("cascade", vw_trace::Category::Cascade);
         let me = self.me.expect("initialized");
         let mut budget = self.cfg.cascade_budget;
         let mut depth = 0u32;
@@ -1450,9 +1451,17 @@ impl Engine {
     ) -> Verdict {
         self.stats.classified += 1;
         self.frame_seq += 1;
-        let result = self
-            .classifier
-            .classify(tables, &self.vars, &frame, &mut self.scratch);
+        let result = {
+            let _span = vw_trace::span(
+                match dir {
+                    Dir::Send => "classify_out",
+                    Dir::Recv => "classify_in",
+                },
+                vw_trace::Category::Classify,
+            );
+            self.classifier
+                .classify(tables, &self.vars, &frame, &mut self.scratch)
+        };
         let scan = self.scratch.last;
         self.stats.rules_scanned += u64::from(scan.rules_scanned);
         self.stats.residual_scans += u64::from(scan.residual_visited);
@@ -1545,6 +1554,13 @@ impl Engine {
         dir: Dir,
         classification: &Classification,
     ) -> Verdict {
+        let _span = vw_trace::span(
+            match dir {
+                Dir::Send => "action_out",
+                Dir::Recv => "action_in",
+            },
+            vw_trace::Category::Action,
+        );
         let me = self.me.expect("initialized");
         let mut duplicate = false;
         for (ci, cond) in tables.conditions.iter().enumerate() {

@@ -154,6 +154,9 @@ impl EventQueue {
             Lane::Ready => self.ready.pop_front()?,
             Lane::Heap => self.heap.pop()?,
             Lane::Wheel => {
+                // The wheel's pop cascades deep slots toward level 0;
+                // the span makes that (amortized) cost visible.
+                let _span = vw_trace::span("timer_wheel_pop", vw_trace::Category::Event);
                 let (time, seq, kind) = self.timers.pop()?;
                 Event { time, seq, kind }
             }

@@ -472,6 +472,7 @@ impl World {
     /// handlers push at that same timestamp while the batch drains).
     /// Stops early if a stop is requested.
     fn step_batch(&mut self, time: SimTime) {
+        let _span = vw_trace::span("event_batch", vw_trace::Category::Event);
         while self.stop_reason.is_none() {
             let Some(event) = self.queue.pop_at(time) else {
                 return;
@@ -578,6 +579,7 @@ impl World {
                 if self.cancelled_timers.remove(&id) {
                     return;
                 }
+                let _span = vw_trace::span("timer_dispatch", vw_trace::Category::Event);
                 self.dispatch_timer(node, handler, token);
             }
             EventKind::Start { node, handler } => self.dispatch_start(node, handler),
@@ -1007,6 +1009,7 @@ impl World {
     }
 
     fn deliver_to_protocols(&mut self, node: DeviceId, frame: Frame) {
+        let _span = vw_trace::span("deliver", vw_trace::Category::Event);
         self.trace
             .record(self.now, node, TraceKind::HostRecv, Some(&frame), "");
         self.last_frame_activity = self.now;

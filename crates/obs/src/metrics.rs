@@ -305,6 +305,94 @@ impl MetricsRegistry {
         }
         out
     }
+
+    /// Snapshot in the Prometheus text exposition format (version 0.0.4):
+    /// one `# TYPE` header per metric, histograms expanded into
+    /// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+    /// Dotted metric names become underscore-separated (Prometheus names
+    /// may not contain `.`); keys keep the registry's sorted order.
+    ///
+    /// ```text
+    /// # TYPE node1_classified counter
+    /// node1_classified 7
+    /// # TYPE node1_cascade_depth histogram
+    /// node1_cascade_depth_bucket{le="1"} 2
+    /// node1_cascade_depth_bucket{le="7"} 3
+    /// node1_cascade_depth_bucket{le="+Inf"} 3
+    /// node1_cascade_depth_sum 9
+    /// node1_cascade_depth_count 3
+    /// ```
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, metric) in &self.entries {
+            let name = prometheus_name(name);
+            match metric {
+                Metric::Counter(v) => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+                }
+                Metric::Gauge(v) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+                }
+                Metric::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    let mut cumulative = 0u64;
+                    for (i, n) in h.buckets.iter().enumerate() {
+                        if *n == 0 {
+                            continue;
+                        }
+                        cumulative += n;
+                        // Log₂ bucket `i` holds values of bit length `i`,
+                        // so its inclusive upper bound is `2^i - 1`. The
+                        // last bucket's bound (u64::MAX) is left to the
+                        // mandatory +Inf series.
+                        if i < 64 {
+                            let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                            out.push_str(&format!(
+                                "{name}_bucket{{le=\"{upper}\"}} {cumulative}\n"
+                            ));
+                        }
+                    }
+                    out.push_str(&format!(
+                        "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
+                        h.count(),
+                        h.sum(),
+                        h.count()
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Folds a self-profiler trace into the registry: every span's *self*
+    /// time lands in a `trace.self_ns.<category>` histogram and bumps a
+    /// `trace.spans.<category>` counter, so phase attribution travels
+    /// with the run's other metrics (JSONL and Prometheus alike).
+    pub fn record_trace(&mut self, trace: &vw_trace::Trace) {
+        let selfs = trace.self_times();
+        for (r, &s) in trace.records.iter().zip(&selfs) {
+            self.observe(&format!("trace.self_ns.{}", r.category.as_str()), s);
+            self.add_counter(&format!("trace.spans.{}", r.category.as_str()), 1);
+        }
+        if trace.dropped > 0 {
+            self.add_counter("trace.dropped", trace.dropped);
+        }
+    }
+}
+
+/// Maps a registry key to a valid Prometheus metric name: `[a-zA-Z0-9_:]`
+/// pass through, everything else (dots included) becomes `_`, and a
+/// leading digit gets a `_` prefix.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let valid = c.is_ascii_alphabetic() || c == '_' || c == ':' || c.is_ascii_digit();
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if valid { c } else { '_' });
+    }
+    out
 }
 
 impl fmt::Display for MetricsRegistry {
@@ -485,6 +573,83 @@ mod tests {
         reg.add_counter("weird\"name\\with\nstuff", 1);
         let out = reg.to_jsonl();
         assert!(out.contains("weird\\\"name\\\\with\\nstuff"));
+    }
+
+    #[test]
+    fn prometheus_golden_output() {
+        let mut reg = MetricsRegistry::new();
+        reg.add_counter("node1.classified", 7);
+        reg.set_gauge("node1.queue.depth", -2);
+        for v in [1u64, 1, 5] {
+            reg.observe("node1.cascade_depth", v);
+        }
+        let golden = "\
+# TYPE node1_cascade_depth histogram
+node1_cascade_depth_bucket{le=\"1\"} 2
+node1_cascade_depth_bucket{le=\"7\"} 3
+node1_cascade_depth_bucket{le=\"+Inf\"} 3
+node1_cascade_depth_sum 7
+node1_cascade_depth_count 3
+# TYPE node1_classified counter
+node1_classified 7
+# TYPE node1_queue_depth gauge
+node1_queue_depth -2
+";
+        assert_eq!(reg.to_prometheus(), golden);
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_and_end_at_inf() {
+        let mut reg = MetricsRegistry::new();
+        reg.observe("lat", 0);
+        reg.observe("lat", u64::MAX);
+        let out = reg.to_prometheus();
+        assert!(out.contains("lat_bucket{le=\"0\"} 1\n"));
+        // The u64::MAX observation lands in bucket 64, surfaced only via +Inf.
+        assert!(out.contains("lat_bucket{le=\"+Inf\"} 2\n"));
+        assert!(out.contains(&format!("lat_sum {}\n", u64::MAX as u128)));
+        assert!(out.contains("lat_count 2\n"));
+    }
+
+    #[test]
+    fn prometheus_name_sanitization() {
+        assert_eq!(prometheus_name("a.b-c.d"), "a_b_c_d");
+        assert_eq!(prometheus_name("0start"), "_0start");
+        assert_eq!(prometheus_name("ok_name:x9"), "ok_name:x9");
+    }
+
+    #[test]
+    fn record_trace_folds_self_times_into_histograms() {
+        use vw_trace::{Category, SpanRecord, Trace};
+        let trace = Trace {
+            records: vec![
+                SpanRecord {
+                    name: "run",
+                    category: Category::Run,
+                    start_ns: 0,
+                    dur_ns: 100,
+                    depth: 0,
+                    seq: 0,
+                },
+                SpanRecord {
+                    name: "classify_in",
+                    category: Category::Classify,
+                    start_ns: 10,
+                    dur_ns: 40,
+                    depth: 1,
+                    seq: 1,
+                },
+            ],
+            dropped: 2,
+            tid: 1,
+        };
+        let mut reg = MetricsRegistry::new();
+        reg.record_trace(&trace);
+        // run's self time is 100 - 40 = 60; classify keeps its full 40.
+        assert_eq!(reg.histogram("trace.self_ns.run").unwrap().sum(), 60);
+        assert_eq!(reg.histogram("trace.self_ns.classify").unwrap().sum(), 40);
+        assert_eq!(reg.counter("trace.spans.classify"), Some(1));
+        assert_eq!(reg.counter("trace.dropped"), Some(2));
     }
 
     #[test]

@@ -170,6 +170,7 @@ impl TcpStack {
     }
 
     fn flush_socket(&mut self, ctx: &mut Context<'_>, idx: usize) {
+        let _span = vw_trace::span("tcp_send", vw_trace::Category::Tcp);
         for frame in self.sockets[idx].take_out() {
             ctx.send(frame);
         }
@@ -232,6 +233,7 @@ impl Protocol for TcpStack {
     }
 
     fn on_frame(&mut self, ctx: &mut Context<'_>, frame: Frame) {
+        let _span = vw_trace::span("tcp_recv", vw_trace::Category::Tcp);
         let Some(tcp) = frame.tcp() else { return };
         let Some(ip) = frame.ipv4() else { return };
         if ip.dst() != self.ip {

@@ -44,6 +44,18 @@ echo "==> campaign-smoke"
 cargo test -q -p vw-campaign --test campaign_smoke --test determinism
 cargo run -q --release --example campaign_sweep > /dev/null
 
+# Trace smoke: the span profiler must collect a real run, export Chrome
+# trace JSON that round-trips the vendored parser (the example
+# self-checks both, plus the 5% self-time coverage bound), and the whole
+# feature matrix must build: tracing compiled out (ZST guards), obs off,
+# and both on.
+echo "==> trace-smoke"
+cargo test -q -p vw-trace
+cargo test -q -p vw-trace --no-default-features
+cargo run -q --release --example profile_run > /dev/null
+cargo build -q -p virtualwire --no-default-features --features obs
+cargo build -q -p virtualwire --no-default-features --features trace
+
 # Bench smoke: the perf-trajectory harness must run end to end in quick
 # mode, emit schema-valid JSON, and observe zero frame-conservation
 # diagnostics (no injected fault may lose or garble frames) in the
