@@ -16,6 +16,13 @@
 //!   (conditions justified by term state, remote flips backed by
 //!   deliveries, nothing after `STOP`, monotone counters), producing
 //!   typed [`Violation`]s that embed the offending causal slice.
+//! * **Conformance models** ([`ProtocolModel`]) — declarative FSMs over
+//!   the protocol-state events implementations record
+//!   ([`ObsEvent::StateChanged`](vw_obs::ObsEvent)), checked per node
+//!   against the merged timeline. [`tcp_reference`] and
+//!   [`rether_reference`] encode the fault-free behavior of the bundled
+//!   stacks, so injected faults surface as typed violation classes
+//!   ([`conformance_pass`] is the one-call campaign hook).
 //! * **Campaign analytics** ([`CampaignAnalyzer`]) — folds per-instance
 //!   metrics into campaign-wide totals, merged histograms and per-axis
 //!   breakdowns, with [`CampaignReport::diff`] flagging regressions
@@ -28,6 +35,7 @@
 
 mod campaign;
 mod invariant;
+mod model;
 mod timeline;
 
 pub use campaign::{
@@ -36,5 +44,9 @@ pub use campaign::{
 pub use invariant::{
     builtins, ConditionImpliesTerms, CounterMonotonic, Invariant, InvariantChecker,
     NoActionAfterStop, RemoteTermDelivery, Violation,
+};
+pub use model::{
+    attach_state_events, check_conformance, conformance_pass, rether_reference,
+    rether_state_events, state_events, tcp_reference, tcp_state_events, ProtocolModel, StateChange,
 };
 pub use timeline::{DistributedTimeline, TimelineEntry};

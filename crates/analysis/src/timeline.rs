@@ -60,6 +60,9 @@ fn rank(event: &ObsEvent) -> u8 {
         }
         ObsEvent::ControlSent { .. } => 7,
         ObsEvent::PeerDegraded { .. } => 8,
+        // Protocol state reported by the implementation under test sorts
+        // after everything the engine recorded for the same ordinal.
+        ObsEvent::StateChanged { .. } => 9,
     }
 }
 
@@ -93,6 +96,7 @@ fn id_key(event: &ObsEvent) -> (u32, u32, i64, i64) {
             ack,
             ..
         } => (u32::from(peer.0), peer_seq, i64::from(ack), 0),
+        ObsEvent::StateChanged { aspect, value, .. } => (aspect.code(), 0, value as i64, 0),
     }
 }
 

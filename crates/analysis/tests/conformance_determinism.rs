@@ -1,0 +1,165 @@
+//! Conformance verdicts under campaign sweeps: keying the outcome digest
+//! on [`DigestKey::conformance`] must split classes by FSM verdict, and
+//! the resulting JSONL must stay byte-identical at any worker-thread
+//! count — the campaign engine's determinism promise extends through
+//! the [`Setup::finish`] conformance pass.
+
+use virtualwire::{EngineConfig, Report, Runner, ScriptError};
+use vw_analysis::{conformance_pass, tcp_reference};
+use vw_campaign::{
+    run_campaign, Axis, CampaignSpec, DigestKey, ExecConfig, InstanceOutcome, RunConfig, Setup,
+};
+use vw_fsl::TableSet;
+use vw_netsim::{Binding, LinkConfig, World};
+use vw_packet::EtherType;
+use vw_tcpstack::{Endpoint, TcpConfig, TcpStack};
+
+/// The §6.1 sender/receiver pair: the handshake SYNACK drop (which
+/// leaves ssthresh at 2 segments, so the sender crosses into congestion
+/// avoidance early) plus a mid-flow data drop whose window the campaign
+/// sweeps. At 21 the 20th data segment is dropped (forcing fast
+/// retransmit); at 0 the window is empty and the flow is fault-free
+/// past the handshake.
+const SCRIPT: &str = r#"
+    FILTER_TABLE
+    TCP_synack: (34 2 0x4000), (36 2 0x6000), (47 1 0x12 0x12)
+    TCP_data: (34 2 0x6000), (36 2 0x4000), (47 1 0x10 0x10)
+    TCP_ack: (34 2 0x4000), (36 2 0x6000), (47 1 0x10 0x10)
+    END
+    NODE_TABLE
+    node1 02:00:00:00:00:01 192.168.1.1
+    node2 02:00:00:00:00:02 192.168.1.2
+    END
+    SCENARIO Swept_Data_Drop 2sec
+    SYNACK: (TCP_synack, node2, node1, RECV)
+    DATA: (TCP_data, node1, node2, SEND)
+    ACK: (TCP_ack, node2, node1, RECV)
+    (TRUE) >> ENABLE_CNTR( SYNACK ); ENABLE_CNTR( DATA ); ENABLE_CNTR( ACK );
+    ((SYNACK > 0) && (SYNACK < 2)) >> DROP TCP_synack, node2, node1, RECV;
+    ((DATA > 19) && (DATA < 21)) >> DROP TCP_data, node1, node2, SEND;
+    ((ACK = 60)) >> STOP;
+    END
+"#;
+
+/// Builds the two-node TCP testbed and, after each run, replays the TCP
+/// reference model over the sender/receiver state logs.
+struct ConformanceSetup {
+    /// Node-name resolution for the conformance pass; the node table is
+    /// invariant across the sweep (axes only mutate rule thresholds).
+    names: TableSet,
+}
+
+impl Setup for ConformanceSetup {
+    fn build(&self, tables: &TableSet, run: &RunConfig) -> Result<(World, Runner), ScriptError> {
+        let mut world = World::with_impairment(run.seed, run.impairment);
+        let nodes = Runner::create_hosts(&mut world, tables);
+        let sw = world.add_switch("sw0", 4);
+        for &n in &nodes {
+            world.connect(n, sw, LinkConfig::fast_ethernet());
+        }
+        let runner = Runner::try_install(&mut world, tables.clone(), EngineConfig::default())?;
+        runner.settle(&mut world);
+
+        let tcp_cfg = TcpConfig::default();
+        let mut server = TcpStack::new(world.host_mac(nodes[1]), world.host_ip(nodes[1]));
+        server.listen(0x4000, tcp_cfg);
+        world.add_protocol(
+            nodes[1],
+            Binding::EtherType(EtherType::IPV4),
+            Box::new(server),
+        );
+        let mut client = TcpStack::new(world.host_mac(nodes[0]), world.host_ip(nodes[0]));
+        let handle = client.connect(
+            tcp_cfg,
+            0x6000,
+            Endpoint {
+                mac: world.host_mac(nodes[1]),
+                ip: world.host_ip(nodes[1]),
+                port: 0x4000,
+            },
+        );
+        client.send(handle, &vec![0x42u8; 80_000]);
+        world.add_protocol(
+            nodes[0],
+            Binding::EtherType(EtherType::IPV4),
+            Box::new(client),
+        );
+        Ok((world, runner))
+    }
+
+    fn finish(&self, world: &mut World, report: &mut Report) {
+        conformance_pass(&[tcp_reference()], &self.names, world, report);
+    }
+}
+
+fn setup() -> ConformanceSetup {
+    ConformanceSetup {
+        names: virtualwire::compile_script(SCRIPT).unwrap(),
+    }
+}
+
+fn spec() -> CampaignSpec {
+    CampaignSpec::new("conformance-determinism", vw_fsl::parse(SCRIPT).unwrap())
+        // Occurrence 1 is the `DATA < 21` upper bound: 21 keeps the
+        // seeded drop, 0 empties the window (fault-free control).
+        .axis(Axis::threshold_at("DATA", 1, vec![21, 0]))
+        .axis(Axis::seeds(vec![4, 9]))
+}
+
+fn keyed(threads: usize) -> ExecConfig {
+    ExecConfig {
+        key: DigestKey {
+            conformance: true,
+            ..DigestKey::default()
+        },
+        ..ExecConfig::threads(threads)
+    }
+}
+
+#[test]
+fn conformance_keyed_jsonl_is_byte_identical_across_thread_counts() {
+    let spec = spec();
+    assert_eq!(spec.total(), 4);
+    let reference = run_campaign(&spec, &setup(), &keyed(1)).unwrap().to_jsonl();
+    assert!(
+        reference.contains("\"conformance\":[{\"model\":\"tcp\""),
+        "conformance digest missing from keyed report:\n{reference}"
+    );
+    for threads in [2, 8] {
+        let jsonl = run_campaign(&spec, &setup(), &keyed(threads))
+            .unwrap()
+            .to_jsonl();
+        assert_eq!(
+            reference, jsonl,
+            "thread count {threads} changed the conformance-keyed report"
+        );
+    }
+}
+
+#[test]
+fn verdicts_split_the_sweep_into_faulted_and_clean_classes() {
+    let result = run_campaign(&spec(), &setup(), &keyed(2)).unwrap();
+    assert_eq!(result.kind_counts().0, 4, "all instances complete");
+
+    let digests: Vec<_> = result
+        .classes
+        .iter()
+        .map(|c| match &c.outcome {
+            InstanceOutcome::Completed(d) => d,
+            other => panic!("unexpected outcome {other:?}"),
+        })
+        .collect();
+    assert!(
+        digests.iter().any(|d| {
+            !d.conformant()
+                && d.conformance.iter().any(|(model, node, verdict)| {
+                    model == "tcp" && node == "node1" && verdict.contains("fast-retransmit")
+                })
+        }),
+        "the seeded-drop class must carry the fast-retransmit verdict: {digests:?}"
+    );
+    assert!(
+        digests.iter().any(|d| d.conformant()),
+        "the empty-window control class must be fully conformant: {digests:?}"
+    );
+}

@@ -342,6 +342,7 @@ fn bench_campaign(c: &mut Criterion) {
                     ("node2".to_string(), "Rcvd".to_string(), 29 - drops),
                 ],
                 stats: vec![],
+                conformance: vec![],
                 metrics: MetricsDigest::default(),
             })
         })

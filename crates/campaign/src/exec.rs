@@ -34,6 +34,16 @@ use crate::spec::{CampaignError, CampaignSpec, Instance, RunConfig};
 pub trait Setup: Sync {
     /// Builds one testbed.
     fn build(&self, tables: &TableSet, run: &RunConfig) -> Result<(World, Runner), ScriptError>;
+
+    /// Post-run hook, called after the runner produced `report` while the
+    /// world is still alive. The default does nothing; conformance
+    /// checkers (see `vw-analysis`) override it to extract protocol state
+    /// from the world and append verdicts to the report before it is
+    /// digested. Must be deterministic for a fixed `(instance, report)` —
+    /// whatever it writes participates in outcome digests.
+    fn finish(&self, world: &mut World, report: &mut virtualwire::Report) {
+        let _ = (world, report);
+    }
 }
 
 impl<F> Setup for F
@@ -127,7 +137,8 @@ fn run_one_inner<S: Setup>(
             Ok(pair) => pair,
             Err(e) => return InstanceOutcome::SetupFailed(e.to_string()),
         };
-        let report = runner.run(&mut world, deadline);
+        let mut report = runner.run(&mut world, deadline);
+        setup.finish(&mut world, &mut report);
         InstanceOutcome::Completed(OutcomeDigest::from_report(&report))
     }));
     result.unwrap_or_else(|payload| {

@@ -119,6 +119,13 @@ pub struct OutcomeDigest {
     /// populated; participates in class membership only when
     /// [`DigestKey::metrics`] is set.
     pub metrics: MetricsDigest,
+    /// `(model_name, node_name, verdict)` protocol-conformance verdicts,
+    /// in report order. The verdict is `"ok"` for a conforming node or
+    /// the semicolon-joined violation list otherwise. Populated by
+    /// conformance-aware setups via [`Setup::finish`](crate::Setup);
+    /// participates in class membership only when
+    /// [`DigestKey::conformance`] is set.
+    pub conformance: Vec<(String, String, String)>,
 }
 
 impl OutcomeDigest {
@@ -135,7 +142,25 @@ impl OutcomeDigest {
             counters: report.counters.clone(),
             stats: report.stats.clone(),
             metrics: MetricsDigest::from_registry(&report.metrics),
+            conformance: report
+                .conformance
+                .iter()
+                .map(|c| {
+                    let verdict = if c.passed {
+                        "ok".to_string()
+                    } else {
+                        c.violations.join("; ")
+                    };
+                    (c.model.clone(), c.node.clone(), verdict)
+                })
+                .collect(),
         }
+    }
+
+    /// `true` if every conformance verdict passed (vacuously `true` when
+    /// no model was checked).
+    pub fn conformant(&self) -> bool {
+        self.conformance.iter().all(|(_, _, v)| v == "ok")
     }
 
     /// Terminal value of a counter by name, if recorded.
@@ -190,6 +215,13 @@ impl OutcomeDigest {
             }
             out.push_str("]|");
         }
+        if key.conformance {
+            out.push_str("conformance=[");
+            for (model, node, verdict) in &self.conformance {
+                let _ = write!(out, "{model}@{node}:{verdict};");
+            }
+            out.push_str("]|");
+        }
         if key.metrics {
             out.push_str("metrics=[");
             for (name, value) in &self.metrics.counters {
@@ -228,6 +260,11 @@ pub struct DigestKey {
     /// histograms). Off by default for the same reason as `stats`:
     /// distribution shapes vary legitimately across swept seeds.
     pub metrics: bool,
+    /// Include protocol-conformance verdicts (model + node + verdict).
+    /// Off by default so campaigns without a conformance-checking setup
+    /// keep their PR-4 class structure; conformance sweeps turn it on to
+    /// fold instances into per-violation-class buckets.
+    pub conformance: bool,
     /// Render per-class wall-clock duration aggregates (max/mean over
     /// member instances) in the JSONL report. Unlike every other field,
     /// this only affects *rendering*, never class membership — wall
@@ -245,6 +282,7 @@ impl Default for DigestKey {
             counters: true,
             stats: false,
             metrics: false,
+            conformance: false,
             durations: false,
         }
     }
@@ -557,6 +595,22 @@ impl CampaignResult {
                         let _ = write!(out, ":{value}");
                     }
                     out.push('}');
+                    if self.key.conformance {
+                        out.push_str(",\"conformance\":[");
+                        for (j, (model, node, verdict)) in d.conformance.iter().enumerate() {
+                            if j > 0 {
+                                out.push(',');
+                            }
+                            out.push_str("{\"model\":");
+                            json_string(&mut out, model);
+                            out.push_str(",\"node\":");
+                            json_string(&mut out, node);
+                            out.push_str(",\"verdict\":");
+                            json_string(&mut out, verdict);
+                            out.push('}');
+                        }
+                        out.push(']');
+                    }
                     if self.key.metrics {
                         out.push_str(",\"metrics\":{\"counters\":{");
                         for (j, (name, value)) in d.metrics.counters.iter().enumerate() {
@@ -651,6 +705,7 @@ mod tests {
             counters: vec![("node2".into(), "Rcvd".into(), rcvd)],
             stats: vec![("node1".into(), EngineStats::default())],
             metrics: MetricsDigest::default(),
+            conformance: Vec::new(),
         }
     }
 
@@ -787,6 +842,48 @@ mod tests {
         assert!(jsonl.contains("\"drops\":7"), "{jsonl}");
         // The unkeyed report stays digest-free (byte-stable with PR-4).
         assert!(!result.to_jsonl().contains("\"metrics\""));
+    }
+
+    #[test]
+    fn conformance_key_splits_classes_only_when_enabled() {
+        let instances: Vec<Instance> = (0..2).map(instance).collect();
+        let mut violating = digest(true, 29, vec![]);
+        violating.conformance.push((
+            "tcp".into(),
+            "node1".into(),
+            "illegal transition slow-start -> fast-recovery".into(),
+        ));
+        assert!(!violating.conformant());
+        let mut clean = digest(true, 29, vec![]);
+        clean
+            .conformance
+            .push(("tcp".into(), "node1".into(), "ok".into()));
+        assert!(clean.conformant());
+        let outcomes = vec![
+            InstanceOutcome::Completed(clean),
+            InstanceOutcome::Completed(violating),
+        ];
+        let result = CampaignResult::build("t", &instances, outcomes.clone(), DigestKey::default());
+        assert_eq!(result.classes.len(), 1, "off by default: one class");
+        let keyed = CampaignResult::build(
+            "t",
+            &instances,
+            outcomes,
+            DigestKey {
+                conformance: true,
+                ..DigestKey::default()
+            },
+        );
+        assert_eq!(keyed.classes.len(), 2);
+        // The keyed report carries the verdicts in its class lines.
+        let jsonl = keyed.to_jsonl();
+        assert!(
+            jsonl.contains("\"conformance\":[{\"model\":\"tcp\""),
+            "{jsonl}"
+        );
+        assert!(jsonl.contains("illegal transition"), "{jsonl}");
+        // The unkeyed report stays verdict-free (byte-stable with PR-4).
+        assert!(!result.to_jsonl().contains("\"conformance\""));
     }
 
     #[test]

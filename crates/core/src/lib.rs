@@ -92,7 +92,7 @@ pub use classify::{
     ScanStats,
 };
 pub use engine::{ControlPlaneConfig, CostModel, Engine, EngineConfig, EngineStats};
-pub use report::{FlaggedError, Report, StopReason};
+pub use report::{ConformanceRecord, FlaggedError, Report, StopReason};
 pub use runner::Runner;
 pub use suite::{Suite, SuiteReport};
 // Flight-recorder vocabulary, re-exported so downstream code can configure
@@ -101,7 +101,7 @@ pub use suite::{Suite, SuiteReport};
 pub use vw_obs::pcap;
 pub use vw_obs::{
     CausalChain, EventLog, Histogram, Metric, MetricsRegistry, ObsActionKind, ObsEvent, ObsLevel,
-    SymbolTable,
+    ProtoAspect, SymbolTable,
 };
 
 /// Error compiling a script source: a parse error or semantic errors.

@@ -30,6 +30,39 @@ impl fmt::Display for FlaggedError {
     }
 }
 
+/// One per-node verdict from checking a protocol conformance model (see
+/// `vw-analysis`'s `ProtocolModel`) against a run. The record is plain
+/// strings and flags so the campaign layer can digest it without
+/// depending on the analysis crate; ordering is `(model, node)` as
+/// produced by the checker, which is deterministic for a fixed run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConformanceRecord {
+    /// The conformance model's name (e.g. `tcp-slow-start-ca`).
+    pub model: String,
+    /// The script name of the node that was checked.
+    pub node: String,
+    /// `true` if the node's observed behaviour conformed to the model.
+    pub passed: bool,
+    /// Violation messages, in detection order (empty when `passed`).
+    pub violations: Vec<String>,
+}
+
+impl fmt::Display for ConformanceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.passed {
+            write!(f, "conformance {} @ {}: ok", self.model, self.node)
+        } else {
+            write!(
+                f,
+                "conformance {} @ {}: {}",
+                self.model,
+                self.node,
+                self.violations.join("; ")
+            )
+        }
+    }
+}
+
 /// Why a scenario run ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StopReason {
@@ -82,6 +115,9 @@ pub struct Report {
     /// counts, cascade-depth and latency histograms); export with
     /// [`MetricsRegistry::to_jsonl`].
     pub metrics: MetricsRegistry,
+    /// Protocol-conformance verdicts, filled in post-run by the analysis
+    /// layer (empty unless a `ProtocolModel` checker ran).
+    pub conformance: Vec<ConformanceRecord>,
 }
 
 impl Report {
@@ -224,6 +260,9 @@ impl fmt::Display for Report {
                 }
             }
         }
+        for record in &self.conformance {
+            writeln!(f, "{record}")?;
+        }
         for (node, counter, value) in &self.counters {
             writeln!(f, "counter {counter} @ {node} = {value}")?;
         }
@@ -280,6 +319,7 @@ mod tests {
             events: Vec::new(),
             symbols: SymbolTable::default(),
             metrics: MetricsRegistry::default(),
+            conformance: Vec::new(),
         }
     }
 

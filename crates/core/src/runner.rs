@@ -324,6 +324,7 @@ impl Runner {
             events,
             symbols,
             metrics,
+            conformance: Vec::new(),
         }
     }
 

@@ -178,6 +178,83 @@ fn delay_pending_at_run_end_is_flushed() {
     assert_eq!(sink_frames(bed), 10, "DELAY must never lose frames");
 }
 
+/// A scripted frame injected onto a host while a DELAY line is holding
+/// parked traffic must join the line like any other frame: conserved
+/// (nothing lost, nothing duplicated), released in arrival order, and
+/// at a byte-identical position on every same-seed run.
+#[test]
+fn scripted_injection_mid_delay_interleaves_deterministically() {
+    fn deliveries(seed: u64) -> Vec<(u64, u16)> {
+        let bed = &mut testbed(
+            seed,
+            r#"
+            SCENARIO ScriptedMidDelay
+            Rcvd: (udp_data, node1, node2, RECV)
+            (TRUE) >> ENABLE_CNTR(Rcvd);
+            (TRUE) >> DELAY(udp_data, node1, node2, RECV, 50msec);
+            END
+            "#,
+            10,
+            200,
+            |_| {},
+        );
+        // The flooder's 10 datagrams arrive over ~20 ms; the scripted
+        // frame lands at 10 ms, while the delay line still holds every
+        // earlier arrival (none release before 50 ms).
+        let script = vw_script::Script::parse(
+            "@10ms inject wire node2 udp node1 -> node2 sport 7777 dport 25443 payload-hex aa\n",
+        )
+        .unwrap();
+        let scheduled = vw_script::install(&script, &mut bed.world, bed.runner.tables()).unwrap();
+        assert_eq!(scheduled, 1);
+        let report = bed
+            .runner
+            .run(&mut bed.world, SimDuration::from_millis(500));
+        assert!(report.passed());
+        let stats = bed.runner.engine(&bed.world, "node2").unwrap().stats();
+        assert_eq!(
+            stats.delays, 11,
+            "flooded and scripted frames all took the delay line"
+        );
+        assert_eq!(stats.faults_in_limbo, 0, "nothing may stay in limbo");
+        assert_eq!(
+            sink_frames(bed),
+            11,
+            "conservation: 10 flooded + 1 scripted"
+        );
+        bed.world
+            .trace()
+            .records()
+            .iter()
+            .filter(|r| r.device == bed.nodes[1] && r.kind == vw_netsim::TraceKind::HostRecv)
+            .filter_map(|r| {
+                let frame = r.frame.as_ref()?;
+                Some((r.time.as_nanos(), frame.udp()?.src_port()))
+            })
+            .collect()
+    }
+
+    let first = deliveries(42);
+    let second = deliveries(42);
+    assert_eq!(
+        first, second,
+        "same seed must reproduce the exact interleaving"
+    );
+    assert_eq!(first.len(), 11);
+    assert!(
+        first.windows(2).all(|w| w[0].0 <= w[1].0),
+        "releases preserve time order: {first:?}"
+    );
+    let pos = first
+        .iter()
+        .position(|&(_, sport)| sport == 7777)
+        .expect("the scripted frame must be delivered");
+    assert!(
+        pos > 0 && pos < first.len() - 1,
+        "scripted frame must interleave mid-stream, not bolt on at an end (pos {pos}): {first:?}"
+    );
+}
+
 /// A SET whose write window falls off the end of the frame is skipped
 /// with a flagged diagnostic — the frame passes through unmodified
 /// instead of being truncated or panicking the engine.

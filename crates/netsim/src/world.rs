@@ -317,6 +317,26 @@ impl World {
         any.downcast_ref::<T>()
     }
 
+    /// The first installed protocol of concrete type `T` on `node`, if
+    /// any — for post-run inspection when the installer's
+    /// [`ProtocolId`] is out of reach (e.g. a campaign `finish` hook).
+    pub fn find_protocol<T: Protocol>(&self, node: DeviceId) -> Option<&T> {
+        let host = self.devices.get(node.index())?.as_host()?;
+        host.protocols.iter().find_map(|(_, slot)| {
+            let any: &dyn Any = slot.as_ref()?.as_ref();
+            any.downcast_ref::<T>()
+        })
+    }
+
+    /// The first installed hook of concrete type `T` on `node`, if any.
+    pub fn find_hook<T: Hook>(&self, node: DeviceId) -> Option<&T> {
+        let host = self.devices.get(node.index())?.as_host()?;
+        host.hooks.iter().find_map(|slot| {
+            let any: &dyn Any = slot.as_ref()?.as_ref();
+            any.downcast_ref::<T>()
+        })
+    }
+
     /// Schedules a fresh `on_start` callback for a handler at the current
     /// time — the way external drivers nudge an installed handler.
     pub fn poke(&mut self, node: DeviceId, handler: HandlerRef) {
@@ -1306,6 +1326,35 @@ impl World {
     pub fn inject_from_wire(&mut self, node: DeviceId, frame: Frame) {
         self.queue.push(
             self.now,
+            EventKind::Arrive {
+                to: PortRef::new(node, 0),
+                frame,
+            },
+        );
+    }
+
+    /// Schedules [`inject_from_stack`](Self::inject_from_stack) at
+    /// simulated time `at` (clamped to no earlier than now). Injections
+    /// scheduled before the run share the event queue's single sequence
+    /// counter, so they interleave deterministically with ordinary
+    /// traffic — and with frames a DELAY fault releases at the same
+    /// timestamp (FIFO within a timestamp).
+    pub fn inject_from_stack_at(&mut self, node: DeviceId, frame: Frame, at: SimTime) {
+        self.queue.push(
+            at.max(self.now),
+            EventKind::OutboundChain {
+                node,
+                idx: 0,
+                frame,
+            },
+        );
+    }
+
+    /// Schedules [`inject_from_wire`](Self::inject_from_wire) at
+    /// simulated time `at` (clamped to no earlier than now).
+    pub fn inject_from_wire_at(&mut self, node: DeviceId, frame: Frame, at: SimTime) {
+        self.queue.push(
+            at.max(self.now),
             EventKind::Arrive {
                 to: PortRef::new(node, 0),
                 frame,

@@ -103,6 +103,87 @@ impl fmt::Display for ObsActionKind {
     }
 }
 
+/// Which protocol-internal quantity a [`ObsEvent::StateChanged`] reports.
+///
+/// The TCP aspects are fed by `vw-tcpstack` (congestion-control phase,
+/// window evolution, loss recovery); the token aspects by `vw-rether`
+/// (token circulation and recovery). The conformance models in
+/// `vw-analysis` consume exactly this alphabet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProtoAspect {
+    /// TCP congestion-control phase changed; value is the new phase
+    /// (0 = slow start, 1 = congestion avoidance, 2 = fast recovery).
+    CcPhase,
+    /// TCP congestion window changed; value is the new `cwnd` in bytes.
+    Cwnd,
+    /// TCP slow-start threshold changed; value is the new `ssthresh`.
+    Ssthresh,
+    /// TCP performed a fast retransmit; value is the running total.
+    FastRetransmit,
+    /// TCP's retransmission timer expired; value is the running total.
+    RtoTimeout,
+    /// A Rether token was accepted; value is the token's generation.
+    TokenReceived,
+    /// A Rether token was passed downstream; value is its generation.
+    TokenPassed,
+    /// The downstream node acknowledged the token; value is the
+    /// generation.
+    TokenAcked,
+    /// The token was retransmitted after an ack timeout; value is the
+    /// send count so far (first retransmission reports 2).
+    TokenRetransmit,
+    /// The ring was reconstructed around a dead member; value is the
+    /// surviving ring size.
+    RingReconfigured,
+    /// A lost token was regenerated after ring-wide silence; value is
+    /// the new generation.
+    TokenRegenerated,
+}
+
+impl ProtoAspect {
+    /// A short machine-checkable label (used in renders and conformance
+    /// verdict messages).
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtoAspect::CcPhase => "cc-phase",
+            ProtoAspect::Cwnd => "cwnd",
+            ProtoAspect::Ssthresh => "ssthresh",
+            ProtoAspect::FastRetransmit => "fast-retransmit",
+            ProtoAspect::RtoTimeout => "rto-timeout",
+            ProtoAspect::TokenReceived => "token-received",
+            ProtoAspect::TokenPassed => "token-passed",
+            ProtoAspect::TokenAcked => "token-acked",
+            ProtoAspect::TokenRetransmit => "token-retransmit",
+            ProtoAspect::RingReconfigured => "ring-reconfigured",
+            ProtoAspect::TokenRegenerated => "token-regenerated",
+        }
+    }
+
+    /// A stable small integer for canonical ordering (timeline merge) and
+    /// digest folding.
+    pub fn code(self) -> u32 {
+        match self {
+            ProtoAspect::CcPhase => 0,
+            ProtoAspect::Cwnd => 1,
+            ProtoAspect::Ssthresh => 2,
+            ProtoAspect::FastRetransmit => 3,
+            ProtoAspect::RtoTimeout => 4,
+            ProtoAspect::TokenReceived => 5,
+            ProtoAspect::TokenPassed => 6,
+            ProtoAspect::TokenAcked => 7,
+            ProtoAspect::TokenRetransmit => 8,
+            ProtoAspect::RingReconfigured => 9,
+            ProtoAspect::TokenRegenerated => 10,
+        }
+    }
+}
+
+impl fmt::Display for ProtoAspect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// One record in the flight recorder's causal event stream.
 ///
 /// The variants mirror the Figure 4(b) packet path in order; all of them
@@ -226,6 +307,23 @@ pub enum ObsEvent {
         /// delivery.
         ack: u32,
     },
+    /// A protocol implementation under test reported an internal state
+    /// change (congestion-control phase, token circulation, …). These are
+    /// appended to the stream post-run by the conformance layer, with
+    /// `frame_seq = 0` (protocol state is not tied to one engine
+    /// classification).
+    StateChanged {
+        /// When.
+        time: SimTime,
+        /// The node whose protocol changed state.
+        node: NodeId,
+        /// Classification ordinal (0 for post-run appended state).
+        frame_seq: u64,
+        /// Which protocol quantity changed.
+        aspect: ProtoAspect,
+        /// The new value (aspect-specific encoding).
+        value: u64,
+    },
 }
 
 impl ObsEvent {
@@ -239,7 +337,8 @@ impl ObsEvent {
             | ObsEvent::ActionTriggered { time, .. }
             | ObsEvent::PeerDegraded { time, .. }
             | ObsEvent::ControlSent { time, .. }
-            | ObsEvent::ControlDelivered { time, .. } => time,
+            | ObsEvent::ControlDelivered { time, .. }
+            | ObsEvent::StateChanged { time, .. } => time,
         }
     }
 
@@ -253,7 +352,8 @@ impl ObsEvent {
             | ObsEvent::ActionTriggered { node, .. }
             | ObsEvent::PeerDegraded { node, .. }
             | ObsEvent::ControlSent { node, .. }
-            | ObsEvent::ControlDelivered { node, .. } => node,
+            | ObsEvent::ControlDelivered { node, .. }
+            | ObsEvent::StateChanged { node, .. } => node,
         }
     }
 
@@ -267,7 +367,8 @@ impl ObsEvent {
             | ObsEvent::ActionTriggered { frame_seq, .. }
             | ObsEvent::PeerDegraded { frame_seq, .. }
             | ObsEvent::ControlSent { frame_seq, .. }
-            | ObsEvent::ControlDelivered { frame_seq, .. } => frame_seq,
+            | ObsEvent::ControlDelivered { frame_seq, .. }
+            | ObsEvent::StateChanged { frame_seq, .. } => frame_seq,
         }
     }
 
@@ -282,6 +383,7 @@ impl ObsEvent {
             ObsEvent::PeerDegraded { .. } => "degraded",
             ObsEvent::ControlSent { .. } => "ctrl-sent",
             ObsEvent::ControlDelivered { .. } => "ctrl-delivered",
+            ObsEvent::StateChanged { .. } => "state",
         }
     }
 
@@ -377,6 +479,16 @@ impl ObsEvent {
                 "{time} {} #{frame_seq} control seq {peer_seq} (ack {ack}) delivered from {}",
                 symbols.node(node),
                 symbols.node(peer),
+            ),
+            ObsEvent::StateChanged {
+                time,
+                node,
+                frame_seq,
+                aspect,
+                value,
+            } => format!(
+                "{time} {} #{frame_seq} state {aspect} -> {value}",
+                symbols.node(node),
             ),
         }
     }

@@ -33,6 +33,7 @@ mod metrics;
 pub mod pcap;
 
 pub use event::{
-    merge_by_time, CausalChain, EventLog, ObsActionKind, ObsEvent, ObsLevel, SymbolTable,
+    merge_by_time, CausalChain, EventLog, ObsActionKind, ObsEvent, ObsLevel, ProtoAspect,
+    SymbolTable,
 };
 pub use metrics::{Histogram, Metric, MetricsRegistry};

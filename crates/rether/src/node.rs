@@ -10,6 +10,7 @@
 use std::collections::VecDeque;
 
 use vw_netsim::{Context, Hook, SimDuration, SimTime, TimerId, Verdict};
+use vw_obs::ProtoAspect;
 use vw_packet::{EtherType, Frame, MacAddr};
 
 use crate::wire::{self, RetherMessage, Token};
@@ -113,6 +114,9 @@ pub struct RetherNode {
     last_token_seen: SimTime,
     stats: RetherStats,
     started: bool,
+    /// Timestamped token-protocol state changes, in occurrence order —
+    /// the feed for the Rether conformance model in `vw-analysis`.
+    state_log: Vec<(SimTime, ProtoAspect, u64)>,
 }
 
 impl RetherNode {
@@ -138,6 +142,7 @@ impl RetherNode {
             last_token_seen: SimTime::ZERO,
             stats: RetherStats::default(),
             started: false,
+            state_log: Vec::new(),
         }
     }
 
@@ -150,6 +155,12 @@ impl RetherNode {
     /// Current counters.
     pub fn stats(&self) -> RetherStats {
         self.stats
+    }
+
+    /// Timestamped token-protocol state changes observed so far, in
+    /// occurrence order.
+    pub fn state_log(&self) -> &[(SimTime, ProtoAspect, u64)] {
+        &self.state_log
     }
 
     /// The node's current view of the ring.
@@ -235,6 +246,11 @@ impl RetherNode {
             &self.ring,
         ));
         self.stats.tokens_passed += 1;
+        self.state_log.push((
+            ctx.now(),
+            ProtoAspect::TokenPassed,
+            u64::from(self.generation),
+        ));
         let timer = ctx.set_timer(self.cfg.token_ack_timeout, TIMER_ACK);
         self.state = TokenState::AwaitingAck {
             dst,
@@ -269,6 +285,11 @@ impl RetherNode {
             ctx.cancel_timer(*t);
         }
         self.stats.tokens_received += 1;
+        self.state_log.push((
+            ctx.now(),
+            ProtoAspect::TokenReceived,
+            u64::from(self.generation),
+        ));
         self.stats.acks_sent += 1;
         ctx.send(wire::build_token_ack(self.mac, from, self.generation));
         self.hold_token(ctx);
@@ -280,6 +301,8 @@ impl RetherNode {
             if generation == self.generation {
                 ctx.cancel_timer(*timer);
                 self.state = TokenState::Idle;
+                self.state_log
+                    .push((ctx.now(), ProtoAspect::TokenAcked, u64::from(generation)));
             }
         }
     }
@@ -298,6 +321,11 @@ impl RetherNode {
                 &self.ring,
             ));
             self.stats.token_retransmissions += 1;
+            self.state_log.push((
+                ctx.now(),
+                ProtoAspect::TokenRetransmit,
+                u64::from(sends + 1),
+            ));
             let timer = ctx.set_timer(self.cfg.token_ack_timeout, TIMER_ACK);
             self.state = TokenState::AwaitingAck {
                 dst,
@@ -309,6 +337,11 @@ impl RetherNode {
             // to the next survivor.
             self.stats.reconstructions += 1;
             self.ring.retain(|m| *m != dst);
+            self.state_log.push((
+                ctx.now(),
+                ProtoAspect::RingReconfigured,
+                self.ring.len() as u64,
+            ));
             ctx.trace_note(format!(
                 "rether: {} declared {dst} dead; ring now {} nodes",
                 self.mac,
@@ -324,6 +357,11 @@ impl RetherNode {
         if matches!(self.state, TokenState::Idle) && quiet >= self.regen_timeout() {
             self.generation += 1;
             self.stats.regenerations += 1;
+            self.state_log.push((
+                ctx.now(),
+                ProtoAspect::TokenRegenerated,
+                u64::from(self.generation),
+            ));
             self.last_token_seen = ctx.now();
             ctx.trace_note(format!(
                 "rether: {} regenerated token (generation {})",

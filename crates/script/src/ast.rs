@@ -1,0 +1,347 @@
+//! The scenario-script AST and its canonical printer.
+//!
+//! A script is a list of timed directives, one per line. The printer
+//! emits the canonical form the parser accepts, and
+//! `parse(print(script)) == script` holds for every well-formed AST
+//! (pinned by a property test), so scripts can be stored, diffed, and
+//! regenerated losslessly.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A parsed scenario script: timed directives in source order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Script {
+    /// The directives, in source order.
+    pub directives: Vec<Directive>,
+}
+
+/// One timed directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Directive {
+    /// When the directive applies.
+    pub window: Window,
+    /// What it does.
+    pub op: Op,
+}
+
+/// A point in time (`@10ms`) or a tolerance window (`@10ms..20ms`),
+/// in simulated nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// Window start (inclusive), nanoseconds.
+    pub start: u64,
+    /// Window end (inclusive), nanoseconds; `None` for a point in time.
+    pub end: Option<u64>,
+}
+
+impl Window {
+    /// A point window at `start` nanoseconds.
+    pub fn at(start: u64) -> Self {
+        Window { start, end: None }
+    }
+
+    /// A tolerance window `[start, end]` in nanoseconds.
+    pub fn span(start: u64, end: u64) -> Self {
+        Window {
+            start,
+            end: Some(end),
+        }
+    }
+
+    /// The window's inclusive upper bound (`start` for a point window).
+    pub fn close(&self) -> u64 {
+        self.end.unwrap_or(self.start)
+    }
+
+    /// `true` if `nanos` falls inside the window.
+    pub fn contains(&self, nanos: u64) -> bool {
+        self.start <= nanos && nanos <= self.close()
+    }
+}
+
+/// The directive's operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Inject a frame at a node at the window's start time.
+    Inject {
+        /// Which side of the engine the frame enters from.
+        layer: Layer,
+        /// Node name (resolved against the FSL node table).
+        node: String,
+        /// The frame to inject.
+        frame: FrameSpec,
+    },
+    /// Require at least one matching frame at the node inside the
+    /// window.
+    Expect {
+        /// Stack-level direction to match.
+        dir: ExpectDir,
+        /// Node name.
+        node: String,
+        /// The frame predicate.
+        matcher: Matcher,
+    },
+    /// Require that *no* matching frame appears at the node inside the
+    /// window.
+    ExpectNone {
+        /// Stack-level direction to match.
+        dir: ExpectDir,
+        /// Node name.
+        node: String,
+        /// The frame predicate.
+        matcher: Matcher,
+    },
+    /// Require a scenario counter to satisfy a comparison at the
+    /// window's start time.
+    AssertCounter {
+        /// Counter name (resolved against the FSL counter table).
+        counter: String,
+        /// The comparison.
+        op: CmpOp,
+        /// The right-hand side.
+        value: i64,
+    },
+}
+
+/// Where an injected frame enters the node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layer {
+    /// As if the node's own stack sent it (runs the outbound hook
+    /// chain, then the wire).
+    Stack,
+    /// As if it arrived off the wire (runs the inbound path).
+    Wire,
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Layer::Stack => "stack",
+            Layer::Wire => "wire",
+        })
+    }
+}
+
+/// Which stack-level frame events an expectation observes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpectDir {
+    /// Frames the node's stack handed to the wire.
+    Send,
+    /// Frames delivered up to the node's stack.
+    Recv,
+}
+
+impl fmt::Display for ExpectDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ExpectDir::Send => "send",
+            ExpectDir::Recv => "recv",
+        })
+    }
+}
+
+/// What to inject: raw bytes or a built UDP datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameSpec {
+    /// A raw Ethernet frame, given as hex bytes (validated to a
+    /// well-formed frame at install time).
+    Hex(Vec<u8>),
+    /// A UDP datagram built from the node table's addresses.
+    Udp {
+        /// Source node name (MAC + IP from the node table).
+        src: String,
+        /// Destination node name.
+        dst: String,
+        /// Source port.
+        sport: u16,
+        /// Destination port.
+        dport: u16,
+        /// Datagram payload.
+        payload: Vec<u8>,
+    },
+}
+
+/// A frame predicate: a protocol selector plus field atoms, all of
+/// which must hold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matcher {
+    /// Protocol selector.
+    pub proto: Proto,
+    /// Field atoms (conjunction).
+    pub atoms: Vec<Atom>,
+}
+
+/// Protocol selector of a [`Matcher`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Proto {
+    /// Any frame.
+    Any,
+    /// IPv4/UDP frames only.
+    Udp,
+    /// IPv4/TCP frames only.
+    Tcp,
+}
+
+impl fmt::Display for Proto {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Proto::Any => "any",
+            Proto::Udp => "udp",
+            Proto::Tcp => "tcp",
+        })
+    }
+}
+
+/// One field predicate of a [`Matcher`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Atom {
+    /// Transport source port comparison.
+    Sport(CmpOp, u16),
+    /// Transport destination port comparison.
+    Dport(CmpOp, u16),
+    /// Whole-frame length comparison (bytes).
+    Len(CmpOp, u32),
+    /// Transport payload must contain these bytes as a subslice.
+    PayloadContains(Vec<u8>),
+}
+
+/// A comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `>=`
+    Ge,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `<`
+    Lt,
+}
+
+impl CmpOp {
+    /// Applies the comparison.
+    pub fn eval<T: PartialOrd>(self, lhs: T, rhs: T) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Ge => lhs >= rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Lt => lhs < rhs,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Ge => ">=",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Lt => "<",
+        })
+    }
+}
+
+/// Renders `nanos` in the largest time unit that divides it exactly
+/// (`1s`, `250ms`, `75us`, `123ns`).
+fn write_time(out: &mut String, nanos: u64) {
+    if nanos.is_multiple_of(1_000_000_000) {
+        let _ = write!(out, "{}s", nanos / 1_000_000_000);
+    } else if nanos.is_multiple_of(1_000_000) {
+        let _ = write!(out, "{}ms", nanos / 1_000_000);
+    } else if nanos.is_multiple_of(1_000) {
+        let _ = write!(out, "{}us", nanos / 1_000);
+    } else {
+        let _ = write!(out, "{nanos}ns");
+    }
+}
+
+fn write_hex(out: &mut String, bytes: &[u8]) {
+    for b in bytes {
+        let _ = write!(out, "{b:02x}");
+    }
+}
+
+fn write_matcher(out: &mut String, matcher: &Matcher) {
+    let _ = write!(out, "{}", matcher.proto);
+    for atom in &matcher.atoms {
+        match atom {
+            Atom::Sport(op, v) => {
+                let _ = write!(out, " sport {op} {v}");
+            }
+            Atom::Dport(op, v) => {
+                let _ = write!(out, " dport {op} {v}");
+            }
+            Atom::Len(op, v) => {
+                let _ = write!(out, " len {op} {v}");
+            }
+            Atom::PayloadContains(bytes) => {
+                out.push_str(" payload-contains-hex ");
+                write_hex(out, bytes);
+            }
+        }
+    }
+}
+
+impl Script {
+    /// Renders the script in its canonical textual form: one directive
+    /// per line, canonical time units, lowercase hex, decimal numbers.
+    /// The output parses back to an equal AST.
+    pub fn print(&self) -> String {
+        let mut out = String::new();
+        for directive in &self.directives {
+            out.push('@');
+            write_time(&mut out, directive.window.start);
+            if let Some(end) = directive.window.end {
+                out.push_str("..");
+                write_time(&mut out, end);
+            }
+            out.push(' ');
+            match &directive.op {
+                Op::Inject { layer, node, frame } => {
+                    let _ = write!(out, "inject {layer} {node} ");
+                    match frame {
+                        FrameSpec::Hex(bytes) => {
+                            out.push_str("hex ");
+                            write_hex(&mut out, bytes);
+                        }
+                        FrameSpec::Udp {
+                            src,
+                            dst,
+                            sport,
+                            dport,
+                            payload,
+                        } => {
+                            let _ = write!(out, "udp {src} -> {dst} sport {sport} dport {dport}");
+                            if !payload.is_empty() {
+                                out.push_str(" payload-hex ");
+                                write_hex(&mut out, payload);
+                            }
+                        }
+                    }
+                }
+                Op::Expect { dir, node, matcher } => {
+                    let _ = write!(out, "expect {dir} {node} ");
+                    write_matcher(&mut out, matcher);
+                }
+                Op::ExpectNone { dir, node, matcher } => {
+                    let _ = write!(out, "expect-none {dir} {node} ");
+                    write_matcher(&mut out, matcher);
+                }
+                Op::AssertCounter { counter, op, value } => {
+                    let _ = write!(out, "assert-counter {counter} {op} {value}");
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}

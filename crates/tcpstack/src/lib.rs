@@ -64,4 +64,4 @@ mod stack;
 
 pub use congestion::{CcPhase, Congestion, RtoEstimator};
 pub use socket::{Endpoint, SegmentIn, SocketStats, TcpConfig, TcpSocket, TcpState};
-pub use stack::{SocketHandle, TcpStack};
+pub use stack::{cc_phase_code, SocketHandle, StateChange, TcpStack};

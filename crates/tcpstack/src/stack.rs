@@ -4,9 +4,11 @@
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
-use vw_netsim::{Context, Protocol, TimerId};
+use vw_netsim::{Context, Protocol, SimTime, TimerId};
+use vw_obs::ProtoAspect;
 use vw_packet::{Frame, MacAddr, TcpFlags};
 
+use crate::congestion::CcPhase;
 use crate::socket::{Endpoint, SegmentIn, TcpConfig, TcpSocket, TcpState};
 
 /// Identifies a connection inside a [`TcpStack`].
@@ -31,6 +33,43 @@ const TOKEN_KIND_SOURCE: u64 = 1;
 
 fn token(kind: u64, idx: usize) -> u64 {
     kind << 32 | idx as u64
+}
+
+/// One timestamped congestion-control observation: which quantity
+/// changed and its new value (see [`ProtoAspect`] for the encoding).
+pub type StateChange = (SimTime, ProtoAspect, u64);
+
+/// The per-socket congestion-control snapshot the stack diffs after
+/// every socket interaction to derive [`StateChange`] records.
+#[derive(Debug, Clone, Copy)]
+struct CcSnapshot {
+    phase: CcPhase,
+    cwnd: u32,
+    ssthresh: u32,
+    fast_retransmits: u64,
+    timeouts: u64,
+}
+
+impl CcSnapshot {
+    fn of(socket: &TcpSocket) -> Self {
+        CcSnapshot {
+            phase: socket.cc_phase(),
+            cwnd: socket.cwnd(),
+            ssthresh: socket.ssthresh(),
+            fast_retransmits: socket.stats().fast_retransmits,
+            timeouts: socket.stats().timeouts,
+        }
+    }
+}
+
+/// Encodes a [`CcPhase`] as the `value` of a
+/// [`ProtoAspect::CcPhase`] observation.
+pub fn cc_phase_code(phase: CcPhase) -> u64 {
+    match phase {
+        CcPhase::SlowStart => 0,
+        CcPhase::CongestionAvoidance => 1,
+        CcPhase::FastRecovery => 2,
+    }
 }
 
 /// A rate-controlled application source attached to a socket: feeds payload
@@ -66,6 +105,11 @@ pub struct TcpStack {
     accepted: Vec<SocketHandle>,
     /// Next automatic ISS, stepped per connection for distinguishability.
     next_iss: u32,
+    /// Last-seen congestion snapshot per socket (diffed after every
+    /// socket interaction).
+    snapshots: Vec<CcSnapshot>,
+    /// Timestamped state changes across all sockets, in detection order.
+    state_log: Vec<StateChange>,
 }
 
 impl TcpStack {
@@ -83,6 +127,8 @@ impl TcpStack {
             sources: HashMap::new(),
             accepted: Vec::new(),
             next_iss: 1000,
+            snapshots: Vec::new(),
+            state_log: Vec::new(),
         }
     }
 
@@ -105,6 +151,7 @@ impl TcpStack {
     }
 
     fn push_socket(&mut self, socket: TcpSocket) -> SocketHandle {
+        self.snapshots.push(CcSnapshot::of(&socket));
         self.sockets.push(socket);
         self.timers.push(None);
         SocketHandle(self.sockets.len() - 1)
@@ -169,8 +216,45 @@ impl TcpStack {
         self.sockets.len()
     }
 
+    /// Timestamped congestion-control state changes observed so far, in
+    /// detection order — the feed for the conformance models in
+    /// `vw-analysis` (loss indicators first, then the phase/window moves
+    /// they caused).
+    pub fn state_log(&self) -> &[StateChange] {
+        &self.state_log
+    }
+
+    /// Diffs the socket's congestion state against the last snapshot and
+    /// records every change.
+    fn observe(&mut self, now: SimTime, idx: usize) {
+        let cur = CcSnapshot::of(&self.sockets[idx]);
+        let prev = self.snapshots[idx];
+        if cur.timeouts != prev.timeouts {
+            self.state_log
+                .push((now, ProtoAspect::RtoTimeout, cur.timeouts));
+        }
+        if cur.fast_retransmits != prev.fast_retransmits {
+            self.state_log
+                .push((now, ProtoAspect::FastRetransmit, cur.fast_retransmits));
+        }
+        if cur.ssthresh != prev.ssthresh {
+            self.state_log
+                .push((now, ProtoAspect::Ssthresh, u64::from(cur.ssthresh)));
+        }
+        if cur.phase != prev.phase {
+            self.state_log
+                .push((now, ProtoAspect::CcPhase, cc_phase_code(cur.phase)));
+        }
+        if cur.cwnd != prev.cwnd {
+            self.state_log
+                .push((now, ProtoAspect::Cwnd, u64::from(cur.cwnd)));
+        }
+        self.snapshots[idx] = cur;
+    }
+
     fn flush_socket(&mut self, ctx: &mut Context<'_>, idx: usize) {
         let _span = vw_trace::span("tcp_send", vw_trace::Category::Tcp);
+        self.observe(ctx.now(), idx);
         for frame in self.sockets[idx].take_out() {
             ctx.send(frame);
         }

@@ -44,6 +44,18 @@ echo "==> campaign-smoke"
 cargo test -q -p vw-campaign --test campaign_smoke --test determinism
 cargo run -q --release --example campaign_sweep > /dev/null
 
+# Scripted stimulus + protocol conformance: the vw-script parser and
+# runtime suites (round-trip and robustness property tests included),
+# the reference-model scenarios on the paper's §6.1/§6.2 testbeds (clean
+# runs conform; seeded faults produce their documented violation class),
+# the thread-count determinism of conformance-keyed campaign digests,
+# and the end-to-end scripted stimulus + sweep example.
+echo "==> script-smoke"
+cargo test -q -p vw-script
+cargo test -q --test conformance_models
+cargo test -q -p vw-analysis --test conformance_determinism
+cargo run -q --release --example scripted_conformance > /dev/null
+
 # Trace smoke: the span profiler must collect a real run, export Chrome
 # trace JSON that round-trips the vendored parser (the example
 # self-checks both, plus the 5% self-time coverage bound), and the whole

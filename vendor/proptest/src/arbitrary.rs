@@ -58,6 +58,46 @@ impl Arbitrary for bool {
     }
 }
 
+/// Arbitrary strings: half the characters are printable ASCII and
+/// whitespace (newlines included, to exercise line-oriented parsers),
+/// the other half arbitrary Unicode scalars.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyString;
+
+impl Strategy for AnyString {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<String, TestCaseError> {
+        let len = rng.below(40) as usize;
+        let mut out = String::with_capacity(len);
+        for _ in 0..len {
+            if rng.below(2) == 0 {
+                let c = match rng.below(36) {
+                    0 => '\n',
+                    1 => '\t',
+                    2 => ' ',
+                    n => (b'!' + (n - 3) as u8 * 3 % 94) as char,
+                };
+                out.push(c);
+            } else {
+                let c = std::iter::repeat_with(|| rng.next_u64() as u32 % 0x11_0000)
+                    .find_map(char::from_u32)
+                    .unwrap_or('\u{fffd}');
+                out.push(c);
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Arbitrary for String {
+    type Strategy = AnyString;
+
+    fn arbitrary() -> Self::Strategy {
+        AnyString
+    }
+}
+
 impl Strategy for AnyPrimitive<f64> {
     type Value = f64;
 

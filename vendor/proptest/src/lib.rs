@@ -22,6 +22,8 @@
 
 pub mod arbitrary;
 pub mod collection;
+pub mod option;
+pub mod sample;
 pub mod strategy;
 pub mod string;
 pub mod test_runner;
@@ -29,10 +31,27 @@ pub mod test_runner;
 /// Everything a `use proptest::prelude::*;` test expects in scope.
 pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
-    pub use crate::strategy::{Just, Strategy};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, proptest,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest,
+    };
+
+    /// The `prop::` module path the real prelude provides.
+    pub mod prop {
+        pub use crate::{collection, option, sample, strategy, string};
+    }
+}
+
+/// Uniform choice between strategies producing the same value type:
+/// `prop_oneof![Just(A), Just(B), 0..10u8.prop_map(C)]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
     };
 }
 

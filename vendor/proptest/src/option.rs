@@ -1,0 +1,26 @@
+//! `option::of` — strategies for `Option<T>`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::{TestCaseError, TestRng};
+
+/// Produces `None` about a quarter of the time, `Some(inner)` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<Option<S::Value>, TestCaseError> {
+        if rng.below(4) == 0 {
+            Ok(None)
+        } else {
+            Ok(Some(self.inner.generate(rng)?))
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! `sample::Index` — a length-agnostic collection index.
+
+use crate::arbitrary::Arbitrary;
+use crate::strategy::Strategy;
+use crate::test_runner::{TestCaseError, TestRng};
+
+/// An index into a collection of as-yet-unknown size: generate one with
+/// `any::<Index>()`, then project it with [`Index::index`].
+#[derive(Debug, Clone, Copy)]
+pub struct Index(u64);
+
+impl Index {
+    /// Maps the index onto a collection of `len` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `len` is zero, like the real proptest type.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+/// Full-domain strategy for [`Index`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyIndex;
+
+impl Strategy for AnyIndex {
+    type Value = Index;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<Index, TestCaseError> {
+        Ok(Index(rng.next_u64()))
+    }
+}
+
+impl Arbitrary for Index {
+    type Strategy = AnyIndex;
+
+    fn arbitrary() -> Self::Strategy {
+        AnyIndex
+    }
+}

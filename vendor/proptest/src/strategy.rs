@@ -154,6 +154,46 @@ where
     }
 }
 
+/// Uniform choice between same-valued strategies (see `prop_oneof!`).
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    /// Builds a union; panics on an empty arm list.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union(arms)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<T, TestCaseError> {
+        let arm = rng.below(self.0.len() as u64) as usize;
+        self.0[arm].generate(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, TestCaseError> {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                Ok(($($name.generate(rng)?,)+))
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
 /// A strategy built from a sampling closure (used by `prop_compose!`).
 pub struct FnStrategy<F, T> {
     f: F,
